@@ -1,0 +1,45 @@
+//! Criterion micro-benchmark behind Figs. 9(c) and 12(f): the PQ
+//! algorithms against the `Match` (bounded simulation) and `SubIso`
+//! (Ullmann) baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_bench::querygen::{generate_pq, QueryParams};
+use rpq_core::baseline::{bounded_sim_match, subiso_match};
+use rpq_core::{JoinMatch, MatrixReach, SplitMatch};
+use rpq_graph::gen::terrorism_like;
+use rpq_graph::DistanceMatrix;
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let g = terrorism_like(42);
+    let m = DistanceMatrix::build(&g);
+    let mut group = c.benchmark_group("baselines_fig9c");
+    group.sample_size(10);
+    for size in [3usize, 5, 7] {
+        let p = QueryParams {
+            nodes: size,
+            edges: size,
+            preds: 2,
+            bound: 2,
+            colors: 1,
+            redundant: false,
+        };
+        let pq = generate_pq(&g, &p, 13);
+        group.bench_with_input(BenchmarkId::new("JoinMatchM", size), &pq, |b, pq| {
+            b.iter(|| black_box(JoinMatch::eval(pq, &g, &mut MatrixReach::new(&m))))
+        });
+        group.bench_with_input(BenchmarkId::new("SplitMatchM", size), &pq, |b, pq| {
+            b.iter(|| black_box(SplitMatch::eval(pq, &g, &mut MatrixReach::new(&m))))
+        });
+        group.bench_with_input(BenchmarkId::new("MatchM", size), &pq, |b, pq| {
+            b.iter(|| black_box(bounded_sim_match(pq, &g, &mut MatrixReach::new(&m))))
+        });
+        group.bench_with_input(BenchmarkId::new("SubIso", size), &pq, |b, pq| {
+            b.iter(|| black_box(subiso_match(pq, &g, 10_000_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmark for the §3 static analyses (no paper figure —
+//! evidence for the claimed quadratic/cubic bounds): RQ containment, PQ
+//! containment via revised similarity, and `minPQs` as query size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_bench::querygen::{generate_pq, generate_rq, QueryParams};
+use rpq_core::{minimize, pq_contained_in, rq_contained_in};
+use rpq_graph::gen::synthetic;
+use std::hint::black_box;
+
+fn bench_contain(c: &mut Criterion) {
+    let g = synthetic(300, 1000, 3, 4, 42);
+    let mut group = c.benchmark_group("static_analyses");
+    group.sample_size(20);
+
+    let rq_a = generate_rq(&g, 3, 5, 3, 1);
+    let rq_b = generate_rq(&g, 3, 5, 3, 2);
+    group.bench_function("rq_containment", |b| {
+        b.iter(|| black_box(rq_contained_in(&rq_a, &rq_b)))
+    });
+
+    for nv in [4usize, 8, 16, 32] {
+        let mut p = QueryParams::defaults();
+        p.nodes = nv;
+        p.edges = nv + nv / 2;
+        p.redundant = true;
+        let qa = generate_pq(&g, &p, 3);
+        let qb = generate_pq(&g, &p, 4);
+        group.bench_with_input(
+            BenchmarkId::new("pq_containment", nv),
+            &(qa.clone(), qb),
+            |b, (qa, qb)| b.iter(|| black_box(pq_contained_in(qa, qb))),
+        );
+        group.bench_with_input(BenchmarkId::new("minPQs", nv), &qa, |b, qa| {
+            b.iter(|| black_box(minimize(qa)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contain);
+criterion_main!(benches);

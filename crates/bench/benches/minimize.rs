@@ -1,0 +1,41 @@
+//! Criterion micro-benchmark behind Fig. 10(a): the cost of `minPQs`
+//! itself and the evaluation speedup it buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_bench::querygen::{generate_pq, QueryParams};
+use rpq_core::{minimize, JoinMatch, MatrixReach};
+use rpq_graph::gen::youtube_like;
+use rpq_graph::DistanceMatrix;
+use std::hint::black_box;
+
+fn bench_minimize(c: &mut Criterion) {
+    let g = youtube_like(1200, 42);
+    let m = DistanceMatrix::build(&g);
+    let mut group = c.benchmark_group("minimize_fig10a");
+    group.sample_size(10);
+    for &(nv, ne) in &[(4usize, 6usize), (8, 12), (12, 18)] {
+        let p = QueryParams {
+            nodes: nv,
+            edges: ne,
+            preds: 3,
+            bound: 5,
+            colors: 4,
+            redundant: true,
+        };
+        let pq = generate_pq(&g, &p, 5);
+        let slim = minimize(&pq);
+        group.bench_with_input(BenchmarkId::new("minPQs", nv), &pq, |b, pq| {
+            b.iter(|| black_box(minimize(pq)))
+        });
+        group.bench_with_input(BenchmarkId::new("eval_normal", nv), &pq, |b, pq| {
+            b.iter(|| black_box(JoinMatch::eval(pq, &g, &mut MatrixReach::new(&m))))
+        });
+        group.bench_with_input(BenchmarkId::new("eval_minimized", nv), &slim, |b, slim| {
+            b.iter(|| black_box(JoinMatch::eval(slim, &g, &mut MatrixReach::new(&m))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimize);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark behind Figs. 11(a)-(d): `JoinMatch` with the
+//! matrix and cached backends as pattern size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_bench::querygen::{generate_pq, QueryParams};
+use rpq_core::{CachedReach, JoinMatch, MatrixReach};
+use rpq_graph::gen::youtube_like;
+use rpq_graph::DistanceMatrix;
+use std::hint::black_box;
+
+fn bench_join(c: &mut Criterion) {
+    let g = youtube_like(1200, 42);
+    let m = DistanceMatrix::build(&g);
+    let mut group = c.benchmark_group("pq_join_fig11");
+    group.sample_size(10);
+    for nv in [4usize, 8, 12] {
+        let mut p = QueryParams::defaults();
+        p.nodes = nv;
+        p.edges = nv + 2;
+        let pq = generate_pq(&g, &p, 11);
+        group.bench_with_input(BenchmarkId::new("JoinMatchM", nv), &pq, |b, pq| {
+            b.iter(|| black_box(JoinMatch::eval(pq, &g, &mut MatrixReach::new(&m))))
+        });
+        group.bench_with_input(BenchmarkId::new("JoinMatchC", nv), &pq, |b, pq| {
+            b.iter(|| {
+                let mut cache = CachedReach::with_default_capacity();
+                black_box(JoinMatch::eval(pq, &g, &mut cache))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

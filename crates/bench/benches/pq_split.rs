@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark behind Figs. 11-12: `SplitMatch` with the
+//! matrix and cached backends as pattern size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_bench::querygen::{generate_pq, QueryParams};
+use rpq_core::{CachedReach, MatrixReach, SplitMatch};
+use rpq_graph::gen::youtube_like;
+use rpq_graph::DistanceMatrix;
+use std::hint::black_box;
+
+fn bench_split(c: &mut Criterion) {
+    let g = youtube_like(1200, 42);
+    let m = DistanceMatrix::build(&g);
+    let mut group = c.benchmark_group("pq_split_fig11");
+    group.sample_size(10);
+    for nv in [4usize, 8, 12] {
+        let mut p = QueryParams::defaults();
+        p.nodes = nv;
+        p.edges = nv + 2;
+        let pq = generate_pq(&g, &p, 11);
+        group.bench_with_input(BenchmarkId::new("SplitMatchM", nv), &pq, |b, pq| {
+            b.iter(|| black_box(SplitMatch::eval(pq, &g, &mut MatrixReach::new(&m))))
+        });
+        group.bench_with_input(BenchmarkId::new("SplitMatchC", nv), &pq, |b, pq| {
+            b.iter(|| {
+                let mut cache = CachedReach::with_default_capacity();
+                black_box(SplitMatch::eval(pq, &g, &mut cache))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_split);
+criterion_main!(benches);

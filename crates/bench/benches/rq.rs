@@ -1,0 +1,32 @@
+//! Criterion micro-benchmark behind Fig. 10(b): the three RQ evaluation
+//! strategies (DM / biBFS / BFS) as the number of colors in the edge
+//! constraint grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_bench::querygen::generate_rq;
+use rpq_graph::gen::youtube_like;
+use rpq_graph::DistanceMatrix;
+use std::hint::black_box;
+
+fn bench_rq(c: &mut Criterion) {
+    let g = youtube_like(1200, 42);
+    let m = DistanceMatrix::build(&g);
+    let mut group = c.benchmark_group("rq_fig10b");
+    group.sample_size(10);
+    for k in 1..=4usize {
+        let rq = generate_rq(&g, 3, 5, k, 7);
+        group.bench_with_input(BenchmarkId::new("DM", k), &rq, |b, rq| {
+            b.iter(|| black_box(rq.eval_with_matrix(&g, &m)))
+        });
+        group.bench_with_input(BenchmarkId::new("biBFS", k), &rq, |b, rq| {
+            b.iter(|| black_box(rq.eval_bibfs(&g)))
+        });
+        group.bench_with_input(BenchmarkId::new("BFS", k), &rq, |b, rq| {
+            b.iter(|| black_box(rq.eval_bfs(&g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rq);
+criterion_main!(benches);

@@ -1,0 +1,505 @@
+//! Regenerates every figure of the paper's evaluation section (§6).
+//!
+//! ```text
+//! experiments <fig9b|fig9c|fig10a|fig10b|fig11a|fig11b|fig11c|fig11d|
+//!              fig12a|fig12b|fig12c|fig12d|fig12e|fig12f|all>
+//!             [--queries N]   queries averaged per data point (default 3)
+//!             [--scale F]     data-graph scale factor vs the paper (default 0.24)
+//!             [--seed S]      base RNG seed (default 42)
+//! ```
+//!
+//! Absolute times differ from the paper's 2011 testbed; the *shape* of
+//! each figure (which series wins, how curves trend) is the reproduction
+//! target. See EXPERIMENTS.md for the recorded comparison.
+
+use rpq_bench::harness::{mean_ms, time, Table};
+use rpq_bench::measure::{f_measure, pairs_of, MatchPairs};
+use rpq_bench::querygen::{generate_pq_anchored, generate_pq_with_redundancy, generate_rq, QueryParams};
+use rpq_core::baseline::{bounded_sim_match, subiso_match};
+use rpq_core::{CachedReach, JoinMatch, MatrixReach, Pq, SplitMatch};
+use rpq_graph::gen::{synthetic, terrorism_like, youtube_like};
+use rpq_graph::{DistanceMatrix, Graph};
+use std::time::Duration;
+
+#[derive(Clone, Copy)]
+struct Config {
+    queries: usize,
+    scale: f64,
+    seed: u64,
+}
+
+impl Config {
+    fn youtube_nodes(&self) -> usize {
+        ((8_350.0 * self.scale) as usize).max(300)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = String::from("all");
+    let mut cfg = Config {
+        queries: 3,
+        scale: 0.24,
+        seed: 42,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--queries" => cfg.queries = it.next().expect("--queries N").parse().unwrap(),
+            "--scale" => cfg.scale = it.next().expect("--scale F").parse().unwrap(),
+            "--seed" => cfg.seed = it.next().expect("--seed S").parse().unwrap(),
+            other => cmd = other.to_owned(),
+        }
+    }
+    type Runner = fn(&Config);
+    let all: &[(&str, Runner)] = &[
+        ("fig9b", fig9b),
+        ("fig9c", fig9c),
+        ("fig10a", fig10a),
+        ("fig10b", fig10b),
+        ("fig11a", fig11a),
+        ("fig11b", fig11b),
+        ("fig11c", fig11c),
+        ("fig11d", fig11d),
+        ("fig12a", fig12a),
+        ("fig12b", fig12b),
+        ("fig12c", fig12c),
+        ("fig12d", fig12d),
+        ("fig12e", fig12e),
+        ("fig12f", fig12f),
+    ];
+    match all.iter().find(|(name, _)| *name == cmd) {
+        Some((_, f)) => f(&cfg),
+        None if cmd == "all" => {
+            for (name, f) in all {
+                eprintln!("[experiments] running {name} …");
+                f(&cfg);
+            }
+        }
+        None => {
+            eprintln!("unknown experiment {cmd:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Queries for Exp-1 (Fig. 9(b)/(c)): single color per edge to favor the
+/// baselines, small hop bounds, 2-3 predicates. Like the paper's
+/// "meaningful" queries, each must have a nonempty PQ answer — seeds are
+/// retried until one does.
+fn fig9_queries(g: &Graph, m: &DistanceMatrix, size: usize, cfg: &Config) -> Vec<Pq> {
+    // effectiveness needs more averaging than the timing sweeps; queries
+    // here are cheap (818-node graph), so raise the floor
+    let wanted = cfg.queries.max(10);
+    let mut queries = Vec::with_capacity(wanted);
+    let mut attempt = 0u64;
+    while queries.len() < wanted && attempt < 400 {
+        let p = QueryParams {
+            nodes: size,
+            edges: size,
+            preds: 3,
+            bound: if attempt.is_multiple_of(3) { 1 } else { 2 },
+            colors: 1,
+            redundant: false,
+        };
+        let pq = generate_pq_anchored(g, m, &p, cfg.seed + size as u64 * 1000 + attempt);
+        attempt += 1;
+        let truth = JoinMatch::eval(&pq, g, &mut MatrixReach::new(m));
+        if !truth.is_empty() {
+            queries.push(pq);
+        }
+    }
+    queries
+}
+
+fn fig9b(cfg: &Config) {
+    let g = terrorism_like(cfg.seed);
+    let m = DistanceMatrix::build(&g);
+    let mut table = Table::new(
+        "Fig 9(b) — F-measure on the terrorism network (PQ ground truth)",
+        "(|Vp|,|Ep|)",
+        &["JoinMatchM", "Match", "SubIso"],
+        "F",
+    );
+    for size in 3..=7usize {
+        let (mut f_pq, mut f_match, mut f_sub) = (0.0, 0.0, 0.0);
+        let queries = fig9_queries(&g, &m, size, cfg);
+        for pq in &queries {
+            let truth_res = JoinMatch::eval(pq, &g, &mut MatrixReach::new(&m));
+            let truth: MatchPairs = pairs_of(&truth_res, pq.node_count());
+            f_pq += f_measure(&truth, &truth).f_measure;
+            let matched = bounded_sim_match(pq, &g, &mut MatrixReach::new(&m));
+            f_match += f_measure(&truth, &pairs_of(&matched, pq.node_count())).f_measure;
+            let sub = subiso_match(pq, &g, 50_000_000);
+            let sub_pairs: MatchPairs = sub.match_pairs.iter().copied().collect();
+            f_sub += f_measure(&truth, &sub_pairs).f_measure;
+        }
+        let n = queries.len() as f64;
+        table.row(format!("({size},{size})"), vec![f_pq / n, f_match / n, f_sub / n]);
+    }
+    table.print();
+}
+
+fn fig9c(cfg: &Config) {
+    let g = terrorism_like(cfg.seed);
+    let m = DistanceMatrix::build(&g);
+    let mut table = Table::new(
+        "Fig 9(c) — evaluation time on the terrorism network",
+        "(|Vp|,|Ep|)",
+        &["JoinMatchM", "SplitMatchM", "MatchM", "SubIso"],
+        "ms",
+    );
+    for size in 3..=7usize {
+        let queries = fig9_queries(&g, &m, size, cfg);
+        let mut t = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for pq in &queries {
+            t[0].push(time(|| JoinMatch::eval(pq, &g, &mut MatrixReach::new(&m))).1);
+            t[1].push(time(|| SplitMatch::eval(pq, &g, &mut MatrixReach::new(&m))).1);
+            t[2].push(time(|| bounded_sim_match(pq, &g, &mut MatrixReach::new(&m))).1);
+            t[3].push(time(|| subiso_match(pq, &g, 50_000_000)).1);
+        }
+        table.row(
+            format!("({size},{size})"),
+            t.iter().map(|s| mean_ms(s)).collect(),
+        );
+    }
+    table.print();
+}
+
+fn fig10a(cfg: &Config) {
+    let g = youtube_like(cfg.youtube_nodes(), cfg.seed);
+    let m = DistanceMatrix::build(&g);
+    let mut table = Table::new(
+        "Fig 10(a) — minimized vs normal queries (YouTube-like, JoinMatchM)",
+        "(|Vp|,|Ep|)",
+        &["Normal", "Minimized", "|Q|", "|Qm|"],
+        "ms",
+    );
+    for &(nv, ne) in &[(4, 6), (6, 8), (8, 12), (10, 15), (12, 18)] {
+        let mut t_norm = Vec::new();
+        let mut t_min = Vec::new();
+        let (mut sz, mut szm) = (0usize, 0usize);
+        for i in 0..cfg.queries {
+            let p = QueryParams {
+                nodes: nv,
+                edges: ne,
+                preds: 3,
+                bound: 5,
+                colors: 4,
+                redundant: true,
+            };
+            let pq = generate_pq_with_redundancy(&g, &m, &p, cfg.seed + (nv * 1000 + i) as u64);
+            let slim = rpq_core::minimize(&pq);
+            sz += pq.size();
+            szm += slim.size();
+            t_norm.push(time(|| JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m))).1);
+            t_min.push(time(|| JoinMatch::eval(&slim, &g, &mut MatrixReach::new(&m))).1);
+        }
+        let n = cfg.queries as f64;
+        table.row(
+            format!("({nv},{ne})"),
+            vec![mean_ms(&t_norm), mean_ms(&t_min), sz as f64 / n, szm as f64 / n],
+        );
+    }
+    table.print();
+}
+
+fn fig10b(cfg: &Config) {
+    let g = youtube_like(cfg.youtube_nodes(), cfg.seed);
+    let m = DistanceMatrix::build(&g);
+    // Two sweeps. The first is the paper's setting (|pred| = 3, selective
+    // endpoints); note that this library's runtime strategies are
+    // per-source product searches — stronger than the paper's set-level
+    // re-evaluation — so they stay competitive with DM here. The second
+    // sweep drops the predicates: with unselective endpoints the search
+    // strategies degrade with the candidate count while DM's row scans do
+    // not, which is the regime where the pre-computed index wins, as in
+    // the paper's figure.
+    for (title, preds) in [
+        ("Fig 10(b) — RQ strategies vs number of colors (YouTube-like, |pred|=3)", 3usize),
+        ("Fig 10(b') — ablation: unselective endpoints (|pred|=0)", 0),
+    ] {
+        let mut table = Table::new(title, "#colors", &["DM", "biBFS", "BFS"], "ms");
+        for k in 1..=4usize {
+            let mut t = [Vec::new(), Vec::new(), Vec::new()];
+            for i in 0..cfg.queries.max(5) {
+                let rq = generate_rq(&g, preds, 5, k, cfg.seed + (k * 100 + i) as u64);
+                let (dm_res, d0) = time(|| rq.eval_with_matrix(&g, &m));
+                let (bi_res, d1) = time(|| rq.eval_bibfs(&g));
+                let (bfs_res, d2) = time(|| rq.eval_bfs(&g));
+                assert_eq!(dm_res, bi_res);
+                assert_eq!(dm_res, bfs_res);
+                t[0].push(d0);
+                t[1].push(d1);
+                t[2].push(d2);
+            }
+            table.row(k, t.iter().map(|s| mean_ms(s)).collect());
+        }
+        table.print();
+    }
+}
+
+/// Shared driver for the Fig. 11/12 PQ-efficiency plots: one row per
+/// parameter setting, the four algorithm variants as series plus the
+/// matrix-construction time (`M-index`).
+fn pq_efficiency(
+    title: &str,
+    x_label: &str,
+    g: &Graph,
+    settings: &[(String, QueryParams)],
+    cfg: &Config,
+) {
+    let (m, m_build) = time(|| DistanceMatrix::build(g));
+    let mut table = Table::new(
+        title,
+        x_label,
+        &["JoinMatchM", "JoinMatchC", "SplitMatchM", "SplitMatchC", "M-index"],
+        "ms",
+    );
+    for (row_idx, (label, params)) in settings.iter().enumerate() {
+        let mut t: [Vec<Duration>; 4] = Default::default();
+        for i in 0..cfg.queries {
+            let pq = generate_pq_anchored(g, &m, params, cfg.seed + (row_idx * 1000 + i) as u64);
+            let (a, d0) = time(|| JoinMatch::eval(&pq, g, &mut MatrixReach::new(&m)));
+            let mut cache = CachedReach::with_default_capacity();
+            let (b, d1) = time(|| JoinMatch::eval(&pq, g, &mut cache));
+            let (c, d2) = time(|| SplitMatch::eval(&pq, g, &mut MatrixReach::new(&m)));
+            let mut cache2 = CachedReach::with_default_capacity();
+            let (d, d3) = time(|| SplitMatch::eval(&pq, g, &mut cache2));
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+            assert_eq!(a, d);
+            t[0].push(d0);
+            t[1].push(d1);
+            t[2].push(d2);
+            t[3].push(d3);
+        }
+        table.row(
+            label,
+            vec![
+                mean_ms(&t[0]),
+                mean_ms(&t[1]),
+                mean_ms(&t[2]),
+                mean_ms(&t[3]),
+                m_build.as_secs_f64() * 1e3,
+            ],
+        );
+    }
+    table.print();
+}
+
+fn fig11a(cfg: &Config) {
+    let g = youtube_like(cfg.youtube_nodes(), cfg.seed);
+    let settings: Vec<(String, QueryParams)> = [4, 6, 8, 10, 12]
+        .iter()
+        .map(|&nv| {
+            let mut p = QueryParams::defaults();
+            p.nodes = nv;
+            p.edges = nv + 2;
+            (nv.to_string(), p)
+        })
+        .collect();
+    pq_efficiency("Fig 11(a) — PQ time vs |Vp| (YouTube-like)", "|Vp|", &g, &settings, cfg);
+}
+
+fn fig11b(cfg: &Config) {
+    let g = youtube_like(cfg.youtube_nodes(), cfg.seed);
+    let settings: Vec<(String, QueryParams)> = [4, 6, 8, 10, 12]
+        .iter()
+        .map(|&ne| {
+            let mut p = QueryParams::defaults();
+            p.edges = ne;
+            (ne.to_string(), p)
+        })
+        .collect();
+    pq_efficiency("Fig 11(b) — PQ time vs |Ep| (YouTube-like)", "|Ep|", &g, &settings, cfg);
+}
+
+fn fig11c(cfg: &Config) {
+    let g = youtube_like(cfg.youtube_nodes(), cfg.seed);
+    let settings: Vec<(String, QueryParams)> = (1..=5usize)
+        .map(|preds| {
+            let mut p = QueryParams::defaults();
+            p.preds = preds;
+            (preds.to_string(), p)
+        })
+        .collect();
+    pq_efficiency("Fig 11(c) — PQ time vs |pred| (YouTube-like)", "|pred|", &g, &settings, cfg);
+}
+
+fn fig11d(cfg: &Config) {
+    let g = youtube_like(cfg.youtube_nodes(), cfg.seed);
+    let settings: Vec<(String, QueryParams)> = [1u32, 3, 5, 7, 9]
+        .iter()
+        .map(|&b| {
+            let mut p = QueryParams::defaults();
+            p.bound = b;
+            (b.to_string(), p)
+        })
+        .collect();
+    pq_efficiency("Fig 11(d) — PQ time vs bound b (YouTube-like)", "b", &g, &settings, cfg);
+}
+
+fn fig12a(cfg: &Config) {
+    let e = (20_000.0 * cfg.scale) as usize;
+    let mut table = Table::new(
+        "Fig 12(a) — PQ time vs |V| (synthetic, |E| fixed)",
+        "|V|",
+        &["JoinMatchM", "JoinMatchC", "SplitMatchM", "SplitMatchC"],
+        "ms",
+    );
+    for step in 1..=8usize {
+        let n = (((step * 1000) as f64 * cfg.scale) as usize).max(50);
+        let g = synthetic(n, e, 3, 4, cfg.seed + step as u64);
+        let m = DistanceMatrix::build(&g);
+        let mut t: [Vec<Duration>; 4] = Default::default();
+        for i in 0..cfg.queries {
+            let pq = generate_pq_anchored(&g, &m, &QueryParams::defaults(), cfg.seed + (step * 777 + i) as u64);
+            t[0].push(time(|| JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m))).1);
+            let mut cache = CachedReach::with_default_capacity();
+            t[1].push(time(|| JoinMatch::eval(&pq, &g, &mut cache)).1);
+            t[2].push(time(|| SplitMatch::eval(&pq, &g, &mut MatrixReach::new(&m))).1);
+            let mut cache2 = CachedReach::with_default_capacity();
+            t[3].push(time(|| SplitMatch::eval(&pq, &g, &mut cache2)).1);
+        }
+        table.row(n, t.iter().map(|s| mean_ms(s)).collect());
+    }
+    table.print();
+}
+
+fn fig12b(cfg: &Config) {
+    let n = (8_000.0 * cfg.scale) as usize;
+    let mut table = Table::new(
+        "Fig 12(b) — PQ time vs |E| (synthetic, |V| fixed)",
+        "|E|",
+        &["JoinMatchM", "JoinMatchC", "SplitMatchM", "SplitMatchC"],
+        "ms",
+    );
+    for step in 1..=10usize {
+        let e = ((step * 3000) as f64 * cfg.scale) as usize;
+        let g = synthetic(n, e, 3, 4, cfg.seed + step as u64);
+        let m = DistanceMatrix::build(&g);
+        let mut t: [Vec<Duration>; 4] = Default::default();
+        for i in 0..cfg.queries {
+            let pq = generate_pq_anchored(&g, &m, &QueryParams::defaults(), cfg.seed + (step * 555 + i) as u64);
+            t[0].push(time(|| JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m))).1);
+            let mut cache = CachedReach::with_default_capacity();
+            t[1].push(time(|| JoinMatch::eval(&pq, &g, &mut cache)).1);
+            t[2].push(time(|| SplitMatch::eval(&pq, &g, &mut MatrixReach::new(&m))).1);
+            let mut cache2 = CachedReach::with_default_capacity();
+            t[3].push(time(|| SplitMatch::eval(&pq, &g, &mut cache2)).1);
+        }
+        table.row(e, t.iter().map(|s| mean_ms(s)).collect());
+    }
+    table.print();
+}
+
+fn fig12_pattern_sweep(
+    cfg: &Config,
+    title: &str,
+    x_label: &str,
+    settings: Vec<(String, QueryParams)>,
+) {
+    let n = ((4_000.0 * cfg.scale) as usize).max(50);
+    let e = (10_000.0 * cfg.scale) as usize;
+    let g = synthetic(n, e, 3, 4, cfg.seed);
+    pq_efficiency(title, x_label, &g, &settings, cfg);
+}
+
+fn fig12c(cfg: &Config) {
+    let settings: Vec<(String, QueryParams)> = [4usize, 8, 12, 16, 20, 24]
+        .iter()
+        .map(|&nv| {
+            let mut p = QueryParams::defaults();
+            p.nodes = nv;
+            p.edges = nv + 2;
+            (nv.to_string(), p)
+        })
+        .collect();
+    fig12_pattern_sweep(cfg, "Fig 12(c) — PQ time vs |Vp| (synthetic)", "|Vp|", settings);
+}
+
+fn fig12d(cfg: &Config) {
+    let settings: Vec<(String, QueryParams)> = [5usize, 10, 15, 20, 25]
+        .iter()
+        .map(|&ne| {
+            let mut p = QueryParams::defaults();
+            p.nodes = 6;
+            p.edges = ne;
+            (ne.to_string(), p)
+        })
+        .collect();
+    fig12_pattern_sweep(cfg, "Fig 12(d) — PQ time vs |Ep| (synthetic)", "|Ep|", settings);
+}
+
+fn fig12e(cfg: &Config) {
+    let settings: Vec<(String, QueryParams)> = (2..=7usize)
+        .map(|preds| {
+            let mut p = QueryParams::defaults();
+            p.preds = preds;
+            (preds.to_string(), p)
+        })
+        .collect();
+    fig12_pattern_sweep(cfg, "Fig 12(e) — PQ time vs |pred| (synthetic)", "|pred|", settings);
+}
+
+fn fig12f(cfg: &Config) {
+    let mut table = Table::new(
+        "Fig 12(f) — SubIso vs SplitMatchC on small graphs (time and matches)",
+        "(|V|,|E|)",
+        &["SubIso", "SplitMatchC", "SubIso#", "SplitC#"],
+        "ms",
+    );
+    for step in 1..=5usize {
+        let (nv, ne) = (50 * step, 100 * step);
+        let g = synthetic(nv, ne, 3, 4, cfg.seed + step as u64);
+        let m = DistanceMatrix::build(&g);
+        let mut t_sub = Vec::new();
+        let mut t_split = Vec::new();
+        let (mut n_sub, mut n_split) = (0usize, 0usize);
+        // the paper's (8,15) patterns with c1^5 … ck^5 constraints; like
+        // Exp-1, only "meaningful" (nonempty-answer) queries are timed
+        let mut collected = 0;
+        let mut attempt = 0u64;
+        while collected < cfg.queries && attempt < 200 {
+            let pq = generate_pq_anchored(
+                &g,
+                &m,
+                &QueryParams {
+                    nodes: 8,
+                    edges: 15,
+                    preds: 3,
+                    bound: 5,
+                    colors: 4,
+                    redundant: false,
+                },
+                cfg.seed + step as u64 * 99 + attempt,
+            );
+            attempt += 1;
+            if JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m)).is_empty() {
+                continue;
+            }
+            collected += 1;
+            let (sub, d_sub) = time(|| subiso_match(&pq, &g, 20_000_000));
+            t_sub.push(d_sub);
+            n_sub += sub.match_pairs.len();
+            let mut cache = CachedReach::with_default_capacity();
+            let (res, d_split) = time(|| SplitMatch::eval(&pq, &g, &mut cache));
+            t_split.push(d_split);
+            n_split += (0..pq.node_count())
+                .map(|u| res.node_matches(u).len())
+                .sum::<usize>();
+        }
+        let q = collected.max(1) as f64;
+        table.row(
+            format!("({nv},{ne})"),
+            vec![
+                mean_ms(&t_sub),
+                mean_ms(&t_split),
+                n_sub as f64 / q,
+                n_split as f64 / q,
+            ],
+        );
+    }
+    table.print();
+}

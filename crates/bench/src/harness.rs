@@ -1,0 +1,101 @@
+//! Timing and reporting helpers for the experiment binaries.
+
+use std::time::{Duration, Instant};
+
+/// Time one closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Mean of durations in milliseconds.
+pub fn mean_ms(samples: &[Duration]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(Duration::as_secs_f64).sum::<f64>() * 1e3 / samples.len() as f64
+}
+
+/// A printable experiment table: one labelled row per x-value, one column
+/// per measured series. Prints in the layout the paper's figures chart.
+pub struct Table {
+    title: String,
+    x_label: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+    unit: &'static str,
+}
+
+impl Table {
+    /// New table with the given title, x-axis label and series names.
+    pub fn new(title: &str, x_label: &str, columns: &[&str], unit: &'static str) -> Self {
+        Table {
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            unit,
+        }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, x: impl ToString, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len());
+        self.rows.push((x.to_string(), values));
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        println!("\n=== {} ===", self.title);
+        let width = 14usize;
+        print!("{:<12}", self.x_label);
+        for c in &self.columns {
+            print!("{:>width$}", format!("{c} ({})", self.unit));
+        }
+        println!();
+        for (x, vals) in &self.rows {
+            print!("{x:<12}");
+            for v in vals {
+                print!("{v:>width$.3}");
+            }
+            println!();
+        }
+    }
+
+    /// The collected rows (for tests).
+    pub fn rows(&self) -> &[(String, Vec<f64>)] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_and_means() {
+        let (v, d) = time(|| (0..1000u64).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(d.as_nanos() > 0);
+        let m = mean_ms(&[Duration::from_millis(2), Duration::from_millis(4)]);
+        assert!((m - 3.0).abs() < 1e-9);
+        assert_eq!(mean_ms(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_rows() {
+        let mut t = Table::new("demo", "x", &["a", "b"], "ms");
+        t.row("(3,3)", vec![1.0, 2.0]);
+        t.row("(4,4)", vec![3.0, 4.0]);
+        assert_eq!(t.rows().len(), 2);
+        t.print(); // smoke: must not panic
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_arity_checked() {
+        let mut t = Table::new("demo", "x", &["a", "b"], "ms");
+        t.row("x", vec![1.0]);
+    }
+}

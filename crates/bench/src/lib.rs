@@ -1,0 +1,14 @@
+//! # rpq-bench — experiment harness for Fan et al. (ICDE 2011), §6
+//!
+//! Everything needed to regenerate the paper's evaluation figures:
+//!
+//! * [`querygen`] — the paper's query generator with its five parameters
+//!   `(|Vp|, |Ep|, |pred|, b, c)`,
+//! * [`measure`] — F-measure (precision/recall against PQ ground truth),
+//!   the Exp-1 effectiveness metric,
+//! * [`harness`] — timing and table-printing helpers shared by the
+//!   `experiments` binary and the Criterion benches.
+
+pub mod harness;
+pub mod measure;
+pub mod querygen;

@@ -1,0 +1,107 @@
+//! F-measure against PQ ground truth (§6, Exp-1).
+//!
+//! "#matches is … the number of distinct node pairs (u, v) where u is a
+//! query node and v is a graph node that matches u. #true_matches is the
+//! number of meaningful results, i.e., matches satisfying constraints on
+//! nodes and edges" — the PQ semantics itself defines the ground truth,
+//! and each algorithm is scored by the `(query node, data node)` pairs it
+//! reports.
+
+use rpq_core::pq::PqResult;
+use rpq_graph::NodeId;
+use std::collections::HashSet;
+
+/// A set of `(query node, data node)` match pairs.
+pub type MatchPairs = HashSet<(usize, NodeId)>;
+
+/// Extract the match pairs of a [`PqResult`].
+pub fn pairs_of(res: &PqResult, query_nodes: usize) -> MatchPairs {
+    (0..query_nodes)
+        .flat_map(|u| res.node_matches(u).iter().map(move |&x| (u, x)))
+        .collect()
+}
+
+/// Precision, recall and F-measure of `found` against `truth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scores {
+    /// `|found ∩ truth| / |found|` (1.0 when nothing was found — matching
+    /// the paper's observation that SubIso's "precision is always 1 if
+    /// some matches can be identified").
+    pub precision: f64,
+    /// `|found ∩ truth| / |truth|`.
+    pub recall: f64,
+    /// Harmonic mean `2PR/(P+R)` (0 when both are 0).
+    pub f_measure: f64,
+}
+
+/// Score `found` against `truth`.
+pub fn f_measure(truth: &MatchPairs, found: &MatchPairs) -> Scores {
+    let hit = found.intersection(truth).count() as f64;
+    let precision = if found.is_empty() { 1.0 } else { hit / found.len() as f64 };
+    let recall = if truth.is_empty() { 1.0 } else { hit / truth.len() as f64 };
+    let f = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    Scores {
+        precision,
+        recall,
+        f_measure: f,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(v: &[(usize, u32)]) -> MatchPairs {
+        v.iter().map(|&(u, x)| (u, NodeId(x))).collect()
+    }
+
+    #[test]
+    fn perfect_match() {
+        let t = pairs(&[(0, 1), (1, 2)]);
+        let s = f_measure(&t, &t);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f_measure, 1.0);
+    }
+
+    #[test]
+    fn overreporting_costs_precision() {
+        let t = pairs(&[(0, 1)]);
+        let found = pairs(&[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = f_measure(&t, &found);
+        assert_eq!(s.recall, 1.0);
+        assert!((s.precision - 0.25).abs() < 1e-12);
+        assert!((s.f_measure - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underreporting_costs_recall() {
+        let t = pairs(&[(0, 1), (0, 2), (1, 3), (1, 4)]);
+        let found = pairs(&[(0, 1)]);
+        let s = f_measure(&t, &found);
+        assert_eq!(s.precision, 1.0);
+        assert!((s.recall - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_found_has_unit_precision_zero_recall() {
+        let t = pairs(&[(0, 1)]);
+        let s = f_measure(&t, &pairs(&[]));
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f_measure, 0.0);
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero() {
+        let t = pairs(&[(0, 1)]);
+        let s = f_measure(&t, &pairs(&[(0, 2)]));
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f_measure, 0.0);
+    }
+}

@@ -1,0 +1,548 @@
+//! The paper's query generator (§6, "Query generator").
+//!
+//! "The generator has five parameters: |Vp| denotes the number of pattern
+//! nodes, |Ep| is the number of pattern edges, |pred| denotes the number of
+//! predicates each pattern node carries, and bounds b and c are used such
+//! that each edge is constrained by a regular expression e1^b … ek^b, with
+//! 1 ≤ k ≤ c."
+//!
+//! To produce *meaningful* queries (the paper's word), node predicates are
+//! sampled from the attribute tuples of actual data nodes, so every query
+//! node has at least one candidate match. For the minimization experiment
+//! (Fig. 10(a)) the generator can draw node predicates and edge constraints
+//! from small per-query pools, which makes simulation-equivalent nodes —
+//! and hence redundancy — likely, as in the paper's observation that
+//! "larger queries have a higher probability to contain redundant nodes
+//! and edges".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpq_core::predicate::{CompOp, PredAtom, Predicate};
+use rpq_core::pq::Pq;
+use rpq_core::rq::Rq;
+use rpq_graph::{AttrValue, DistanceMatrix, Graph};
+use rpq_regex::{Atom, FRegex, Quant};
+
+/// The five paper parameters plus generation controls.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryParams {
+    /// Number of pattern nodes `|Vp|`.
+    pub nodes: usize,
+    /// Number of pattern edges `|Ep|`.
+    pub edges: usize,
+    /// Predicates per pattern node `|pred|`.
+    pub preds: usize,
+    /// Per-atom hop bound `b` (each atom is `e^b`; `b = 1` degenerates to
+    /// a plain color).
+    pub bound: u32,
+    /// Maximum atoms per edge constraint `c` (each edge draws `k ∈ 1..=c`).
+    pub colors: usize,
+    /// Draw predicates/regexes from small pools to induce redundancy
+    /// (used by the Fig. 10(a) minimization experiment).
+    pub redundant: bool,
+}
+
+impl QueryParams {
+    /// The defaults shared by Figs. 11-12: `(|Vp|, |Ep|, |pred|, b, c) =
+    /// (6, 8, 3, 5, 4)`.
+    pub fn defaults() -> Self {
+        QueryParams {
+            nodes: 6,
+            edges: 8,
+            preds: 3,
+            bound: 5,
+            colors: 4,
+            redundant: false,
+        }
+    }
+}
+
+/// Sample one predicate with `preds` conjuncts from the attribute tuple of
+/// a random data node (so the predicate is satisfiable on `g`).
+pub fn sample_predicate(g: &Graph, preds: usize, rng: &mut StdRng) -> Predicate {
+    let v = rpq_graph::NodeId(rng.gen_range(0..g.node_count() as u32));
+    sample_predicate_at(g, v, preds, rng)
+}
+
+/// Sample one predicate with `preds` conjuncts satisfied by the specific
+/// node `v`.
+pub fn sample_predicate_at(
+    g: &Graph,
+    v: rpq_graph::NodeId,
+    preds: usize,
+    rng: &mut StdRng,
+) -> Predicate {
+    let pairs: Vec<_> = g.attrs(v).iter().collect();
+    if pairs.is_empty() {
+        return Predicate::always_true();
+    }
+    let mut atoms = Vec::with_capacity(preds);
+    for i in 0..preds {
+        // avoid near-unique conjuncts (e.g. equality on a key attribute
+        // like the GTD group name): they would collapse candidate sets to
+        // singletons, which no realistic query workload does
+        let mut chosen: Option<PredAtom> = None;
+        for retry in 0..4 {
+            let (attr, value) = pairs[(rng.gen_range(0..pairs.len()) + i) % pairs.len()];
+            let (op, value) = match value {
+                AttrValue::Str(_) => (CompOp::Eq, value.clone()),
+                AttrValue::Int(n) => match rng.gen_range(0..3) {
+                    0 => (CompOp::Le, AttrValue::Int(*n)),
+                    1 => (CompOp::Ge, AttrValue::Int(*n)),
+                    _ => (CompOp::Ne, AttrValue::Int(n.wrapping_add(1))),
+                },
+            };
+            let atom = PredAtom { attr, op, value };
+            let selectivity = g
+                .nodes()
+                .filter(|&x| {
+                    g.attrs(x)
+                        .get(atom.attr)
+                        .is_some_and(|val| val.same_domain(&atom.value) && atom.op.eval(val, &atom.value))
+                })
+                .take(5)
+                .count();
+            if selectivity >= 5 || retry == 3 {
+                chosen = Some(atom);
+                break;
+            }
+        }
+        atoms.push(chosen.expect("retry loop always yields an atom"));
+    }
+    Predicate::new(atoms)
+}
+
+/// Sample one edge constraint `e1^b … ek^b` with `k ∈ 1..=c` distinct
+/// colors from `g`'s alphabet.
+pub fn sample_regex(g: &Graph, bound: u32, c: usize, rng: &mut StdRng) -> FRegex {
+    let m = g.alphabet().len();
+    let k = rng.gen_range(1..=c.max(1)).min(m.max(1));
+    let mut colors: Vec<_> = g.alphabet().colors().collect();
+    // partial Fisher-Yates for k distinct colors
+    for i in 0..k.min(colors.len()) {
+        let j = rng.gen_range(i..colors.len());
+        colors.swap(i, j);
+    }
+    let quant = if bound <= 1 { Quant::One } else { Quant::AtMost(bound) };
+    FRegex::new(
+        colors
+            .into_iter()
+            .take(k)
+            .map(|color| Atom::new(color, quant))
+            .collect(),
+    )
+}
+
+/// Generate one PQ over `g` with the given parameters (deterministic in
+/// `seed`). The pattern's first `|Vp| - 1` edges form a random spanning
+/// tree when `|Ep|` allows, keeping patterns connected as the paper
+/// assumes; extra edges (possibly creating cycles) are added uniformly.
+pub fn generate_pq(g: &Graph, p: &QueryParams, seed: u64) -> Pq {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pq = Pq::new();
+
+    // pools for redundancy mode
+    let pred_pool: Vec<Predicate> = if p.redundant {
+        (0..(p.nodes / 2).max(2))
+            .map(|_| sample_predicate(g, p.preds, &mut rng))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let regex_pool: Vec<FRegex> = if p.redundant {
+        (0..3)
+            .map(|_| sample_regex(g, p.bound, p.colors, &mut rng))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    for i in 0..p.nodes {
+        let pred = if p.redundant {
+            pred_pool[rng.gen_range(0..pred_pool.len())].clone()
+        } else {
+            sample_predicate(g, p.preds, &mut rng)
+        };
+        pq.add_node(&format!("u{i}"), pred);
+    }
+    let mut remaining = p.edges;
+    let next_regex = |rng: &mut StdRng| {
+        if p.redundant {
+            regex_pool[rng.gen_range(0..regex_pool.len())].clone()
+        } else {
+            sample_regex(g, p.bound, p.colors, rng)
+        }
+    };
+    // spanning-tree backbone
+    for i in 1..p.nodes {
+        if remaining == 0 {
+            break;
+        }
+        let parent = rng.gen_range(0..i);
+        let (u, v) = if rng.gen_bool(0.5) { (parent, i) } else { (i, parent) };
+        let re = next_regex(&mut rng);
+        pq.add_edge(u, v, re);
+        remaining -= 1;
+    }
+    // extra edges
+    while remaining > 0 {
+        let u = rng.gen_range(0..p.nodes);
+        let v = rng.gen_range(0..p.nodes);
+        let re = next_regex(&mut rng);
+        pq.add_edge(u, v, re);
+        remaining -= 1;
+    }
+    pq
+}
+
+/// Generate one PQ that is guaranteed to have a **nonempty answer** on
+/// `g` — the paper's "meaningful" queries.
+///
+/// Pattern nodes are *anchored* at data nodes discovered by color-respecting
+/// random walks: the backbone edge from node `j` to node `i` follows an
+/// actual path `x_j ⇝ x_i` whose color segments become the constraint
+/// `c1^b … ck^b` (k ≤ `colors` segments, each ≤ min(b,2) data hops), and
+/// extra edges are added between anchor pairs the distance matrix confirms
+/// reachable. The anchor assignment is then a post-fixpoint of the
+/// revised-simulation refinement, so every query node keeps at least its
+/// anchor as a match.
+pub fn generate_pq_anchored(g: &Graph, m: &DistanceMatrix, p: &QueryParams, seed: u64) -> Pq {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.node_count() as u32;
+    let rand_node = |rng: &mut StdRng| rpq_graph::NodeId(rng.gen_range(0..n));
+
+    // one color-respecting walk segment of 1..=min(b,2) hops, forward
+    // (follow out-edges) or backward (follow in-edges)
+    let walk_segment = |start: rpq_graph::NodeId, forward: bool, rng: &mut StdRng| -> Option<(rpq_graph::NodeId, rpq_graph::Color)> {
+        let adj = |v: rpq_graph::NodeId| if forward { g.out_edges(v) } else { g.in_edges(v) };
+        let outs = adj(start);
+        if outs.is_empty() {
+            return None;
+        }
+        let first = outs[rng.gen_range(0..outs.len())];
+        let color = first.color;
+        let mut cur = first.node;
+        let max_hops = p.bound.clamp(1, 2);
+        for _ in 1..max_hops {
+            if !rng.gen_bool(0.5) {
+                break;
+            }
+            let nexts: Vec<_> = adj(cur).iter().filter(|e| e.color == color).collect();
+            if nexts.is_empty() {
+                break;
+            }
+            cur = nexts[rng.gen_range(0..nexts.len())].node;
+        }
+        Some((cur, color))
+    };
+    let quant = if p.bound <= 1 { Quant::One } else { Quant::AtMost(p.bound) };
+
+    // anchors + backbone: extend from an existing anchor by a forward walk
+    // (edge j → new) or a backward walk (edge new → j). Only the very
+    // first anchor may be re-rooted, and only while no edge exists yet.
+    let mut anchors: Vec<rpq_graph::NodeId> = vec![rand_node(&mut rng)];
+    let mut backbone: Vec<(usize, usize, FRegex)> = Vec::new();
+    let mut stuck = 0;
+    while anchors.len() < p.nodes {
+        let j = rng.gen_range(0..anchors.len());
+        let forward = rng.gen_bool(0.5);
+        let k = rng.gen_range(1..=p.colors.max(1));
+        let mut cur = anchors[j];
+        let mut atoms = Vec::new();
+        for _ in 0..k {
+            match walk_segment(cur, forward, &mut rng) {
+                Some((next, color)) => {
+                    cur = next;
+                    atoms.push(Atom::new(color, quant));
+                }
+                None => break,
+            }
+        }
+        if atoms.is_empty() {
+            stuck += 1;
+            if anchors.len() == 1 && backbone.is_empty() && stuck < 100 {
+                anchors[0] = rand_node(&mut rng);
+            }
+            if stuck > 400 {
+                // pathological graph (no edges at all): give up extending;
+                // remaining nodes become isolated pattern nodes
+                while anchors.len() < p.nodes {
+                    anchors.push(rand_node(&mut rng));
+                }
+                break;
+            }
+            continue;
+        }
+        if !forward {
+            // the walk ran over in-edges from x_j, so the data path and the
+            // atom order run cur → … → x_j: flip both
+            atoms.reverse();
+        }
+        let i = anchors.len();
+        anchors.push(cur);
+        if forward {
+            backbone.push((j, i, FRegex::new(atoms)));
+        } else {
+            backbone.push((i, j, FRegex::new(atoms)));
+        }
+    }
+
+    let mut pq = Pq::new();
+    for (i, &a) in anchors.iter().enumerate() {
+        let pred = sample_predicate_at(g, a, p.preds, &mut rng);
+        pq.add_node(&format!("u{i}"), pred);
+    }
+    for (j, i, re) in backbone {
+        pq.add_edge(j, i, re);
+    }
+    // extra edges between anchors the matrix confirms connected
+    let colors: Vec<_> = g.alphabet().colors().collect();
+    let mut guard = 0;
+    while pq.edge_count() < p.edges && guard < 200 {
+        guard += 1;
+        let j = rng.gen_range(0..p.nodes);
+        let i = rng.gen_range(0..p.nodes);
+        let c = colors[rng.gen_range(0..colors.len())];
+        if m.reaches_within(g, anchors[j], anchors[i], c, Some(p.bound)) {
+            pq.add_edge(j, i, FRegex::atom(c, quant));
+        }
+    }
+    pq
+}
+
+/// Generate a "meaningful" PQ that provably contains redundancy — the
+/// Fig. 10(a) workload.
+///
+/// A smaller anchored base query is generated first, then random nodes are
+/// *duplicated* (same predicate, same out-edges, and copies of the
+/// originals' in-edges) until the requested `|Vp|` is reached. A duplicate
+/// is simulation-equivalent to its original by construction, so `minPQs`
+/// can fold the query back to roughly the base size — mirroring the
+/// paper's observation that its larger generated queries had "a higher
+/// probability to contain redundant nodes and edges" (their (12,18)
+/// queries minimized to (7,9) on average).
+pub fn generate_pq_with_redundancy(
+    g: &Graph,
+    m: &DistanceMatrix,
+    p: &QueryParams,
+    seed: u64,
+) -> Pq {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base_nodes = (p.nodes * 3 / 5).max(2);
+    let base_edges = (p.edges * 3 / 5).max(base_nodes.saturating_sub(1));
+    let base_params = QueryParams {
+        nodes: base_nodes,
+        edges: base_edges,
+        ..*p
+    };
+    let mut pq = generate_pq_anchored(g, m, &base_params, seed);
+    while pq.node_count() < p.nodes {
+        let u = rng.gen_range(0..pq.node_count());
+        let twin = pq.add_node(
+            &format!("{}'", pq.node(u).label.clone()),
+            pq.node(u).pred.clone(),
+        );
+        let outs: Vec<(usize, FRegex)> = pq
+            .out_edges(u)
+            .iter()
+            .map(|&e| (pq.edge(e).to, pq.edge(e).regex.clone()))
+            .collect();
+        for (to, re) in outs {
+            // a self-loop duplicates to a self-loop on the twin
+            let to = if to == u { twin } else { to };
+            pq.add_edge(twin, to, re);
+        }
+        let ins: Vec<(usize, FRegex)> = pq
+            .in_edges(u)
+            .iter()
+            .map(|&e| (pq.edge(e).from, pq.edge(e).regex.clone()))
+            .collect();
+        for (from, re) in ins {
+            if from != u {
+                pq.add_edge(from, twin, re);
+            }
+        }
+    }
+    pq
+}
+
+/// Generate one RQ (the PQ special case with two nodes and one edge) whose
+/// constraint uses exactly `k` distinct colors, each bounded by `b` —
+/// the Fig. 10(b) workload `c1^b … ck^b`.
+pub fn generate_rq(g: &Graph, preds: usize, bound: u32, k: usize, seed: u64) -> Rq {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let from = sample_predicate(g, preds, &mut rng);
+    let to = sample_predicate(g, preds, &mut rng);
+    let m = g.alphabet().len();
+    let k = k.min(m).max(1);
+    let mut colors: Vec<_> = g.alphabet().colors().collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..colors.len());
+        colors.swap(i, j);
+    }
+    let quant = if bound <= 1 { Quant::One } else { Quant::AtMost(bound) };
+    let regex = FRegex::new(
+        colors
+            .into_iter()
+            .take(k)
+            .map(|c| Atom::new(c, quant))
+            .collect(),
+    );
+    Rq::new(from, to, regex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::gen::synthetic;
+
+    #[test]
+    fn generated_pq_respects_parameters() {
+        let g = synthetic(200, 700, 3, 4, 1);
+        let p = QueryParams {
+            nodes: 6,
+            edges: 9,
+            preds: 2,
+            bound: 5,
+            colors: 3,
+            redundant: false,
+        };
+        for seed in 0..10 {
+            let pq = generate_pq(&g, &p, seed);
+            assert_eq!(pq.node_count(), 6);
+            assert_eq!(pq.edge_count(), 9);
+            for n in pq.nodes() {
+                assert_eq!(n.pred.len(), 2);
+            }
+            for e in pq.edges() {
+                assert!((1..=3).contains(&e.regex.len()));
+                for a in e.regex.atoms() {
+                    assert_eq!(a.quant, Quant::AtMost(5));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predicates_are_satisfiable_on_the_graph() {
+        let g = synthetic(100, 300, 3, 4, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let pred = sample_predicate(&g, 3, &mut rng);
+            assert!(
+                g.nodes().any(|v| pred.matches(g.attrs(v))),
+                "unsatisfiable predicate generated"
+            );
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let g = synthetic(100, 300, 3, 4, 2);
+        let p = QueryParams::defaults();
+        assert_eq!(generate_pq(&g, &p, 7), generate_pq(&g, &p, 7));
+        assert_ne!(generate_pq(&g, &p, 7), generate_pq(&g, &p, 8));
+    }
+
+    #[test]
+    fn rq_generator_uses_k_colors() {
+        let g = synthetic(100, 300, 3, 4, 2);
+        for k in 1..=4 {
+            let rq = generate_rq(&g, 3, 5, k, 11);
+            assert_eq!(rq.regex.len(), k);
+            assert_eq!(rq.regex.distinct_colors(), k);
+        }
+    }
+
+    #[test]
+    fn anchored_queries_have_nonempty_answers() {
+        use rpq_core::{JoinMatch, MatrixReach};
+        let g = rpq_graph::gen::terrorism_like(5);
+        let m = DistanceMatrix::build(&g);
+        for seed in 0..8 {
+            for nodes in [3usize, 5, 7] {
+                let p = QueryParams {
+                    nodes,
+                    edges: nodes + 1,
+                    preds: 2,
+                    bound: 2,
+                    colors: 1,
+                    redundant: false,
+                };
+                let pq = generate_pq_anchored(&g, &m, &p, seed);
+                assert_eq!(pq.node_count(), nodes);
+                assert!(pq.edge_count() >= nodes - 1);
+                let res = JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m));
+                assert!(
+                    !res.is_empty(),
+                    "anchored query must match (seed {seed}, nodes {nodes})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn redundant_queries_shrink_under_minimization() {
+        let g = rpq_graph::gen::terrorism_like(5);
+        let m = DistanceMatrix::build(&g);
+        let p = QueryParams {
+            nodes: 10,
+            edges: 15,
+            preds: 2,
+            bound: 3,
+            colors: 2,
+            redundant: false,
+        };
+        let mut shrunk = 0;
+        for seed in 0..5 {
+            let pq = generate_pq_with_redundancy(&g, &m, &p, seed);
+            assert_eq!(pq.node_count(), 10);
+            let slim = rpq_core::minimize(&pq);
+            assert!(rpq_core::pq_equivalent(&slim, &pq), "seed {seed}");
+            assert!(slim.size() <= pq.size());
+            if slim.size() < pq.size() {
+                shrunk += 1;
+            }
+        }
+        assert!(shrunk >= 4, "planted redundancy must usually be removable");
+    }
+
+    #[test]
+    fn anchored_single_color_edges_when_c_is_1() {
+        let g = rpq_graph::gen::terrorism_like(5);
+        let m = DistanceMatrix::build(&g);
+        let p = QueryParams {
+            nodes: 5,
+            edges: 6,
+            preds: 2,
+            bound: 2,
+            colors: 1,
+            redundant: false,
+        };
+        let pq = generate_pq_anchored(&g, &m, &p, 3);
+        for e in pq.edges() {
+            assert_eq!(e.regex.len(), 1, "c = 1 must yield single-atom edges");
+        }
+    }
+
+    #[test]
+    fn redundant_mode_duplicates_predicates() {
+        let g = synthetic(100, 300, 3, 4, 2);
+        let p = QueryParams {
+            nodes: 10,
+            edges: 14,
+            preds: 2,
+            bound: 5,
+            colors: 2,
+            redundant: true,
+        };
+        let pq = generate_pq(&g, &p, 3);
+        // with a pool of ≤5 predicates over 10 nodes, duplicates must occur
+        let mut preds: Vec<String> = (0..pq.node_count())
+            .map(|u| format!("{:?}", pq.node(u).pred))
+            .collect();
+        preds.sort();
+        preds.dedup();
+        assert!(preds.len() < 10);
+    }
+}

@@ -1,0 +1,153 @@
+//! Reachability queries with **general** regular expressions (§7).
+//!
+//! Evaluation carries over from RQs unchanged — the product-space search
+//! only needs an automaton, and [`GNfa`] provides the same interface as
+//! the class-F NFA. What does *not* carry over are the static analyses:
+//! containment/equivalence of general expressions is PSPACE-complete
+//! (Jiang & Ravikumar), so [`GRq`] deliberately exposes no `contained_in`.
+
+use crate::predicate::Predicate;
+use crate::rq::{matches_of, RqResult};
+use rpq_graph::{Graph, NodeId};
+use rpq_regex::{GNfa, GRegex};
+use std::collections::VecDeque;
+
+/// A reachability query whose edge constraint is a general regular
+/// expression, e.g. `"(fa | sa)+ fn"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GRq {
+    /// Search condition on the source node.
+    pub from: Predicate,
+    /// Search condition on the target node.
+    pub to: Predicate,
+    /// The general edge constraint.
+    pub regex: GRegex,
+}
+
+impl GRq {
+    /// Build a general RQ.
+    pub fn new(from: Predicate, to: Predicate, regex: GRegex) -> Self {
+        GRq { from, to, regex }
+    }
+
+    /// Evaluate by forward product-automaton search from every candidate
+    /// source (the BFS strategy; general expressions have no distance-
+    /// matrix decomposition because their atoms are not single colors).
+    pub fn eval(&self, g: &Graph) -> RqResult {
+        let nfa = GNfa::compile(&self.regex);
+        let targets = matches_of(g, &self.to);
+        let mut is_target = vec![false; g.node_count()];
+        for &t in &targets {
+            is_target[t.index()] = true;
+        }
+        let mut pairs = Vec::new();
+        for x in matches_of(g, &self.from) {
+            for y in product_reach_set_general(g, &nfa, x) {
+                if is_target[y.index()] {
+                    pairs.push((x, y));
+                }
+            }
+        }
+        RqResult::from_pairs(pairs)
+    }
+}
+
+/// All nodes `y` with a nonempty path `x ⇝ y` whose colors spell a word of
+/// the general expression — forward BFS over the (node × GNfa state)
+/// product.
+pub fn product_reach_set_general(g: &Graph, nfa: &GNfa, x: NodeId) -> Vec<NodeId> {
+    let states = nfa.state_count();
+    let mut visited = vec![false; g.node_count() * states];
+    let mut hit = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    visited[x.index() * states + nfa.start() as usize] = true;
+    queue.push_back((x, nfa.start()));
+    while let Some((u, s)) = queue.pop_front() {
+        for e in g.out_edges(u) {
+            for t in nfa.successors(s, e.color) {
+                let slot = e.node.index() * states + t as usize;
+                if !visited[slot] {
+                    visited[slot] = true;
+                    if nfa.is_accepting(t) {
+                        hit[e.node.index()] = true;
+                    }
+                    queue.push_back((e.node, t));
+                }
+            }
+        }
+    }
+    hit.iter()
+        .enumerate()
+        .filter(|(_, &h)| h)
+        .map(|(i, _)| NodeId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rq::Rq;
+    use rpq_graph::gen::{essembly, synthetic};
+    use rpq_regex::FRegex;
+
+    #[test]
+    fn union_expresses_more_than_f() {
+        // "(fa | sa)+": allies of either kind, any positive length —
+        // inexpressible in the class F (which has no union of colors
+        // other than the all-colors wildcard)
+        let g = essembly();
+        let grq = GRq::new(
+            Predicate::parse("job = \"biologist\"", g.schema()).unwrap(),
+            Predicate::parse("uid = \"Alice001\"", g.schema()).unwrap(),
+            GRegex::parse("(fa | sa)+", g.alphabet()).unwrap(),
+        );
+        let res = grq.eval(&g);
+        let n = |l: &str| g.node_by_label(l).unwrap();
+        // every biologist reaches D1 through fa/sa chains (e.g. C3 fa C1 sa D1)
+        for c in ["C1", "C2", "C3"] {
+            assert!(res.contains(n(c), n("D1")), "{c} must reach D1");
+        }
+        // the wildcard over-approximates: fn edges would also count
+        let wild = Rq::new(
+            grq.from.clone(),
+            grq.to.clone(),
+            FRegex::parse("_+", g.alphabet()).unwrap(),
+        );
+        let wild_res = wild.eval_bfs(&g);
+        for &(x, y) in res.as_slice() {
+            assert!(wild_res.contains(x, y));
+        }
+    }
+
+    #[test]
+    fn agrees_with_f_class_on_embeddable_constraints() {
+        let g = synthetic(40, 150, 2, 3, 77);
+        for src in ["c0", "c0^2 c1", "c2+", "_^2"] {
+            let f = FRegex::parse(src, g.alphabet()).unwrap();
+            let rq = Rq::new(Predicate::always_true(), Predicate::always_true(), f.clone());
+            let grq = GRq::new(
+                Predicate::always_true(),
+                Predicate::always_true(),
+                GRegex::from_fregex(&f),
+            );
+            assert_eq!(rq.eval_bfs(&g), grq.eval(&g), "constraint {src}");
+        }
+    }
+
+    #[test]
+    fn star_with_anchor() {
+        // "fa* fn": any number of fa hops then one fn
+        let g = essembly();
+        let grq = GRq::new(
+            Predicate::parse("job = \"biologist\"", g.schema()).unwrap(),
+            Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+            GRegex::parse("fa* fn", g.alphabet()).unwrap(),
+        );
+        let res = grq.eval(&g);
+        let n = |l: &str| g.node_by_label(l).unwrap();
+        // C3 matches with zero fa hops (direct fn), C1/C2 with several
+        for c in ["C1", "C2", "C3"] {
+            assert!(res.contains(n(c), n("B1")), "{c}");
+        }
+    }
+}

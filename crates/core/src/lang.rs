@@ -1,0 +1,237 @@
+//! A small textual language for pattern queries.
+//!
+//! The paper defines PQs abstractly; a library users adopt needs a way to
+//! write them down. The grammar is line-oriented:
+//!
+//! ```text
+//! # comment
+//! node B: job = "doctor" && dsp = "cloning";
+//! node C: job = "biologist";
+//! node D;                          # no predicate = match anything
+//! edge B -> C: fn;
+//! edge C -> D: fa^2 sa^2;
+//! edge C -> C: fa+;
+//! ```
+//!
+//! Node predicates use the [`crate::predicate::Predicate::parse`] syntax;
+//! edge constraints use the [`rpq_regex::FRegex::parse`] syntax. Statements
+//! end with `;` (a newline also terminates a statement). [`format_pq`]
+//! prints a query back in this syntax; parsing its output round-trips.
+
+use crate::pq::Pq;
+use crate::predicate::{PredParseError, Predicate};
+use rpq_graph::{Alphabet, Schema};
+use rpq_regex::{FRegex, ParseError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a query text failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// A statement is neither `node …` nor `edge …`.
+    BadStatement(usize, String),
+    /// Node declared twice.
+    DuplicateNode(usize, String),
+    /// Edge references an undeclared node.
+    UnknownNode(usize, String),
+    /// The predicate after `:` failed to parse.
+    BadPredicate(usize, PredParseError),
+    /// The regex after `:` failed to parse.
+    BadRegex(usize, ParseError),
+    /// `edge` without `->`.
+    MissingArrow(usize, String),
+    /// Edge without a constraint (every PQ edge carries one).
+    MissingConstraint(usize, String),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::BadStatement(l, s) => write!(f, "line {l}: unrecognized statement {s:?}"),
+            LangError::DuplicateNode(l, n) => write!(f, "line {l}: node {n:?} declared twice"),
+            LangError::UnknownNode(l, n) => write!(f, "line {l}: unknown node {n:?}"),
+            LangError::BadPredicate(l, e) => write!(f, "line {l}: bad predicate: {e}"),
+            LangError::BadRegex(l, e) => write!(f, "line {l}: bad edge constraint: {e}"),
+            LangError::MissingArrow(l, s) => write!(f, "line {l}: edge needs '->': {s:?}"),
+            LangError::MissingConstraint(l, s) => {
+                write!(f, "line {l}: edge needs a ': <regex>' constraint: {s:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Parse a query text against a graph vocabulary.
+pub fn parse_pq(input: &str, schema: &Schema, alphabet: &Alphabet) -> Result<Pq, LangError> {
+    let mut pq = Pq::new();
+    let mut ids: HashMap<String, usize> = HashMap::new();
+
+    for (lineno, raw_line) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let uncommented = raw_line.split('#').next().unwrap_or("");
+        for stmt in uncommented.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("node ") {
+                let (name, pred_src) = match rest.split_once(':') {
+                    Some((n, p)) => (n.trim(), p.trim()),
+                    None => (rest.trim(), ""),
+                };
+                if ids.contains_key(name) {
+                    return Err(LangError::DuplicateNode(line, name.to_owned()));
+                }
+                let pred = Predicate::parse(pred_src, schema)
+                    .map_err(|e| LangError::BadPredicate(line, e))?;
+                let id = pq.add_node(name, pred);
+                ids.insert(name.to_owned(), id);
+            } else if let Some(rest) = stmt.strip_prefix("edge ") {
+                let (endpoints, regex_src) = match rest.split_once(':') {
+                    Some((e, r)) => (e.trim(), r.trim()),
+                    None => return Err(LangError::MissingConstraint(line, rest.to_owned())),
+                };
+                let (from, to) = endpoints
+                    .split_once("->")
+                    .map(|(a, b)| (a.trim(), b.trim()))
+                    .ok_or_else(|| LangError::MissingArrow(line, endpoints.to_owned()))?;
+                let &fid = ids
+                    .get(from)
+                    .ok_or_else(|| LangError::UnknownNode(line, from.to_owned()))?;
+                let &tid = ids
+                    .get(to)
+                    .ok_or_else(|| LangError::UnknownNode(line, to.to_owned()))?;
+                let regex = FRegex::parse(regex_src, alphabet)
+                    .map_err(|e| LangError::BadRegex(line, e))?;
+                pq.add_edge(fid, tid, regex);
+            } else {
+                return Err(LangError::BadStatement(line, stmt.to_owned()));
+            }
+        }
+    }
+    Ok(pq)
+}
+
+/// Print a query in the language's syntax (round-trips through
+/// [`parse_pq`]).
+pub fn format_pq(pq: &Pq, schema: &Schema, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    for n in pq.nodes() {
+        if n.pred.is_trivial() {
+            out.push_str(&format!("node {};\n", n.label));
+        } else {
+            out.push_str(&format!("node {}: {};\n", n.label, n.pred.display(schema)));
+        }
+    }
+    for e in pq.edges() {
+        out.push_str(&format!(
+            "edge {} -> {}: {};\n",
+            pq.node(e.from).label,
+            pq.node(e.to).label,
+            e.regex.display(alphabet)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join_match::JoinMatch;
+    use crate::reach::MatrixReach;
+    use rpq_graph::gen::essembly;
+    use rpq_graph::DistanceMatrix;
+
+    const Q2_TEXT: &str = r#"
+        # the paper's Q2 (Fig. 1)
+        node B: job = "doctor" && dsp = "cloning";
+        node C: job = "biologist" && sp = "cloning";
+        node D: uid = "Alice001";
+        edge B -> C: fn;
+        edge C -> B: fn;
+        edge C -> C: fa+;
+        edge B -> D: fn;
+        edge C -> D: fa^2 sa^2;
+    "#;
+
+    #[test]
+    fn parse_q2_and_evaluate() {
+        let g = essembly();
+        let pq = parse_pq(Q2_TEXT, g.schema(), g.alphabet()).unwrap();
+        assert_eq!(pq.node_count(), 3);
+        assert_eq!(pq.edge_count(), 5);
+        let m = DistanceMatrix::build(&g);
+        let res = JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m));
+        assert_eq!(res.size(), 8); // Example 2.3's table
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = essembly();
+        let pq = parse_pq(Q2_TEXT, g.schema(), g.alphabet()).unwrap();
+        let text = format_pq(&pq, g.schema(), g.alphabet());
+        let again = parse_pq(&text, g.schema(), g.alphabet()).unwrap();
+        assert_eq!(pq, again);
+    }
+
+    #[test]
+    fn nodes_without_predicates_and_inline_statements() {
+        let g = essembly();
+        let pq = parse_pq(
+            "node A; node B; edge A -> B: fa; edge B -> A: fn^3",
+            g.schema(),
+            g.alphabet(),
+        )
+        .unwrap();
+        assert_eq!(pq.node_count(), 2);
+        assert!(pq.node(0).pred.is_trivial());
+        assert_eq!(pq.edge(1).regex.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let g = essembly();
+        let err = |t: &str| parse_pq(t, g.schema(), g.alphabet()).unwrap_err();
+        assert!(matches!(err("frob A"), LangError::BadStatement(1, _)));
+        assert!(matches!(
+            err("node A;\nnode A;"),
+            LangError::DuplicateNode(2, _)
+        ));
+        assert!(matches!(
+            err("node A;\nedge A -> Z: fa;"),
+            LangError::UnknownNode(2, _)
+        ));
+        assert!(matches!(
+            err("node A: bogus = 1;"),
+            LangError::BadPredicate(1, _)
+        ));
+        assert!(matches!(
+            err("node A;\nnode B;\nedge A -> B: zz;"),
+            LangError::BadRegex(3, _)
+        ));
+        assert!(matches!(
+            err("node A;\nedge A B: fa;"),
+            LangError::MissingArrow(2, _)
+        ));
+        assert!(matches!(
+            err("node A;\nedge A -> A"),
+            LangError::MissingConstraint(2, _)
+        ));
+        // display formatting smoke test
+        assert!(err("frob A").to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let g = essembly();
+        let pq = parse_pq(
+            "# heading\nnode A: job = \"doctor\"; # trailing\n\n# edge X -> Y: zz\n",
+            g.schema(),
+            g.alphabet(),
+        )
+        .unwrap();
+        assert_eq!(pq.node_count(), 1);
+        assert_eq!(pq.edge_count(), 0);
+    }
+}

@@ -1,0 +1,521 @@
+//! Node search conditions.
+//!
+//! A query node carries a predicate: a conjunction of atomic formulas
+//! `A op a` with `op ∈ {<, ≤, =, ≠, >, ≥}` (§2). A data node `v` *matches*
+//! a query node `u` (written `v ∼ u`) if every atom holds on `f_A(v)`.
+//!
+//! [`Predicate::implies`] is the syntactic implication test from the proof
+//! of Prop. 3.3, used by the containment analyses: `p.implies(q)` holds iff
+//! every atom of `q` is implied by the bounds/equalities/inequalities `p`
+//! places on the same attribute. It is sound, and complete for the
+//! case analysis the paper defines (it deliberately does not do
+//! integer-gap reasoning such as `A>3 ∧ A<5 ⟹ A=4`, nor detect
+//! unsatisfiable antecedents).
+
+use rpq_graph::{AttrId, AttrValue, Attrs, Schema};
+use std::fmt;
+
+/// Comparison operator of an atomic formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompOp {
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CompOp {
+    /// Apply the operator to ordered values.
+    #[inline]
+    pub fn eval(self, lhs: &AttrValue, rhs: &AttrValue) -> bool {
+        match self {
+            CompOp::Lt => lhs < rhs,
+            CompOp::Le => lhs <= rhs,
+            CompOp::Eq => lhs == rhs,
+            CompOp::Ne => lhs != rhs,
+            CompOp::Gt => lhs > rhs,
+            CompOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompOp::Lt => "<",
+            CompOp::Le => "<=",
+            CompOp::Eq => "=",
+            CompOp::Ne => "!=",
+            CompOp::Gt => ">",
+            CompOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One atomic formula `A op a`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PredAtom {
+    /// The attribute `A`.
+    pub attr: AttrId,
+    /// The comparison.
+    pub op: CompOp,
+    /// The constant `a`.
+    pub value: AttrValue,
+}
+
+/// A conjunction of atomic formulas. The empty conjunction is `true` — the
+/// predicate of the paper's *dummy nodes*, which "bear no condition".
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    atoms: Vec<PredAtom>,
+}
+
+impl Predicate {
+    /// The trivial predicate (matches every node).
+    pub fn always_true() -> Self {
+        Predicate::default()
+    }
+
+    /// Build from atoms.
+    pub fn new(atoms: Vec<PredAtom>) -> Self {
+        Predicate { atoms }
+    }
+
+    /// Convenience: single equality `A = a`.
+    pub fn eq(attr: AttrId, value: AttrValue) -> Self {
+        Predicate::new(vec![PredAtom {
+            attr,
+            op: CompOp::Eq,
+            value,
+        }])
+    }
+
+    /// Add one more conjunct (builder style).
+    pub fn and(mut self, attr: AttrId, op: CompOp, value: AttrValue) -> Self {
+        self.atoms.push(PredAtom { attr, op, value });
+        self
+    }
+
+    /// The conjuncts.
+    pub fn atoms(&self) -> &[PredAtom] {
+        &self.atoms
+    }
+
+    /// True for the empty conjunction.
+    pub fn is_trivial(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Number of conjuncts (the experiment parameter `|pred|`).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True if there are no conjuncts.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Does the node tuple `attrs` satisfy every conjunct (`v ∼ u`)?
+    ///
+    /// A missing attribute, or one from the other value domain, fails the
+    /// conjunct — the paper requires "there exists an attribute A in
+    /// `f_A(v)`" with the stated comparison.
+    pub fn matches(&self, attrs: &Attrs) -> bool {
+        self.atoms.iter().all(|a| match attrs.get(a.attr) {
+            Some(v) if v.same_domain(&a.value) => a.op.eval(v, &a.value),
+            _ => false,
+        })
+    }
+
+    /// Syntactic implication: does `self ⟹ other` hold (every node matching
+    /// `self` matches `other`)?
+    ///
+    /// This is the paper's `u ⊢ w` once lifted to nodes: `u ⊢ w` iff
+    /// `pred(u).implies(pred(w))`.
+    pub fn implies(&self, other: &Predicate) -> bool {
+        other.atoms.iter().all(|a| self.implies_atom(a))
+    }
+
+    /// Case analysis from the proof of Prop. 3.3. All bounds are derived
+    /// from `self`'s conjuncts on the same attribute and domain.
+    fn implies_atom(&self, goal: &PredAtom) -> bool {
+        // derived bounds from self on goal.attr (same domain only)
+        let mut eq: Option<&AttrValue> = None;
+        let mut lo: Option<(&AttrValue, bool)> = None; // (bound, strict)
+        let mut hi: Option<(&AttrValue, bool)> = None;
+        let mut ne_exact = false;
+        for a in &self.atoms {
+            if a.attr != goal.attr || !a.value.same_domain(&goal.value) {
+                continue;
+            }
+            match a.op {
+                CompOp::Eq => {
+                    eq = Some(&a.value);
+                    tighten_lo(&mut lo, &a.value, false);
+                    tighten_hi(&mut hi, &a.value, false);
+                }
+                CompOp::Ge => tighten_lo(&mut lo, &a.value, false),
+                CompOp::Gt => tighten_lo(&mut lo, &a.value, true),
+                CompOp::Le => tighten_hi(&mut hi, &a.value, false),
+                CompOp::Lt => tighten_hi(&mut hi, &a.value, true),
+                CompOp::Ne => {
+                    if a.value == goal.value {
+                        ne_exact = true;
+                    }
+                }
+            }
+        }
+        let g = &goal.value;
+        match goal.op {
+            // Case (a): A = a implied iff the derived bounds pin A to a,
+            // or A = a appears verbatim.
+            CompOp::Eq => {
+                eq == Some(g)
+                    || (lo == Some((g, false)) && hi == Some((g, false)))
+            }
+            // Case (b): A ≤ a implied iff some upper bound is at most a.
+            CompOp::Le => match (eq, hi) {
+                (Some(e), _) if e <= g => true,
+                (_, Some((h, _))) => h <= g,
+                _ => false,
+            },
+            // Case (c): strict/other inequalities, analogous.
+            CompOp::Lt => match (eq, hi) {
+                (Some(e), _) if e < g => true,
+                (_, Some((h, strict))) => h < g || (h == g && strict),
+                _ => false,
+            },
+            CompOp::Ge => match (eq, lo) {
+                (Some(e), _) if e >= g => true,
+                (_, Some((l, _))) => l >= g,
+                _ => false,
+            },
+            CompOp::Gt => match (eq, lo) {
+                (Some(e), _) if e > g => true,
+                (_, Some((l, strict))) => l > g || (l == g && strict),
+                _ => false,
+            },
+            // Case (d): A ≠ a implied iff A = e with e ≠ a, or A ≠ a
+            // appears, or the bounds exclude a.
+            CompOp::Ne => {
+                ne_exact
+                    || matches!(eq, Some(e) if e != g)
+                    || matches!(lo, Some((l, strict)) if l > g || (l == g && strict))
+                    || matches!(hi, Some((h, strict)) if h < g || (h == g && strict))
+            }
+        }
+    }
+
+    /// Render with attribute names from `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        DisplayPred { p: self, schema }
+    }
+}
+
+fn tighten_lo<'a>(lo: &mut Option<(&'a AttrValue, bool)>, v: &'a AttrValue, strict: bool) {
+    let better = match *lo {
+        None => true,
+        Some((cur, cur_strict)) => v > cur || (v == cur && strict && !cur_strict),
+    };
+    if better {
+        *lo = Some((v, strict));
+    }
+}
+
+fn tighten_hi<'a>(hi: &mut Option<(&'a AttrValue, bool)>, v: &'a AttrValue, strict: bool) {
+    let better = match *hi {
+        None => true,
+        Some((cur, cur_strict)) => v < cur || (v == cur && strict && !cur_strict),
+    };
+    if better {
+        *hi = Some((v, strict));
+    }
+}
+
+struct DisplayPred<'a> {
+    p: &'a Predicate,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DisplayPred<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.p.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, a) in self.p.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " && ")?;
+            }
+            write!(f, "{} {} {}", self.schema.name(a.attr), a.op, a.value)?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a predicate string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredParseError {
+    /// Attribute name not in the schema.
+    UnknownAttr(String),
+    /// Conjunct without a recognizable operator.
+    NoOperator(String),
+    /// Right-hand side was neither an integer nor a quoted string.
+    BadValue(String),
+}
+
+impl fmt::Display for PredParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredParseError::UnknownAttr(a) => write!(f, "unknown attribute {a:?}"),
+            PredParseError::NoOperator(c) => write!(f, "no comparison operator in {c:?}"),
+            PredParseError::BadValue(v) => write!(f, "bad constant {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PredParseError {}
+
+impl Predicate {
+    /// Parse `"job = \"doctor\" && age > 300"` against `schema`. Integer
+    /// constants are bare; string constants are double-quoted. The empty
+    /// string parses to the trivial predicate.
+    pub fn parse(input: &str, schema: &Schema) -> Result<Self, PredParseError> {
+        let mut atoms = Vec::new();
+        for conjunct in input.split("&&") {
+            let conjunct = conjunct.trim();
+            if conjunct.is_empty() {
+                continue;
+            }
+            // longest operators first
+            let op_table = [
+                ("<=", CompOp::Le),
+                (">=", CompOp::Ge),
+                ("!=", CompOp::Ne),
+                ("<", CompOp::Lt),
+                (">", CompOp::Gt),
+                ("=", CompOp::Eq),
+            ];
+            let (idx, opstr, op) = op_table
+                .iter()
+                .filter_map(|&(s, o)| conjunct.find(s).map(|i| (i, s, o)))
+                .min_by_key(|&(i, s, _)| (i, std::cmp::Reverse(s.len())))
+                .ok_or_else(|| PredParseError::NoOperator(conjunct.to_owned()))?;
+            let name = conjunct[..idx].trim();
+            let rhs = conjunct[idx + opstr.len()..].trim();
+            let attr = schema
+                .get(name)
+                .ok_or_else(|| PredParseError::UnknownAttr(name.to_owned()))?;
+            let value = if let Some(stripped) = rhs.strip_prefix('"') {
+                let inner = stripped
+                    .strip_suffix('"')
+                    .ok_or_else(|| PredParseError::BadValue(rhs.to_owned()))?;
+                AttrValue::Str(inner.to_owned())
+            } else {
+                rhs.parse::<i64>()
+                    .map(AttrValue::Int)
+                    .map_err(|_| PredParseError::BadValue(rhs.to_owned()))?
+            };
+            atoms.push(PredAtom { attr, op, value });
+        }
+        Ok(Predicate::new(atoms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.intern("job");
+        s.intern("age");
+        s.intern("view");
+        s
+    }
+
+    fn attrs(s: &Schema, job: &str, age: i64) -> Attrs {
+        Attrs::from_pairs(vec![
+            (s.get("job").unwrap(), AttrValue::Str(job.into())),
+            (s.get("age").unwrap(), AttrValue::Int(age)),
+        ])
+    }
+
+    #[test]
+    fn parse_and_match() {
+        let s = schema();
+        let p = Predicate::parse("job = \"doctor\" && age > 300", &s).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.matches(&attrs(&s, "doctor", 400)));
+        assert!(!p.matches(&attrs(&s, "doctor", 300)));
+        assert!(!p.matches(&attrs(&s, "biologist", 400)));
+    }
+
+    #[test]
+    fn parse_all_ops_and_errors() {
+        let s = schema();
+        for (txt, op) in [
+            ("age < 5", CompOp::Lt),
+            ("age <= 5", CompOp::Le),
+            ("age = 5", CompOp::Eq),
+            ("age != 5", CompOp::Ne),
+            ("age > 5", CompOp::Gt),
+            ("age >= 5", CompOp::Ge),
+        ] {
+            let p = Predicate::parse(txt, &s).unwrap();
+            assert_eq!(p.atoms()[0].op, op, "{txt}");
+        }
+        assert!(matches!(
+            Predicate::parse("bogus = 1", &s),
+            Err(PredParseError::UnknownAttr(_))
+        ));
+        assert!(matches!(
+            Predicate::parse("age 5", &s),
+            Err(PredParseError::NoOperator(_))
+        ));
+        assert!(matches!(
+            Predicate::parse("age = abc", &s),
+            Err(PredParseError::BadValue(_))
+        ));
+        assert!(matches!(
+            Predicate::parse("job = \"unclosed", &s),
+            Err(PredParseError::BadValue(_))
+        ));
+        assert!(Predicate::parse("", &s).unwrap().is_trivial());
+    }
+
+    #[test]
+    fn trivial_matches_everything() {
+        let s = schema();
+        let t = Predicate::always_true();
+        assert!(t.matches(&attrs(&s, "x", 0)));
+        assert!(t.matches(&Attrs::new()));
+    }
+
+    #[test]
+    fn missing_or_mistyped_attr_fails() {
+        let s = schema();
+        let p = Predicate::parse("view > 10", &s).unwrap();
+        assert!(!p.matches(&attrs(&s, "doctor", 400)));
+        // age is Int; a string comparison on it must fail, not panic
+        let q = Predicate::parse("age = \"old\"", &s).unwrap();
+        assert!(!q.matches(&attrs(&s, "doctor", 400)));
+    }
+
+    #[test]
+    fn implication_equalities() {
+        let s = schema();
+        let p = Predicate::parse("job = \"doctor\" && age = 10", &s).unwrap();
+        let q = Predicate::parse("job = \"doctor\"", &s).unwrap();
+        assert!(p.implies(&q));
+        assert!(!q.implies(&p));
+        // everything implies the trivial predicate
+        assert!(p.implies(&Predicate::always_true()));
+        assert!(q.implies(&q));
+    }
+
+    #[test]
+    fn implication_bounds() {
+        let s = schema();
+        let imp = |a: &str, b: &str| {
+            Predicate::parse(a, &s)
+                .unwrap()
+                .implies(&Predicate::parse(b, &s).unwrap())
+        };
+        assert!(imp("age > 10", "age > 5"));
+        assert!(imp("age > 10", "age >= 10"));
+        assert!(imp("age >= 10", "age > 9"));
+        assert!(!imp("age >= 10", "age > 10"));
+        assert!(imp("age < 3", "age <= 3"));
+        assert!(imp("age <= 3", "age < 4"));
+        assert!(!imp("age < 5", "age < 4"));
+        assert!(imp("age = 7", "age >= 7"));
+        assert!(imp("age = 7", "age <= 7"));
+        assert!(imp("age = 7", "age > 6"));
+        assert!(imp("age >= 7 && age <= 7", "age = 7"));
+        assert!(!imp("age >= 6 && age <= 8", "age = 7"));
+    }
+
+    #[test]
+    fn implication_ne() {
+        let s = schema();
+        let imp = |a: &str, b: &str| {
+            Predicate::parse(a, &s)
+                .unwrap()
+                .implies(&Predicate::parse(b, &s).unwrap())
+        };
+        assert!(imp("age != 5", "age != 5"));
+        assert!(imp("age = 4", "age != 5"));
+        assert!(!imp("age = 5", "age != 5"));
+        assert!(imp("age > 5", "age != 5"));
+        assert!(imp("age < 5", "age != 5"));
+        assert!(imp("age >= 6", "age != 5"));
+        assert!(!imp("age >= 5", "age != 5"));
+    }
+
+    #[test]
+    fn implication_strings() {
+        let s = schema();
+        let p = Predicate::parse("job = \"doctor\"", &s).unwrap();
+        let q = Predicate::parse("job != \"biologist\"", &s).unwrap();
+        assert!(p.implies(&q));
+        let r = Predicate::parse("job >= \"d\"", &s).unwrap();
+        assert!(p.implies(&r)); // "doctor" >= "d" lexicographically
+    }
+
+    #[test]
+    fn implication_is_sound_on_samples() {
+        // brute-force soundness: whenever implies() says yes, every matching
+        // tuple of p matches q
+        let s = schema();
+        let age = s.get("age").unwrap();
+        let preds: Vec<Predicate> = [
+            "age > 3",
+            "age >= 3",
+            "age < 7",
+            "age <= 7",
+            "age = 5",
+            "age != 5",
+            "age > 3 && age < 7",
+            "age >= 5 && age <= 5",
+            "",
+        ]
+        .iter()
+        .map(|t| Predicate::parse(t, &s).unwrap())
+        .collect();
+        for p in &preds {
+            for q in &preds {
+                if p.implies(q) {
+                    for v in -1..12i64 {
+                        let a = Attrs::from_pairs(vec![(age, AttrValue::Int(v))]);
+                        if p.matches(&a) {
+                            assert!(
+                                q.matches(&a),
+                                "unsound: {:?} implies {:?} but v={v}",
+                                p,
+                                q
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        let s = schema();
+        let p = Predicate::parse("job = \"doctor\" && age > 300", &s).unwrap();
+        assert_eq!(p.display(&s).to_string(), "job = \"doctor\" && age > 300");
+        assert_eq!(Predicate::always_true().display(&s).to_string(), "true");
+    }
+}

@@ -1,0 +1,447 @@
+//! Reachability queries (RQs) and their three evaluation strategies (§2, §4).
+//!
+//! An RQ `(u1, u2, f_{u1}, f_{u2}, fe)` asks for all node pairs `(v1, v2)`
+//! such that `v1 ∼ u1`, `v2 ∼ u2`, and some **nonempty** path `v1 ⇝ v2`
+//! spells a word of `L(fe)`.
+//!
+//! Evaluation strategies, named as in Fig. 10(b):
+//!
+//! * **DM** ([`Rq::eval_with_matrix`]) — decompose `fe` into single-color
+//!   atoms via dummy nodes, evaluate right-to-left with O(1) matrix probes,
+//!   then compose the partial results (§4, "Matrix-based method").
+//! * **biBFS** ([`Rq::eval_bibfs`]) — no index: expand from candidate
+//!   sources and (backward) from candidate targets, meeting in the middle
+//!   of the expression (§4, "Bi-directional search").
+//! * **BFS** ([`Rq::eval_bfs`]) — plain forward product-automaton search
+//!   from every candidate source; the uncached baseline.
+
+use crate::predicate::Predicate;
+use crate::reach::product_reach_set;
+use rpq_graph::algo::{bfs_distances, Direction};
+use rpq_graph::{DistanceMatrix, Graph, NodeId};
+use rpq_regex::{Atom, FRegex, Nfa};
+use std::collections::HashMap;
+
+/// A reachability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rq {
+    /// Search condition on the source node (`f_{u1}`).
+    pub from: Predicate,
+    /// Search condition on the target node (`f_{u2}`).
+    pub to: Predicate,
+    /// The edge constraint `fe ∈ F`.
+    pub regex: FRegex,
+}
+
+/// Result of an RQ: the sorted set of matching `(source, target)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RqResult {
+    pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl RqResult {
+    fn new(pairs: Vec<(NodeId, NodeId)>) -> Self {
+        Self::from_pairs(pairs)
+    }
+
+    /// Build a result from raw pairs (sorted and deduplicated here).
+    pub fn from_pairs(mut pairs: Vec<(NodeId, NodeId)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        RqResult { pairs }
+    }
+
+    /// The matching pairs, sorted.
+    pub fn pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.pairs.clone()
+    }
+
+    /// Borrowed view of the matching pairs.
+    pub fn as_slice(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
+    /// Number of matching pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if no pair matched.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: NodeId, y: NodeId) -> bool {
+        self.pairs.binary_search(&(x, y)).is_ok()
+    }
+}
+
+/// All data nodes satisfying `pred`.
+pub fn matches_of(g: &Graph, pred: &Predicate) -> Vec<NodeId> {
+    g.nodes().filter(|&v| pred.matches(g.attrs(v))).collect()
+}
+
+impl Rq {
+    /// Build an RQ.
+    pub fn new(from: Predicate, to: Predicate, regex: FRegex) -> Self {
+        Rq { from, to, regex }
+    }
+
+    /// Candidate sources (`v ∼ u1`).
+    pub fn matches_from(&self, g: &Graph) -> Vec<NodeId> {
+        matches_of(g, &self.from)
+    }
+
+    /// Candidate targets (`v ∼ u2`).
+    pub fn matches_to(&self, g: &Graph) -> Vec<NodeId> {
+        matches_of(g, &self.to)
+    }
+
+    /// **BFS** strategy: forward product-automaton search from every
+    /// candidate source. O(|mat(u1)| · |F-states| · (|V| + |E|)).
+    pub fn eval_bfs(&self, g: &Graph) -> RqResult {
+        let nfa = Nfa::from_regex(&self.regex);
+        let targets = self.matches_to(g);
+        let is_target = node_mask(g, &targets);
+        let mut pairs = Vec::new();
+        for x in self.matches_from(g) {
+            for y in product_reach_set(g, &nfa, x) {
+                if is_target[y.index()] {
+                    pairs.push((x, y));
+                }
+            }
+        }
+        RqResult::new(pairs)
+    }
+
+    /// **DM** strategy (§4): decompose `fe` into single-color atoms (the
+    /// dummy-node rewrite) and evaluate with matrix probes.
+    ///
+    /// Implementation notes: per-atom reachability is read off *contiguous
+    /// matrix rows* (streaming scans instead of random probes — the same
+    /// O(|V|²·h) bound, far better constants). The candidate sets are
+    /// pruned in both directions before pairs are composed: forward masks
+    /// from the sources, then backward masks from the targets inside the
+    /// forward ones, then per-source composition inside the backward ones —
+    /// the paper's "compose these partial results" with the search space
+    /// already cut to nodes that can both be reached and complete a match.
+    pub fn eval_with_matrix(&self, g: &Graph, m: &DistanceMatrix) -> RqResult {
+        let atoms = self.regex.atoms();
+        let h = atoms.len();
+        let n = g.node_count();
+        let sources = self.matches_from(g);
+        let targets = self.matches_to(g);
+        if sources.is_empty() || targets.is_empty() {
+            return RqResult::new(Vec::new());
+        }
+
+        // one row scan: all z with a nonempty ≤k path from w (diagonal via
+        // the explicit cycle test)
+        let scan = |w: NodeId, atom: &Atom, hit: &mut dyn FnMut(usize)| {
+            let k = atom.quant.max_or_infinite();
+            let row = m.row(w, atom.color);
+            for (z, &d) in row.iter().enumerate() {
+                if d >= 1 && d != rpq_graph::INFINITY && u64::from(d) <= k.min(u64::from(u16::MAX)) {
+                    hit(z);
+                }
+            }
+            if m.has_cycle_within(g, w, atom.color, atom.quant.max()) {
+                hit(w.index());
+            }
+        };
+
+        // forward masks: fwd[i] = nodes reachable from a source through
+        // atoms 0..i
+        let mut fwd: Vec<Vec<bool>> = Vec::with_capacity(h + 1);
+        fwd.push(node_mask(g, &sources));
+        for atom in atoms {
+            let prev = fwd.last().expect("nonempty");
+            let mut next = vec![false; n];
+            for (w, &live) in prev.iter().enumerate() {
+                if live {
+                    scan(NodeId(w as u32), atom, &mut |z| next[z] = true);
+                }
+            }
+            if next.iter().all(|&b| !b) {
+                return RqResult::new(Vec::new());
+            }
+            fwd.push(next);
+        }
+
+        // backward bitset propagation over target sets: D_i[x] = the set of
+        // *targets* reachable from x by completing atoms i..h. One pass per
+        // atom over the forward-reachable rows; cost is independent of how
+        // many sources there are, and the final pairs are read off D_0
+        // directly — the "composition of partial results".
+        let kept_targets: Vec<NodeId> = targets
+            .iter()
+            .copied()
+            .filter(|y| fwd[h][y.index()])
+            .collect();
+        if kept_targets.is_empty() {
+            return RqResult::new(Vec::new());
+        }
+        let words = kept_targets.len().div_ceil(64);
+        let mut d = vec![0u64; n * words];
+        for (ti, y) in kept_targets.iter().enumerate() {
+            d[y.index() * words + ti / 64] |= 1 << (ti % 64);
+        }
+        let mut acc = vec![0u64; words];
+        for i in (0..h).rev() {
+            let mut d_new = vec![0u64; n * words];
+            for x in 0..n {
+                if !fwd[i][x] {
+                    continue;
+                }
+                acc.iter_mut().for_each(|w| *w = 0);
+                scan(NodeId(x as u32), &atoms[i], &mut |z| {
+                    let src = &d[z * words..(z + 1) * words];
+                    for (a, &s) in acc.iter_mut().zip(src) {
+                        *a |= s;
+                    }
+                });
+                d_new[x * words..(x + 1) * words].copy_from_slice(&acc);
+            }
+            d = d_new;
+        }
+
+        let mut pairs = Vec::new();
+        for &x in &sources {
+            let bits = &d[x.index() * words..(x.index() + 1) * words];
+            for (w, &word) in bits.iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let b = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    pairs.push((x, kept_targets[w * 64 + b]));
+                }
+            }
+        }
+        RqResult::new(pairs)
+    }
+
+    /// **biBFS** strategy (§4): split the expression in the middle; expand
+    /// candidate sources forward through the prefix and candidate targets
+    /// backward through the suffix, then join on the meeting nodes.
+    pub fn eval_bibfs(&self, g: &Graph) -> RqResult {
+        let atoms = self.regex.atoms();
+        let sources = self.matches_from(g);
+        let targets = self.matches_to(g);
+        if sources.is_empty() || targets.is_empty() {
+            return RqResult::new(Vec::new());
+        }
+        // expand the smaller candidate set through the longer half
+        let mid = if sources.len() <= targets.len() {
+            atoms.len().div_ceil(2)
+        } else {
+            atoms.len() / 2
+        };
+        let (front, back) = atoms.split_at(mid);
+
+        // forward: x -> set of middle nodes
+        let mut mid_to_sources: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        if front.is_empty() {
+            for &x in &sources {
+                mid_to_sources.entry(x).or_default().push(x);
+            }
+        } else {
+            let f_re = FRegex::new(front.to_vec());
+            let f_nfa = Nfa::from_regex(&f_re);
+            for &x in &sources {
+                for mnode in product_reach_set(g, &f_nfa, x) {
+                    mid_to_sources.entry(mnode).or_default().push(x);
+                }
+            }
+        }
+
+        let mut pairs = Vec::new();
+        if back.is_empty() {
+            for (&mnode, xs) in &mid_to_sources {
+                if self.to.matches(g.attrs(mnode)) {
+                    pairs.extend(xs.iter().map(|&x| (x, mnode)));
+                }
+            }
+        } else {
+            let b_re = FRegex::new(back.to_vec());
+            for &y in &targets {
+                for mnode in backward_reach_set(g, &b_re, y) {
+                    if let Some(xs) = mid_to_sources.get(&mnode) {
+                        pairs.extend(xs.iter().map(|&x| (x, y)));
+                    }
+                }
+            }
+        }
+        RqResult::new(pairs)
+    }
+}
+
+fn node_mask(g: &Graph, nodes: &[NodeId]) -> Vec<bool> {
+    let mut mask = vec![false; g.node_count()];
+    for &v in nodes {
+        mask[v.index()] = true;
+    }
+    mask
+}
+
+/// All nodes `x` such that `(x, y) ⊨ re`, by *backward* product search from
+/// `y` (the mirror of [`product_reach_set`]).
+pub fn backward_reach_set(g: &Graph, re: &FRegex, y: NodeId) -> Vec<NodeId> {
+    let nfa = Nfa::from_regex(re);
+    let states = nfa.state_count();
+    let mut visited = vec![false; g.node_count() * states];
+    let mut queue = std::collections::VecDeque::new();
+    for a in nfa.accepting_states() {
+        visited[y.index() * states + a as usize] = true;
+        queue.push_back((y, a));
+    }
+    let mut hit = vec![false; g.node_count()];
+    while let Some((v, t)) = queue.pop_front() {
+        for e in g.in_edges(v) {
+            for s in nfa.predecessors(t, e.color) {
+                let slot = e.node.index() * states + s as usize;
+                if !visited[slot] {
+                    visited[slot] = true;
+                    if s == nfa.start() {
+                        hit[e.node.index()] = true;
+                    }
+                    queue.push_back((e.node, s));
+                }
+            }
+        }
+    }
+    hit.iter()
+        .enumerate()
+        .filter(|(_, &h)| h)
+        .map(|(i, _)| NodeId(i as u32))
+        .collect()
+}
+
+/// Per-color single-pair distance via bi-directional BFS with no index —
+/// exposed for the RQ experiments (Fig. 10(b) probes single colors).
+pub fn pair_distance(g: &Graph, x: NodeId, y: NodeId, color: rpq_graph::Color) -> Option<u32> {
+    rpq_graph::algo::bidirectional_distance(g, x, y, color)
+}
+
+/// Single-source truncated distances (helper shared by the experiment
+/// binaries; wraps the substrate BFS).
+pub fn distances_from(g: &Graph, x: NodeId, color: rpq_graph::Color) -> Vec<u16> {
+    bfs_distances(g, x, color, Direction::Forward)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::gen::essembly;
+
+    fn q1(g: &Graph) -> Rq {
+        Rq::new(
+            Predicate::parse("job = \"biologist\" && sp = \"cloning\"", g.schema()).unwrap(),
+            Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+            FRegex::parse("fa^2 fn", g.alphabet()).unwrap(),
+        )
+    }
+
+    /// Example 2.2: Q1(G) = {(C1,B1), (C1,B2), (C2,B1), (C2,B2)}.
+    #[test]
+    fn example_2_2_all_strategies() {
+        let g = essembly();
+        let rq = q1(&g);
+        let expect: Vec<(NodeId, NodeId)> = {
+            let n = |l: &str| g.node_by_label(l).unwrap();
+            let mut v = vec![
+                (n("C1"), n("B1")),
+                (n("C1"), n("B2")),
+                (n("C2"), n("B1")),
+                (n("C2"), n("B2")),
+            ];
+            v.sort_unstable();
+            v
+        };
+        let m = DistanceMatrix::build(&g);
+        assert_eq!(rq.eval_bfs(&g).pairs(), expect, "BFS");
+        assert_eq!(rq.eval_with_matrix(&g, &m).pairs(), expect, "DM");
+        assert_eq!(rq.eval_bibfs(&g).pairs(), expect, "biBFS");
+    }
+
+    #[test]
+    fn strategies_agree_on_many_regexes() {
+        let g = essembly();
+        let m = DistanceMatrix::build(&g);
+        let preds = [
+            Predicate::always_true(),
+            Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+            Predicate::parse("sp = \"cloning\"", g.schema()).unwrap(),
+        ];
+        let regexes = ["fa", "fn", "fa^2", "fa+", "fa^2 fn", "fn _+", "sa sn", "_^2 _"];
+        for from in &preds {
+            for to in &preds {
+                for r in &regexes {
+                    let rq = Rq::new(
+                        from.clone(),
+                        to.clone(),
+                        FRegex::parse(r, g.alphabet()).unwrap(),
+                    );
+                    let a = rq.eval_bfs(&g);
+                    let b = rq.eval_with_matrix(&g, &m);
+                    let c = rq.eval_bibfs(&g);
+                    assert_eq!(a, b, "DM vs BFS on {r}");
+                    assert_eq!(a, c, "biBFS vs BFS on {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_results() {
+        let g = essembly();
+        let m = DistanceMatrix::build(&g);
+        // no physicians reach doctors via sn edges
+        let rq = Rq::new(
+            Predicate::parse("job = \"physician\"", g.schema()).unwrap(),
+            Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+            FRegex::parse("sn+", g.alphabet()).unwrap(),
+        );
+        assert!(rq.eval_bfs(&g).is_empty());
+        assert!(rq.eval_with_matrix(&g, &m).is_empty());
+        assert!(rq.eval_bibfs(&g).is_empty());
+        // unsatisfiable predicate
+        let rq2 = Rq::new(
+            Predicate::parse("job = \"astronaut\"", g.schema()).unwrap(),
+            Predicate::always_true(),
+            FRegex::parse("fa", g.alphabet()).unwrap(),
+        );
+        assert!(rq2.eval_bfs(&g).is_empty());
+        assert!(rq2.eval_with_matrix(&g, &m).is_empty());
+        assert!(rq2.eval_bibfs(&g).is_empty());
+    }
+
+    #[test]
+    fn result_api() {
+        let g = essembly();
+        let rq = q1(&g);
+        let res = rq.eval_bfs(&g);
+        assert_eq!(res.len(), 4);
+        assert!(!res.is_empty());
+        let c1 = g.node_by_label("C1").unwrap();
+        let b1 = g.node_by_label("B1").unwrap();
+        let c3 = g.node_by_label("C3").unwrap();
+        assert!(res.contains(c1, b1));
+        assert!(!res.contains(c3, b1));
+        assert_eq!(res.as_slice().len(), 4);
+    }
+
+    #[test]
+    fn backward_set_mirrors_forward() {
+        let g = essembly();
+        let re = FRegex::parse("fa^2 fn", g.alphabet()).unwrap();
+        let nfa = Nfa::from_regex(&re);
+        for y in g.nodes() {
+            let back = backward_reach_set(&g, &re, y);
+            for x in g.nodes() {
+                let fwd_hit = product_reach_set(&g, &nfa, x).contains(&y);
+                assert_eq!(back.contains(&x), fwd_hit, "{x:?} -> {y:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The revised query-to-query similarity of §3.1.
+//!
+//! For PQs `Q1 = (V1, E1)` and `Q2 = (V2, E2)`, the paper writes `Q1 ⊴ Q2`
+//! ("Q2 is similar to Q1") when there is a relation `Sr ⊆ V1 × V2` with
+//!
+//! 1. for every `(u1, w1) ∈ Sr`: (a) `w1 ⊢ u1` (every node matching `w1`'s
+//!    predicate matches `u1`'s), and (b) every edge `e = (u1, u2) ∈ E1` has
+//!    an edge `e' = (w1, w2) ∈ E2` with `(u2, w2) ∈ Sr` and `e' ⊨ e`
+//!    (`L(f_{e'}) ⊆ L(f_e)`);
+//! 2. every edge `e' = (w, w') ∈ E2` has a witness `e = (u, u') ∈ E1` with
+//!    `(u, w) ∈ Sr`, `(u', w') ∈ Sr` and `e' ⊨ e`.
+//!
+//! Condition (1) is coinductive (closed under union), so a maximum relation
+//! exists and is computed by fixpoint refinement — the standard simulation
+//! computation \[HHK95\] specialized to predicates and regex containment.
+//! Condition (2) is then a check on that maximum (any witness inside a
+//! smaller `Sr` is also inside the maximum).
+//!
+//! By Lemma 3.1, `Q1 ⊑ Q2` (containment) iff `Q2 ⊴ Q1`.
+
+use crate::pq::Pq;
+use rpq_regex::contain::contains_scan;
+use rpq_regex::FRegex;
+
+/// `e' ⊨ e` — the edge-constraint containment `L(f_{e'}) ⊆ L(f_e)`, decided
+/// by the paper's linear scan.
+#[inline]
+pub fn edge_entails(e_prime: &FRegex, e: &FRegex) -> bool {
+    contains_scan(e_prime, e)
+}
+
+/// The maximum relation `Sr ⊆ V1 × V2` satisfying condition (1) of the
+/// revised similarity; `sr[u1][w1]` is true iff `(u1, w1) ∈ Sr`.
+pub fn revised_similarity(q1: &Pq, q2: &Pq) -> Vec<Vec<bool>> {
+    let (n1, n2) = (q1.node_count(), q2.node_count());
+    // (1)(a): w1 ⊢ u1, i.e. pred(w1) ⟹ pred(u1)
+    let mut sr: Vec<Vec<bool>> = (0..n1)
+        .map(|u| {
+            (0..n2)
+                .map(|w| q2.node(w).pred.implies(&q1.node(u).pred))
+                .collect()
+        })
+        .collect();
+    // pre-compute edge entailment e' ⊨ e for all (e' ∈ E2, e ∈ E1)
+    let entails: Vec<Vec<bool>> = q2
+        .edges()
+        .iter()
+        .map(|e2| {
+            q1.edges()
+                .iter()
+                .map(|e1| edge_entails(&e2.regex, &e1.regex))
+                .collect()
+        })
+        .collect();
+    // (1)(b): refine to fixpoint
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for u1 in 0..n1 {
+            for w1 in 0..n2 {
+                if !sr[u1][w1] {
+                    continue;
+                }
+                let ok = q1.out_edges(u1).iter().all(|&ei| {
+                    let e = q1.edge(ei);
+                    q2.out_edges(w1).iter().any(|&ej| {
+                        let ep = q2.edge(ej);
+                        sr[e.to][ep.to] && entails[ej][ei]
+                    })
+                });
+                if !ok {
+                    sr[u1][w1] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+    sr
+}
+
+/// The full revised similarity `Q1 ⊴ Q2` (conditions (1) **and** (2)).
+pub fn revised_similar(q1: &Pq, q2: &Pq) -> bool {
+    let sr = revised_similarity(q1, q2);
+    // condition (2): every E2 edge has a witness in E1
+    q2.edges().iter().all(|e2| {
+        q1.edges().iter().any(|e1| {
+            sr[e1.from][e2.from]
+                && sr[e1.to][e2.to]
+                && edge_entails(&e2.regex, &e1.regex)
+        })
+    })
+}
+
+/// Simulation-equivalence classes of the nodes of `q` (used by `minPQs`):
+/// `u ≡ w` iff `(u, w)` and `(w, u)` are both in the maximum self-similarity
+/// of `q`. Returns `(class_of, classes)`.
+pub fn equivalence_classes(q: &Pq) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let sr = revised_similarity(q, q);
+    let n = q.node_count();
+    let mut class_of = vec![usize::MAX; n];
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for u in 0..n {
+        if class_of[u] != usize::MAX {
+            continue;
+        }
+        let cid = classes.len();
+        let mut members = vec![u];
+        class_of[u] = cid;
+        for w in u + 1..n {
+            if class_of[w] == usize::MAX && sr[u][w] && sr[w][u] {
+                class_of[w] = cid;
+                members.push(w);
+            }
+        }
+        classes.push(members);
+    }
+    (class_of, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use rpq_graph::{Alphabet, Schema};
+    use rpq_regex::FRegex;
+
+    /// Build the Fig. 3 queries: all B-nodes share one predicate, all
+    /// C-nodes another; h1 ⊆ h2 ⊆ h3 as languages.
+    fn fig3() -> (Pq, Pq, Pq) {
+        let mut schema = Schema::new();
+        schema.intern("t");
+        let al = Alphabet::from_names(["c"]);
+        let bp = Predicate::parse("t = \"B\"", &schema).unwrap();
+        let cp = Predicate::parse("t = \"C\"", &schema).unwrap();
+        let h1 = FRegex::parse("c", &al).unwrap();
+        let h2 = FRegex::parse("c^2", &al).unwrap();
+        let h3 = FRegex::parse("c^3", &al).unwrap();
+
+        let mut q1 = Pq::new();
+        let b1 = q1.add_node("B1", bp.clone());
+        let c1 = q1.add_node("C1", cp.clone());
+        let c2 = q1.add_node("C2", cp.clone());
+        let c3 = q1.add_node("C3", cp.clone());
+        q1.add_edge(b1, c1, h1.clone());
+        q1.add_edge(b1, c2, h2.clone());
+        q1.add_edge(b1, c3, h3.clone());
+
+        let mut q2 = Pq::new();
+        let b2 = q2.add_node("B2", bp.clone());
+        let c4 = q2.add_node("C4", cp.clone());
+        q2.add_edge(b2, c4, h1.clone());
+
+        let mut q3 = Pq::new();
+        let b3 = q3.add_node("B3", bp);
+        let c5 = q3.add_node("C5", cp.clone());
+        let c6 = q3.add_node("C6", cp);
+        q3.add_edge(b3, c5, h1);
+        q3.add_edge(b3, c6, h3);
+
+        (q1, q2, q3)
+    }
+
+    /// Example 3.2: Q1 ⊴ Q2 with Sr = {(B1,B2), (C1,C4), (C2,C4), (C3,C4)}.
+    #[test]
+    fn example_3_2_similarity() {
+        let (q1, q2, _) = fig3();
+        let sr = revised_similarity(&q1, &q2);
+        assert!(sr[0][0], "(B1,B2)");
+        assert!(sr[1][1] && sr[2][1] && sr[3][1], "(Ci,C4)");
+        assert!(!sr[0][1] && !sr[1][0], "cross-type pairs excluded");
+        assert!(revised_similar(&q1, &q2));
+    }
+
+    /// Example 3.1 via Lemma 3.1: Qa ⊑ Qb iff Qb ⊴ Qa.
+    #[test]
+    fn example_3_1_containments() {
+        let (q1, q2, q3) = fig3();
+        // (1) Q2 ⊑ Q1
+        assert!(revised_similar(&q1, &q2));
+        // (2) Q2 ⊑ Q3
+        assert!(revised_similar(&q3, &q2));
+        // (3) Q3 ⊑ Q1
+        assert!(revised_similar(&q1, &q3));
+        // (4) Q1 ⊑ Q3
+        assert!(revised_similar(&q3, &q1));
+        // and Q1 ⋢ Q2: Q2's single h1 edge cannot witness Q1's h3 edge
+        assert!(!revised_similar(&q2, &q1));
+    }
+
+    #[test]
+    fn self_similarity_contains_identity() {
+        let (q1, _, _) = fig3();
+        let sr = revised_similarity(&q1, &q1);
+        for (u, row) in sr.iter().enumerate() {
+            assert!(row[u], "identity pair {u}");
+        }
+        assert!(revised_similar(&q1, &q1));
+    }
+
+    #[test]
+    fn equivalence_classes_fig3() {
+        let (q1, _, _) = fig3();
+        // C1 ⊆ C2 ⊆ C3 by edge strength but B1 has edges: C's have no
+        // out-edges and identical predicates → all C's are equivalent
+        let (class_of, classes) = equivalence_classes(&q1);
+        assert_eq!(classes.len(), 2);
+        assert_eq!(class_of[1], class_of[2]);
+        assert_eq!(class_of[2], class_of[3]);
+        assert_ne!(class_of[0], class_of[1]);
+    }
+
+    #[test]
+    fn predicate_strength_breaks_similarity() {
+        let mut schema = Schema::new();
+        schema.intern("x");
+        let al = Alphabet::from_names(["c"]);
+        let strong = Predicate::parse("x > 10", &schema).unwrap();
+        let weak = Predicate::parse("x > 5", &schema).unwrap();
+        let h = FRegex::parse("c", &al).unwrap();
+        let mk = |p: &Predicate| {
+            let mut q = Pq::new();
+            let a = q.add_node("a", p.clone());
+            let b = q.add_node("b", Predicate::always_true());
+            q.add_edge(a, b, h.clone());
+            q
+        };
+        let qs = mk(&strong);
+        let qw = mk(&weak);
+        // Qs ⊑ Qw (strong sources are weak sources): needs Qw ⊴ Qs
+        assert!(revised_similar(&qw, &qs));
+        assert!(!revised_similar(&qs, &qw));
+    }
+}

@@ -1,0 +1,231 @@
+//! Node attributes.
+//!
+//! Each node of a data graph carries a tuple `(A1 = a1, …, An = an)` (the
+//! paper's `f_A`). Attribute *names* are interned in a [`Schema`] so a node
+//! only stores compact `(AttrId, AttrValue)` pairs, sorted by id for
+//! logarithmic lookup.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned attribute name. Index into [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u16);
+
+/// An attribute value: either a 64-bit integer or a string.
+///
+/// The paper leaves the value domain abstract ("constant values"); integers
+/// and strings cover every attribute used in its examples and experiments
+/// (ids, categories, view counts, ages, names, …). Both domains are totally
+/// ordered, so all six comparison operators are meaningful.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AttrValue {
+    /// Integer value, e.g. `age = 300`.
+    Int(i64),
+    /// String value, e.g. `cat = "Music"`. Ordered lexicographically.
+    Str(String),
+}
+
+impl AttrValue {
+    /// True if both values come from the same domain (Int vs Str) and are
+    /// therefore comparable.
+    pub fn same_domain(&self, other: &AttrValue) -> bool {
+        matches!(
+            (self, other),
+            (AttrValue::Int(_), AttrValue::Int(_)) | (AttrValue::Str(_), AttrValue::Str(_))
+        )
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// Interner for attribute names, shared by a graph and the queries posed on
+/// it. Query predicates and node tuples refer to attributes by [`AttrId`].
+#[derive(Debug, Default, Clone)]
+pub struct Schema {
+    names: Vec<String>,
+    index: HashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = AttrId(u16::try_from(self.names.len()).expect("more than u16::MAX attributes"));
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<AttrId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name behind `id`.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of interned attribute names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// The attribute tuple of a single node: `(A1 = a1, …, An = an)`, stored
+/// sorted by [`AttrId`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Attrs {
+    pairs: Vec<(AttrId, AttrValue)>,
+}
+
+impl Attrs {
+    /// Empty tuple (a node with no attributes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from unsorted pairs. Later duplicates of the same attribute
+    /// overwrite earlier ones.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (AttrId, AttrValue)>) -> Self {
+        let mut a = Attrs::new();
+        for (id, v) in pairs {
+            a.set(id, v);
+        }
+        a
+    }
+
+    /// Set attribute `id` to `value` (insert or overwrite).
+    pub fn set(&mut self, id: AttrId, value: AttrValue) {
+        match self.pairs.binary_search_by_key(&id, |p| p.0) {
+            Ok(i) => self.pairs[i].1 = value,
+            Err(i) => self.pairs.insert(i, (id, value)),
+        }
+    }
+
+    /// The value of attribute `id`, if the node has it.
+    pub fn get(&self, id: AttrId) -> Option<&AttrValue> {
+        self.pairs
+            .binary_search_by_key(&id, |p| p.0)
+            .ok()
+            .map(|i| &self.pairs[i].1)
+    }
+
+    /// Iterate over `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &AttrValue)> {
+        self.pairs.iter().map(|(id, v)| (*id, v))
+    }
+
+    /// Number of attributes on this node.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the node has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_interns_once() {
+        let mut s = Schema::new();
+        let a = s.intern("job");
+        let b = s.intern("age");
+        let a2 = s.intern("job");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(s.name(a), "job");
+        assert_eq!(s.name(b), "age");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get("job"), Some(a));
+        assert_eq!(s.get("missing"), None);
+    }
+
+    #[test]
+    fn attrs_set_get_overwrite() {
+        let mut s = Schema::new();
+        let job = s.intern("job");
+        let age = s.intern("age");
+        let mut a = Attrs::new();
+        assert!(a.is_empty());
+        a.set(job, "doctor".into());
+        a.set(age, 41.into());
+        assert_eq!(a.get(job), Some(&AttrValue::Str("doctor".into())));
+        assert_eq!(a.get(age), Some(&AttrValue::Int(41)));
+        a.set(job, "biologist".into());
+        assert_eq!(a.get(job), Some(&AttrValue::Str("biologist".into())));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn attrs_sorted_iteration() {
+        let mut s = Schema::new();
+        let ids: Vec<_> = (0..5).map(|i| s.intern(&format!("a{i}"))).collect();
+        let a = Attrs::from_pairs(vec![
+            (ids[3], 3.into()),
+            (ids[0], 0.into()),
+            (ids[4], 4.into()),
+            (ids[1], 1.into()),
+        ]);
+        let order: Vec<_> = a.iter().map(|(id, _)| id).collect();
+        assert_eq!(order, vec![ids[0], ids[1], ids[3], ids[4]]);
+    }
+
+    #[test]
+    fn value_domains() {
+        assert!(AttrValue::Int(1).same_domain(&AttrValue::Int(2)));
+        assert!(AttrValue::Str("x".into()).same_domain(&AttrValue::Str("y".into())));
+        assert!(!AttrValue::Int(1).same_domain(&AttrValue::Str("1".into())));
+        assert!(AttrValue::Int(1) < AttrValue::Int(2));
+        assert!(AttrValue::Str("a".into()) < AttrValue::Str("b".into()));
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(AttrValue::Int(7).to_string(), "7");
+        assert_eq!(AttrValue::Str("x".into()).to_string(), "\"x\"");
+    }
+}

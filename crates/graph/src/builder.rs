@@ -1,0 +1,231 @@
+//! Mutable construction of [`Graph`]s.
+
+use crate::attr::{AttrValue, Attrs, Schema};
+use crate::color::{Alphabet, Color};
+use crate::graph::{EdgeRef, Graph, NodeId};
+
+/// Accumulates nodes and edges, then freezes them into the CSR [`Graph`].
+///
+/// ```
+/// use rpq_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// let job = b.attr("job");
+/// let alice = b.add_node("Alice", [(job, "doctor".into())]);
+/// let bob = b.add_node("Bob", [(job, "biologist".into())]);
+/// let fa = b.color("fa");
+/// b.add_edge(alice, bob, fa);
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    schema: Schema,
+    alphabet: Alphabet,
+    labels: Vec<String>,
+    attrs: Vec<Attrs>,
+    edges: Vec<(NodeId, NodeId, Color)>,
+}
+
+impl GraphBuilder {
+    /// Fresh, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder whose alphabet and schema are pre-seeded (useful when queries
+    /// are authored against a fixed vocabulary before data exists).
+    pub fn with_vocabulary(schema: Schema, alphabet: Alphabet) -> Self {
+        GraphBuilder {
+            schema,
+            alphabet,
+            ..Default::default()
+        }
+    }
+
+    /// Intern an attribute name.
+    pub fn attr(&mut self, name: &str) -> crate::attr::AttrId {
+        self.schema.intern(name)
+    }
+
+    /// Intern an edge color.
+    pub fn color(&mut self, name: &str) -> Color {
+        self.alphabet.intern(name)
+    }
+
+    /// Add a node with a label and attribute pairs; returns its id.
+    pub fn add_node(
+        &mut self,
+        label: &str,
+        attrs: impl IntoIterator<Item = (crate::attr::AttrId, AttrValue)>,
+    ) -> NodeId {
+        let id = NodeId(u32::try_from(self.labels.len()).expect("more than u32::MAX nodes"));
+        self.labels.push(label.to_owned());
+        self.attrs.push(Attrs::from_pairs(attrs));
+        id
+    }
+
+    /// Convenience: add a node whose attributes are given by name.
+    pub fn add_node_named(
+        &mut self,
+        label: &str,
+        attrs: impl IntoIterator<Item = (&'static str, AttrValue)>,
+    ) -> NodeId {
+        let pairs: Vec<_> = attrs
+            .into_iter()
+            .map(|(name, v)| (self.schema.intern(name), v))
+            .collect();
+        self.add_node(label, pairs)
+    }
+
+    /// Add a directed edge `u → v` of color `c`.
+    ///
+    /// # Panics
+    /// If `u` or `v` was not returned by `add_node`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, c: Color) {
+        assert!(u.index() < self.labels.len(), "unknown source node");
+        assert!(v.index() < self.labels.len(), "unknown target node");
+        assert!(!c.is_wildcard(), "data edges must carry a concrete color");
+        self.edges.push((u, v, c));
+    }
+
+    /// Convenience: add an edge by color name (interning it if new).
+    pub fn add_edge_named(&mut self, u: NodeId, v: NodeId, color: &str) {
+        let c = self.alphabet.intern(color);
+        self.add_edge(u, v, c);
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edge insertions so far (before deduplication).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freeze into an immutable CSR [`Graph`]. Exact duplicate edges
+    /// (same source, target and color) are dropped.
+    pub fn build(mut self) -> Graph {
+        let n = self.labels.len();
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(u, _, _) in &self.edges {
+            out_offsets[u.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_adj = vec![
+            EdgeRef {
+                node: NodeId(0),
+                color: Color(0)
+            };
+            self.edges.len()
+        ];
+        {
+            let mut cursor = out_offsets.clone();
+            for &(u, v, c) in &self.edges {
+                let slot = cursor[u.index()] as usize;
+                out_adj[slot] = EdgeRef { node: v, color: c };
+                cursor[u.index()] += 1;
+            }
+        }
+
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, v, _) in &self.edges {
+            in_offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_adj = vec![
+            EdgeRef {
+                node: NodeId(0),
+                color: Color(0)
+            };
+            self.edges.len()
+        ];
+        {
+            let mut cursor = in_offsets.clone();
+            for &(u, v, c) in &self.edges {
+                let slot = cursor[v.index()] as usize;
+                in_adj[slot] = EdgeRef { node: u, color: c };
+                cursor[v.index()] += 1;
+            }
+        }
+
+        Graph {
+            schema: self.schema,
+            alphabet: self.alphabet,
+            labels: self.labels,
+            attrs: self.attrs,
+            out_offsets,
+            out_adj,
+            in_offsets,
+            in_adj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn in_and_out_adjacency_agree() {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<_> = (0..6).map(|i| b.add_node(&format!("n{i}"), [])).collect();
+        let c = b.color("c");
+        let d = b.color("d");
+        let edge_list = [
+            (0, 1, c),
+            (0, 2, d),
+            (1, 3, c),
+            (2, 3, d),
+            (3, 0, c),
+            (4, 5, d),
+            (5, 4, c),
+        ];
+        for &(u, v, col) in &edge_list {
+            b.add_edge(nodes[u], nodes[v], col);
+        }
+        let g = b.build();
+        // every out edge appears as an in edge at its target and vice versa
+        for (u, v, col) in g.edges() {
+            assert!(g.in_edges(v).iter().any(|e| e.node == u && e.color == col));
+        }
+        let total_in: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        assert_eq!(total_in, g.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "concrete color")]
+    fn wildcard_data_edge_rejected() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x", []);
+        let y = b.add_node("y", []);
+        b.add_edge(x, y, crate::color::WILDCARD);
+    }
+
+    #[test]
+    fn named_helpers() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node_named("x", [("age", 3.into())]);
+        let y = b.add_node_named("y", [("age", 4.into())]);
+        b.add_edge_named(x, y, "likes");
+        let g = b.build();
+        let age = g.schema().get("age").unwrap();
+        assert_eq!(g.attrs(x).get(age), Some(&crate::attr::AttrValue::Int(3)));
+        assert!(g.alphabet().get("likes").is_some());
+    }
+}

@@ -1,0 +1,359 @@
+//! A hand-rolled LRU cache.
+//!
+//! §4 of the paper proposes keeping "a distance cache using hashmap as
+//! indices, which records the most frequently asked items", evicting with
+//! the least-recently-used (LRU) strategy, for graphs too large for the
+//! distance matrix. No LRU crate is in this project's allowed dependency
+//! set, so this module implements the classic hashmap + intrusive
+//! doubly-linked-list design (all operations O(1) expected). The slab is
+//! kept dense: removal swap-removes, so memory never exceeds
+//! `capacity` entries.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU map from `K` to `V`.
+///
+/// ```
+/// use rpq_graph::cache::LruCache;
+/// let mut c = LruCache::new(2);
+/// c.insert("a", 1);
+/// c.insert("b", 2);
+/// c.get(&"a");          // refresh "a"
+/// c.insert("c", 3);      // evicts "b", the least recently used
+/// assert_eq!(c.get(&"b"), None);
+/// assert_eq!(c.get(&"a"), Some(&1));
+/// ```
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Create a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// If `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LruCache capacity must be positive");
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slab.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `(hits, misses)` counters for `get`, for instrumentation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// After the entry at `last` has been swapped into slot `idx`, repoint
+    /// its map slot and its list neighbors (and head/tail) at `idx`.
+    fn fix_after_swap(&mut self, idx: usize, last: usize) {
+        let moved_key = self.slab[idx].key.clone();
+        *self.map.get_mut(&moved_key).expect("moved key must be mapped") = idx;
+        let (p, nx) = (self.slab[idx].prev, self.slab[idx].next);
+        if p != NIL {
+            self.slab[p].next = idx;
+        } else {
+            self.head = idx;
+        }
+        if nx != NIL {
+            self.slab[nx].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        debug_assert!(self.head != last && self.tail != last);
+    }
+
+    /// Look up `key`, marking it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                if self.head != idx {
+                    self.detach(idx);
+                    self.push_front(idx);
+                }
+                Some(&self.slab[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up without touching recency or counters (for tests/debugging).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.slab[idx].value)
+    }
+
+    /// Insert `key → value`, evicting the least-recently-used entry when
+    /// at capacity. Returns the evicted `(key, value)` pair, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            if self.head != idx {
+                self.detach(idx);
+                self.push_front(idx);
+            }
+            return None;
+        }
+        if self.slab.len() == self.capacity {
+            // reuse the LRU slot in place
+            let lru = self.tail;
+            self.detach(lru);
+            let old = std::mem::replace(
+                &mut self.slab[lru],
+                Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                },
+            );
+            self.map.remove(&old.key);
+            self.map.insert(key, lru);
+            self.push_front(lru);
+            return Some((old.key, old.value));
+        }
+        self.slab.push(Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
+        let idx = self.slab.len() - 1;
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        None
+    }
+
+    /// Remove `key` from the cache, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        let last = self.slab.len() - 1;
+        if idx != last {
+            self.slab.swap(idx, last);
+            self.fix_after_swap(idx, last);
+        }
+        self.slab.pop().map(|e| e.value)
+    }
+
+    /// Drop all entries (capacity retained; counters reset).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_get() {
+        let mut c = LruCache::new(3);
+        assert!(c.is_empty());
+        c.insert(1, "one");
+        c.insert(2, "two");
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.capacity(), 3);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn eviction_order_is_lru() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.get(&1); // 2 is now LRU
+        let evicted = c.insert(3, 3);
+        assert_eq!(evicted, Some((2, 2)));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&1));
+        assert_eq!(c.get(&3), Some(&3));
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh 1
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn remove_and_reuse() {
+        let mut c = LruCache::new(3);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.insert(3, 3);
+        assert_eq!(c.remove(&2), Some(2));
+        assert_eq!(c.remove(&2), None);
+        assert_eq!(c.len(), 2);
+        c.insert(4, 4);
+        c.insert(5, 5); // evicts LRU = 1
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&3), Some(&3));
+        assert_eq!(c.get(&4), Some(&4));
+        assert_eq!(c.get(&5), Some(&5));
+    }
+
+    #[test]
+    fn remove_head_and_tail() {
+        let mut c = LruCache::new(3);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.insert(3, 3); // recency order: 3,2,1
+        assert_eq!(c.remove(&3), Some(3)); // remove head
+        assert_eq!(c.remove(&1), Some(1)); // remove tail
+        assert_eq!(c.get(&2), Some(&2));
+        c.insert(6, 6);
+        c.insert(7, 7);
+        c.insert(8, 8); // evicts 2
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c = LruCache::new(1);
+        c.insert('a', 1);
+        assert_eq!(c.insert('b', 2), Some(('a', 1)));
+        assert_eq!(c.peek(&'b'), Some(&2));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 1);
+        c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), (0, 0));
+        c.insert(2, 2);
+        assert_eq!(c.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn heavy_churn_consistency() {
+        // cross-check against a naive model
+        let mut c = LruCache::new(16);
+        let mut model: Vec<(u32, u32)> = Vec::new(); // front = MRU
+        let mut op = 0u32;
+        for i in 0..20_000u32 {
+            op = op.wrapping_mul(1664525).wrapping_add(1013904223 + i);
+            let key = op % 48;
+            match op % 5 {
+                0 | 1 => {
+                    // insert
+                    if let Some(pos) = model.iter().position(|&(k, _)| k == key) {
+                        model.remove(pos);
+                    } else if model.len() == 16 {
+                        model.pop();
+                    }
+                    model.insert(0, (key, i));
+                    c.insert(key, i);
+                }
+                2 | 3 => {
+                    let got = c.get(&key).copied();
+                    let want = model.iter().position(|&(k, _)| k == key).map(|pos| {
+                        let e = model.remove(pos);
+                        model.insert(0, e);
+                        e.1
+                    });
+                    assert_eq!(got, want, "get({key}) at step {i}");
+                }
+                _ => {
+                    let got = c.remove(&key);
+                    let want = model
+                        .iter()
+                        .position(|&(k, _)| k == key)
+                        .map(|pos| model.remove(pos).1);
+                    assert_eq!(got, want, "remove({key}) at step {i}");
+                }
+            }
+            assert_eq!(c.len(), model.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::<u32, u32>::new(0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Plain-text serialization of data graphs.
+//!
+//! A line-oriented format, stable across versions of this library, so
+//! graphs can be shipped next to the binary and loaded by the CLI:
+//!
+//! ```text
+//! # rpq graph v1
+//! color fa
+//! color fn
+//! node B1 job="doctor" dsp="cloning" age=41
+//! node C3 job="biologist"
+//! edge C3 B1 fn
+//! ```
+//!
+//! * `color NAME` declares an edge color (order defines the alphabet),
+//! * `node LABEL [attr=value]…` declares a node; integer values are bare,
+//!   string values are double-quoted (with `\"` and `\\` escapes),
+//! * `edge FROM TO COLOR` declares an edge by node labels,
+//! * `#` starts a comment; blank lines are ignored.
+//!
+//! Node labels must be unique and contain no whitespace.
+
+use crate::attr::AttrValue;
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Why a graph file failed to parse.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem at the given 1-based line.
+    Parse(usize, String),
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphIoError::Parse(l, m) => write!(f, "line {l}: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<io::Error> for GraphIoError {
+    fn from(e: io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Write `g` in the text format.
+pub fn write_graph(g: &Graph, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "# rpq graph v1")?;
+    for c in g.alphabet().colors() {
+        writeln!(w, "color {}", g.alphabet().name(c))?;
+    }
+    for v in g.nodes() {
+        write!(w, "node {}", g.label(v))?;
+        for (id, val) in g.attrs(v).iter() {
+            match val {
+                AttrValue::Int(i) => write!(w, " {}={i}", g.schema().name(id))?,
+                AttrValue::Str(s) => write!(w, " {}={}", g.schema().name(id), quote(s))?,
+            }
+        }
+        writeln!(w)?;
+    }
+    for (x, y, c) in g.edges() {
+        writeln!(w, "edge {} {} {}", g.label(x), g.label(y), g.alphabet().name(c))?;
+    }
+    Ok(())
+}
+
+/// Serialize to a `String` (convenience over [`write_graph`]).
+pub fn graph_to_string(g: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_graph(g, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII/UTF-8")
+}
+
+/// Tokenize one node line's attribute section, honoring quoted values.
+fn split_attrs(rest: &str, line: usize) -> Result<Vec<(String, String)>, GraphIoError> {
+    let mut pairs = Vec::new();
+    let mut chars = rest.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        let mut key = String::new();
+        let mut saw_eq = false;
+        for c in chars.by_ref() {
+            if c == '=' {
+                saw_eq = true;
+                break;
+            }
+            if c.is_whitespace() {
+                break;
+            }
+            key.push(c);
+        }
+        if !saw_eq {
+            return Err(GraphIoError::Parse(line, format!("attribute {key:?} missing '='")));
+        }
+        if key.is_empty() {
+            return Err(GraphIoError::Parse(line, "empty attribute name".into()));
+        }
+        let mut value = String::new();
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            value.push('"');
+            let mut escaped = false;
+            loop {
+                match chars.next() {
+                    None => return Err(GraphIoError::Parse(line, "unterminated string".into())),
+                    Some('\\') if !escaped => escaped = true,
+                    Some(c) => {
+                        if c == '"' && !escaped {
+                            value.push('"');
+                            break;
+                        }
+                        value.push(c);
+                        escaped = false;
+                    }
+                }
+            }
+        } else {
+            while matches!(chars.peek(), Some(c) if !c.is_whitespace()) {
+                value.push(chars.next().expect("peeked"));
+            }
+        }
+        pairs.push((key, value));
+    }
+    Ok(pairs)
+}
+
+/// Read a graph in the text format.
+pub fn read_graph(r: &mut impl BufRead) -> Result<Graph, GraphIoError> {
+    let mut b = GraphBuilder::new();
+    let mut node_ids: HashMap<String, crate::graph::NodeId> = HashMap::new();
+
+    for (lineno, line) in r.lines().enumerate() {
+        let line_no = lineno + 1;
+        let line = line?;
+        let stmt = line.split('#').next().unwrap_or("").trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if let Some(name) = stmt.strip_prefix("color ") {
+            b.color(name.trim());
+        } else if let Some(rest) = stmt.strip_prefix("node ") {
+            let rest = rest.trim();
+            let (label, attrs_src) = match rest.split_once(char::is_whitespace) {
+                Some((l, a)) => (l, a),
+                None => (rest, ""),
+            };
+            if node_ids.contains_key(label) {
+                return Err(GraphIoError::Parse(line_no, format!("duplicate node {label:?}")));
+            }
+            let mut pairs = Vec::new();
+            for (key, raw) in split_attrs(attrs_src, line_no)? {
+                let attr = b.attr(&key);
+                let value = if let Some(stripped) = raw.strip_prefix('"') {
+                    let inner = stripped.strip_suffix('"').ok_or_else(|| {
+                        GraphIoError::Parse(line_no, format!("bad string value {raw:?}"))
+                    })?;
+                    AttrValue::Str(inner.to_owned())
+                } else {
+                    raw.parse::<i64>().map(AttrValue::Int).map_err(|_| {
+                        GraphIoError::Parse(line_no, format!("bad integer value {raw:?}"))
+                    })?
+                };
+                pairs.push((attr, value));
+            }
+            let id = b.add_node(label, pairs);
+            node_ids.insert(label.to_owned(), id);
+        } else if let Some(rest) = stmt.strip_prefix("edge ") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 {
+                return Err(GraphIoError::Parse(
+                    line_no,
+                    format!("edge needs 'FROM TO COLOR', got {rest:?}"),
+                ));
+            }
+            let &from = node_ids.get(parts[0]).ok_or_else(|| {
+                GraphIoError::Parse(line_no, format!("unknown node {:?}", parts[0]))
+            })?;
+            let &to = node_ids.get(parts[1]).ok_or_else(|| {
+                GraphIoError::Parse(line_no, format!("unknown node {:?}", parts[1]))
+            })?;
+            b.add_edge_named(from, to, parts[2]);
+        } else {
+            return Err(GraphIoError::Parse(line_no, format!("unrecognized line {stmt:?}")));
+        }
+    }
+    Ok(b.build())
+}
+
+/// Parse from a string (convenience over [`read_graph`]).
+pub fn graph_from_str(s: &str) -> Result<Graph, GraphIoError> {
+    read_graph(&mut s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{essembly, synthetic};
+
+    fn assert_same_graph(a: &Graph, b: &Graph) {
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for v in a.nodes() {
+            let w = b.node_by_label(a.label(v)).expect("label preserved");
+            let attrs_a: Vec<_> = a
+                .attrs(v)
+                .iter()
+                .map(|(id, val)| (a.schema().name(id).to_owned(), val.clone()))
+                .collect();
+            let attrs_b: Vec<_> = b
+                .attrs(w)
+                .iter()
+                .map(|(id, val)| (b.schema().name(id).to_owned(), val.clone()))
+                .collect();
+            assert_eq!(attrs_a, attrs_b, "attrs of {}", a.label(v));
+        }
+        let mut ea: Vec<_> = a
+            .edges()
+            .map(|(x, y, c)| {
+                (
+                    a.label(x).to_owned(),
+                    a.label(y).to_owned(),
+                    a.alphabet().name(c).to_owned(),
+                )
+            })
+            .collect();
+        let mut eb: Vec<_> = b
+            .edges()
+            .map(|(x, y, c)| {
+                (
+                    b.label(x).to_owned(),
+                    b.label(y).to_owned(),
+                    b.alphabet().name(c).to_owned(),
+                )
+            })
+            .collect();
+        ea.sort();
+        eb.sort();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn roundtrip_essembly() {
+        let g = essembly();
+        let text = graph_to_string(&g);
+        let back = graph_from_str(&text).unwrap();
+        assert_same_graph(&g, &back);
+    }
+
+    #[test]
+    fn roundtrip_synthetic() {
+        let g = synthetic(60, 200, 3, 4, 9);
+        let back = graph_from_str(&graph_to_string(&g)).unwrap();
+        assert_same_graph(&g, &back);
+    }
+
+    #[test]
+    fn quoted_strings_with_escapes() {
+        let text = r#"
+            color c
+            node a name="he said \"hi\" \\ bye" n=3
+            node b
+            edge a b c
+        "#;
+        let g = graph_from_str(text).unwrap();
+        let name = g.schema().get("name").unwrap();
+        let a = g.node_by_label("a").unwrap();
+        assert_eq!(
+            g.attrs(a).get(name),
+            Some(&AttrValue::Str("he said \"hi\" \\ bye".into()))
+        );
+        // and it round-trips
+        let back = graph_from_str(&graph_to_string(&g)).unwrap();
+        assert_same_graph(&g, &back);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let err = |t: &str| graph_from_str(t).unwrap_err().to_string();
+        assert!(err("bogus line").contains("line 1"));
+        assert!(err("node a\nnode a").contains("duplicate"));
+        assert!(err("node a\nedge a z c").contains("unknown node"));
+        assert!(err("edge a").contains("FROM TO COLOR"));
+        assert!(err("node a x=\"unterminated").contains("unterminated"));
+        assert!(err("node a x=notanint").contains("bad integer"));
+        assert!(err("node a x").contains("missing '='"));
+    }
+
+    #[test]
+    fn comments_and_blanks() {
+        let g = graph_from_str("# header\n\ncolor c # trailing\nnode a\n").unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.alphabet().len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! # rpq-graph — data-graph substrate
+//!
+//! The data-graph model of Fan et al., *"Adding regular expressions to graph
+//! reachability and pattern queries"* (ICDE 2011, §2): a directed graph
+//! `G = (V, E, f_A, f_C)` where
+//!
+//! * every node `v ∈ V` carries a tuple of attribute/value pairs (`f_A`), and
+//! * every edge `e ∈ E` carries a *color* (edge type) drawn from a finite
+//!   alphabet Σ (`f_C`).
+//!
+//! This crate provides:
+//!
+//! * the graph representation itself ([`Graph`], [`GraphBuilder`]) — CSR
+//!   forward and reverse adjacency for cache-friendly traversal,
+//! * attribute storage and interning ([`attr`]),
+//! * the color alphabet ([`color`]),
+//! * graph algorithms the query engine relies on ([`algo`]): per-color BFS,
+//!   Tarjan's strongly-connected components, reverse topological order,
+//! * the per-color shortest-distance matrix of §4 ([`distance`]),
+//! * a hand-rolled LRU cache used by the runtime (bi-directional BFS)
+//!   evaluation strategy ([`cache`]),
+//! * dataset generators standing in for the paper's real-life data ([`gen`]).
+
+pub mod algo;
+pub mod attr;
+pub mod builder;
+pub mod cache;
+pub mod color;
+pub mod distance;
+pub mod gen;
+pub mod graph;
+pub mod io;
+
+pub use attr::{AttrId, AttrValue, Attrs, Schema};
+pub use builder::GraphBuilder;
+pub use color::{Alphabet, Color, WILDCARD};
+pub use distance::{DistanceMatrix, INFINITY};
+pub use graph::{EdgeRef, Graph, NodeId};

@@ -1,0 +1,170 @@
+//! Property-based tests for the graph substrate: the LRU cache against a
+//! naive model, BFS against pairwise bidirectional search, the distance
+//! matrix against fresh BFS, and text-format round-trips.
+
+use proptest::prelude::*;
+use rpq_graph::algo::{bfs_distances, bidirectional_distance, Direction};
+use rpq_graph::cache::LruCache;
+use rpq_graph::{Color, DistanceMatrix, GraphBuilder, NodeId, INFINITY, WILDCARD};
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Insert(u8, u16),
+    Get(u8),
+    Remove(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<u16>()).prop_map(|(k, v)| CacheOp::Insert(k % 24, v)),
+            any::<u8>().prop_map(|k| CacheOp::Get(k % 24)),
+            any::<u8>().prop_map(|k| CacheOp::Remove(k % 24)),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn lru_matches_reference_model(ops in arb_ops(), cap in 1usize..12) {
+        let mut cache = LruCache::new(cap);
+        let mut model: Vec<(u8, u16)> = Vec::new(); // front = most recent
+        for op in ops {
+            match op {
+                CacheOp::Insert(k, v) => {
+                    if let Some(pos) = model.iter().position(|&(mk, _)| mk == k) {
+                        model.remove(pos);
+                    } else if model.len() == cap {
+                        model.pop();
+                    }
+                    model.insert(0, (k, v));
+                    cache.insert(k, v);
+                }
+                CacheOp::Get(k) => {
+                    let want = model.iter().position(|&(mk, _)| mk == k).map(|pos| {
+                        let e = model.remove(pos);
+                        model.insert(0, e);
+                        e.1
+                    });
+                    prop_assert_eq!(cache.get(&k).copied(), want);
+                }
+                CacheOp::Remove(k) => {
+                    let want = model
+                        .iter()
+                        .position(|&(mk, _)| mk == k)
+                        .map(|pos| model.remove(pos).1);
+                    prop_assert_eq!(cache.remove(&k), want);
+                }
+            }
+            prop_assert_eq!(cache.len(), model.len());
+        }
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u8, u8, u8)>)> {
+    (2usize..14).prop_flat_map(|n| {
+        let edges = prop::collection::vec(
+            (0..n as u8, 0..n as u8, 0u8..3),
+            0..40,
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u8, u8, u8)]) -> rpq_graph::Graph {
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.add_node(&format!("n{i}"), []);
+    }
+    for c in 0..3 {
+        b.color(&format!("c{c}"));
+    }
+    for &(u, v, c) in edges {
+        if u != v {
+            b.add_edge(NodeId(u as u32), NodeId(v as u32), Color(c));
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The matrix agrees with per-source BFS on every (pair, color).
+    #[test]
+    fn matrix_equals_bfs((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let m = DistanceMatrix::build(&g);
+        for color_idx in 0..4u8 {
+            let color = if color_idx == 3 { WILDCARD } else { Color(color_idx) };
+            for src in g.nodes() {
+                let d = bfs_distances(&g, src, color, Direction::Forward);
+                for dst in g.nodes() {
+                    prop_assert_eq!(m.dist(src, dst, color), d[dst.index()]);
+                }
+            }
+        }
+    }
+
+    /// Bidirectional single-pair distance equals the BFS distance.
+    #[test]
+    fn bidirectional_equals_bfs((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        for color_idx in 0..3u8 {
+            let color = Color(color_idx);
+            for src in g.nodes() {
+                let d = bfs_distances(&g, src, color, Direction::Forward);
+                for dst in g.nodes() {
+                    let bi = bidirectional_distance(&g, src, dst, color);
+                    if d[dst.index()] == INFINITY {
+                        prop_assert_eq!(bi, None);
+                    } else {
+                        prop_assert_eq!(bi, Some(u32::from(d[dst.index()])));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward and backward BFS are transposes of each other.
+    #[test]
+    fn backward_bfs_is_transpose((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        for src in g.nodes() {
+            let fwd = bfs_distances(&g, src, WILDCARD, Direction::Forward);
+            for dst in g.nodes() {
+                let bwd = bfs_distances(&g, dst, WILDCARD, Direction::Backward);
+                prop_assert_eq!(fwd[dst.index()], bwd[src.index()]);
+            }
+        }
+    }
+
+    /// Text serialization round-trips node attrs, labels, colors and edges.
+    #[test]
+    fn io_roundtrip((n, edges) in arb_graph(), vals in prop::collection::vec(any::<i64>(), 2..14)) {
+        let mut b = GraphBuilder::new();
+        let attr = b.attr("weight");
+        for i in 0..n {
+            b.add_node(&format!("n{i}"), [(attr, vals[i % vals.len()].into())]);
+        }
+        for c in 0..3 {
+            b.color(&format!("c{c}"));
+        }
+        for &(u, v, c) in &edges {
+            if u != v {
+                b.add_edge(NodeId(u as u32), NodeId(v as u32), Color(c));
+            }
+        }
+        let g = b.build();
+        let text = rpq_graph::io::graph_to_string(&g);
+        let back = rpq_graph::io::graph_from_str(&text).unwrap();
+        prop_assert_eq!(g.node_count(), back.node_count());
+        prop_assert_eq!(g.edge_count(), back.edge_count());
+        for v in g.nodes() {
+            let w = back.node_by_label(g.label(v)).unwrap();
+            let wa = back.schema().get("weight").unwrap();
+            prop_assert_eq!(back.attrs(w).get(wa), g.attrs(v).get(attr));
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Abstract syntax for the class F.
+
+use rpq_graph::{Alphabet, Color};
+use std::fmt;
+
+/// Repetition of a single atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quant {
+    /// Exactly one occurrence — the bare `c` production.
+    One,
+    /// One *up to* `k` occurrences — the paper's `c^k = c ∪ c² ∪ … ∪ c^k`.
+    /// Invariant: `k ≥ 1` (enforced by [`Atom::new`] and the parser).
+    AtMost(u32),
+    /// One or more occurrences — `c+`.
+    Plus,
+}
+
+impl Quant {
+    /// Maximum number of occurrences (`None` = unbounded).
+    #[inline]
+    pub fn max(self) -> Option<u32> {
+        match self {
+            Quant::One => Some(1),
+            Quant::AtMost(k) => Some(k),
+            Quant::Plus => None,
+        }
+    }
+
+    /// Maximum occurrences with `+` treated as "an integer larger than any
+    /// positive integer k", exactly as Prop. 3.3 case (c) prescribes for
+    /// the containment scan.
+    #[inline]
+    pub fn max_or_infinite(self) -> u64 {
+        self.max().map_or(u64::MAX, u64::from)
+    }
+}
+
+/// One atom `c`, `c^k` or `c+` of an F expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The color, possibly [`rpq_graph::WILDCARD`].
+    pub color: Color,
+    /// The repetition.
+    pub quant: Quant,
+}
+
+impl Atom {
+    /// Build an atom, normalizing `AtMost(1)` to `One`.
+    ///
+    /// # Panics
+    /// If `quant` is `AtMost(0)` — the class F has no empty repetitions
+    /// (every atom consumes at least one edge).
+    pub fn new(color: Color, quant: Quant) -> Self {
+        let quant = match quant {
+            Quant::AtMost(0) => panic!("c^0 is not in the class F"),
+            Quant::AtMost(1) => Quant::One,
+            q => q,
+        };
+        Atom { color, quant }
+    }
+
+    /// Does a repetition count of `n` satisfy this atom?
+    #[inline]
+    pub fn admits_count(&self, n: u32) -> bool {
+        n >= 1 && self.quant.max().is_none_or(|k| n <= k)
+    }
+}
+
+/// A regular expression of the class F: a nonempty concatenation of atoms.
+///
+/// Equality/hashing are structural, which is also language-level identity
+/// for this class once `AtMost(1)`/`One` are normalized (done by
+/// constructors).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FRegex {
+    atoms: Vec<Atom>,
+}
+
+impl FRegex {
+    /// Build from atoms.
+    ///
+    /// # Panics
+    /// If `atoms` is empty: F has no ε — a query edge always denotes a
+    /// nonempty path.
+    pub fn new(atoms: Vec<Atom>) -> Self {
+        assert!(!atoms.is_empty(), "F expressions are nonempty");
+        FRegex { atoms }
+    }
+
+    /// Single-atom convenience constructor.
+    pub fn atom(color: Color, quant: Quant) -> Self {
+        FRegex::new(vec![Atom::new(color, quant)])
+    }
+
+    /// The atoms, in order.
+    #[inline]
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of atoms — the paper's `|F|` ("the length of an atomic
+    /// component … is 1").
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// F expressions are never empty; provided for clippy-completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Shortest word length in `L(self)` — one edge per atom.
+    pub fn min_word_len(&self) -> u32 {
+        self.atoms.len() as u32
+    }
+
+    /// Longest word length in `L(self)`, `None` if some atom is `c+`.
+    pub fn max_word_len(&self) -> Option<u64> {
+        self.atoms
+            .iter()
+            .try_fold(0u64, |acc, a| a.quant.max().map(|k| acc + u64::from(k)))
+    }
+
+    /// Does the color word `word` belong to `L(self)`?
+    ///
+    /// Dynamic program over atom boundaries: `reach` holds the set of word
+    /// prefixes consumable by the atoms processed so far. O(|word|²·|F|)
+    /// worst case — words here are graph paths of single-digit length.
+    pub fn matches(&self, word: &[Color]) -> bool {
+        let n = word.len();
+        let mut reach = vec![false; n + 1];
+        reach[0] = true;
+        for atom in &self.atoms {
+            let mut next = vec![false; n + 1];
+            for (start, &live) in reach.iter().enumerate() {
+                if !live {
+                    continue;
+                }
+                let mut consumed = 0u32;
+                for (j, &c) in word.iter().enumerate().skip(start) {
+                    if !atom.color.admits(c) {
+                        break;
+                    }
+                    consumed += 1;
+                    if atom.admits_count(consumed) {
+                        next[j + 1] = true;
+                    }
+                    if let Some(k) = atom.quant.max() {
+                        if consumed == k {
+                            break;
+                        }
+                    }
+                }
+            }
+            reach = next;
+        }
+        reach[n]
+    }
+
+    /// True if every atom uses the same single concrete color — the shape
+    /// the paper calls an "RQ with a single edge color" (§4).
+    pub fn is_single_color(&self) -> bool {
+        let c = self.atoms[0].color;
+        !c.is_wildcard() && self.atoms.iter().all(|a| a.color == c)
+    }
+
+    /// The number of *distinct* colors mentioned (wildcard counts as one),
+    /// the paper's parameter `h` in the multi-color RQ evaluation.
+    pub fn distinct_colors(&self) -> usize {
+        let mut cs: Vec<Color> = self.atoms.iter().map(|a| a.color).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        cs.len()
+    }
+
+    /// Render with color names from `alphabet`.
+    pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> impl fmt::Display + 'a {
+        DisplayFRegex { re: self, alphabet }
+    }
+}
+
+struct DisplayFRegex<'a> {
+    re: &'a FRegex,
+    alphabet: &'a Alphabet,
+}
+
+impl fmt::Display for DisplayFRegex<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.re.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", self.alphabet.name(a.color))?;
+            match a.quant {
+                Quant::One => {}
+                Quant::AtMost(k) => write!(f, "^{k}")?,
+                Quant::Plus => write!(f, "+")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::WILDCARD;
+
+    fn c(i: u8) -> Color {
+        Color(i)
+    }
+
+    #[test]
+    fn atom_normalization() {
+        let a = Atom::new(c(0), Quant::AtMost(1));
+        assert_eq!(a.quant, Quant::One);
+        let b = Atom::new(c(0), Quant::AtMost(3));
+        assert_eq!(b.quant, Quant::AtMost(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "c^0")]
+    fn zero_bound_rejected() {
+        let _ = Atom::new(c(0), Quant::AtMost(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_regex_rejected() {
+        let _ = FRegex::new(vec![]);
+    }
+
+    #[test]
+    fn admits_count() {
+        let one = Atom::new(c(0), Quant::One);
+        assert!(one.admits_count(1));
+        assert!(!one.admits_count(0));
+        assert!(!one.admits_count(2));
+        let upto3 = Atom::new(c(0), Quant::AtMost(3));
+        assert!(upto3.admits_count(1));
+        assert!(upto3.admits_count(3));
+        assert!(!upto3.admits_count(4));
+        let plus = Atom::new(c(0), Quant::Plus);
+        assert!(plus.admits_count(1));
+        assert!(plus.admits_count(1000));
+        assert!(!plus.admits_count(0));
+    }
+
+    #[test]
+    fn matches_simple() {
+        // fa^2 fn — the paper's Q1 constraint
+        let fa = c(0);
+        let fnc = c(1);
+        let re = FRegex::new(vec![
+            Atom::new(fa, Quant::AtMost(2)),
+            Atom::new(fnc, Quant::One),
+        ]);
+        assert!(re.matches(&[fa, fnc]));
+        assert!(re.matches(&[fa, fa, fnc]));
+        assert!(!re.matches(&[fa, fa, fa, fnc]));
+        assert!(!re.matches(&[fa, fa]));
+        assert!(!re.matches(&[fnc]));
+        assert!(!re.matches(&[]));
+    }
+
+    #[test]
+    fn matches_plus_and_wildcard() {
+        let r = c(0);
+        let s = c(1);
+        let re = FRegex::new(vec![
+            Atom::new(r, Quant::Plus),
+            Atom::new(WILDCARD, Quant::One),
+        ]);
+        assert!(re.matches(&[r, s]));
+        assert!(re.matches(&[r, r, r, r, s]));
+        assert!(re.matches(&[r, r])); // wildcard matches r too
+        assert!(!re.matches(&[s, s]));
+        assert!(!re.matches(&[r]));
+    }
+
+    #[test]
+    fn matches_same_color_adjacent_atoms() {
+        // a^2 a — strings of 2..3 a's
+        let a = c(0);
+        let re = FRegex::new(vec![
+            Atom::new(a, Quant::AtMost(2)),
+            Atom::new(a, Quant::One),
+        ]);
+        assert!(!re.matches(&[a]));
+        assert!(re.matches(&[a, a]));
+        assert!(re.matches(&[a, a, a]));
+        assert!(!re.matches(&[a, a, a, a]));
+    }
+
+    #[test]
+    fn word_length_bounds() {
+        let re = FRegex::new(vec![
+            Atom::new(c(0), Quant::AtMost(2)),
+            Atom::new(c(1), Quant::One),
+        ]);
+        assert_eq!(re.min_word_len(), 2);
+        assert_eq!(re.max_word_len(), Some(3));
+        let plus = FRegex::atom(c(0), Quant::Plus);
+        assert_eq!(plus.max_word_len(), None);
+    }
+
+    #[test]
+    fn single_color_detection() {
+        let a = c(0);
+        let re = FRegex::new(vec![
+            Atom::new(a, Quant::AtMost(2)),
+            Atom::new(a, Quant::Plus),
+        ]);
+        assert!(re.is_single_color());
+        assert_eq!(re.distinct_colors(), 1);
+        let mixed = FRegex::new(vec![
+            Atom::new(a, Quant::One),
+            Atom::new(c(1), Quant::One),
+        ]);
+        assert!(!mixed.is_single_color());
+        assert_eq!(mixed.distinct_colors(), 2);
+        let wild = FRegex::atom(WILDCARD, Quant::Plus);
+        assert!(!wild.is_single_color());
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let mut al = Alphabet::new();
+        let fa = al.intern("fa");
+        let fnc = al.intern("fn");
+        let re = FRegex::new(vec![
+            Atom::new(fa, Quant::AtMost(2)),
+            Atom::new(fnc, Quant::One),
+            Atom::new(WILDCARD, Quant::Plus),
+        ]);
+        assert_eq!(re.display(&al).to_string(), "fa^2 fn _+");
+    }
+}

@@ -1,0 +1,40 @@
+//! Export a generated dataset in the `rpq-graph` text format, for use with
+//! the `rpq` CLI.
+//!
+//! ```text
+//! cargo run --example export_graph -- essembly           > essembly.graph
+//! cargo run --example export_graph -- terrorism 42       > gtd.graph
+//! cargo run --example export_graph -- youtube 3000 7     > youtube.graph
+//! cargo run --example export_graph -- synthetic 1000 4000 3 4 1 > syn.graph
+//! ```
+
+use rpq::graph::gen;
+use rpq::graph::io::write_graph;
+use std::io::{self, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = |i: usize, default: u64| -> u64 {
+        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    let g = match args.first().map(String::as_str) {
+        Some("essembly") | None => gen::essembly(),
+        Some("terrorism") => gen::terrorism_like(arg(1, 42)),
+        Some("youtube") => gen::youtube_like(arg(1, 3000) as usize, arg(2, 7)),
+        Some("synthetic") => gen::synthetic(
+            arg(1, 1000) as usize,
+            arg(2, 4000) as usize,
+            arg(3, 3) as usize,
+            arg(4, 4) as usize,
+            arg(5, 1),
+        ),
+        Some(other) => {
+            eprintln!("unknown dataset {other:?} (essembly|terrorism|youtube|synthetic)");
+            std::process::exit(2);
+        }
+    };
+    let stdout = io::stdout();
+    let mut lock = io::BufWriter::new(stdout.lock());
+    write_graph(&g, &mut lock).expect("write to stdout");
+    lock.flush().expect("flush stdout");
+}

@@ -1,0 +1,63 @@
+//! # rpq — regular-expression reachability and graph pattern queries
+//!
+//! A from-scratch Rust implementation of Fan, Li, Ma, Tang & Wu,
+//! *"Adding regular expressions to graph reachability and pattern queries"*
+//! (ICDE 2011 / Frontiers of Computer Science 2012).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`graph`] — the attributed, edge-colored data-graph substrate,
+//! * [`regex`] — the restricted regular-expression class `F ::= c | c^k | c+ | FF`,
+//! * [`core`] — reachability queries (RQs), graph pattern queries (PQs),
+//!   their evaluation algorithms (`JoinMatch`, `SplitMatch`, matrix and
+//!   bi-directional-BFS backends), static analyses (containment,
+//!   equivalence, minimization) and the paper's baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rpq::prelude::*;
+//!
+//! // Build a tiny social graph.
+//! let mut b = GraphBuilder::new();
+//! let job = b.attr("job");
+//! let ann = b.add_node("Ann", [(job, "doctor".into())]);
+//! let bob = b.add_node("Bob", [(job, "biologist".into())]);
+//! let fa = b.color("fa");
+//! b.add_edge(ann, bob, fa);
+//! let g = b.build();
+//!
+//! // "doctor reaches biologist via 1..=2 fa-edges"
+//! let rq = Rq::new(
+//!     Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+//!     Predicate::parse("job = \"biologist\"", g.schema()).unwrap(),
+//!     FRegex::parse("fa^2", g.alphabet()).unwrap(),
+//! );
+//! let matrix = DistanceMatrix::build(&g);
+//! let result = rq.eval_with_matrix(&g, &matrix);
+//! assert_eq!(result.pairs(), vec![(ann, bob)]);
+//! ```
+
+pub use rpq_core as core;
+pub use rpq_graph as graph;
+pub use rpq_regex as regex;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use rpq_core::baseline::{bounded_sim_match, plain_sim_match, subiso_match};
+    pub use rpq_core::grq::GRq;
+    pub use rpq_core::incremental::{DynamicGraph, IncrementalMatcher, Update};
+    pub use rpq_core::join_match::JoinMatch;
+    pub use rpq_core::lang::{format_pq, parse_pq};
+    pub use rpq_core::minimize::minimize;
+    pub use rpq_core::pq::{Pq, PqResult};
+    pub use rpq_core::predicate::Predicate;
+    pub use rpq_core::reach::{CachedReach, MatrixReach, ReachEngine};
+    pub use rpq_core::rq::{Rq, RqResult};
+    pub use rpq_core::split_match::SplitMatch;
+    pub use rpq_graph::{
+        Alphabet, AttrId, AttrValue, Attrs, DistanceMatrix, Graph, GraphBuilder, NodeId, Schema,
+        WILDCARD,
+    };
+    pub use rpq_regex::{FRegex, GRegex};
+}

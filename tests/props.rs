@@ -1,0 +1,188 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * the paper's linear containment scan is sound w.r.t. the exact decider,
+//! * regex matching agrees with its NFA compilation,
+//! * RQ evaluation strategies are interchangeable,
+//! * PQ algorithms equal the declarative fixpoint semantics,
+//! * minimization preserves equivalence and never grows a query,
+//! * PQ containment is a preorder consistent with evaluation.
+
+use proptest::prelude::*;
+use rpq::prelude::*;
+use rpq_regex::{Atom, Quant};
+
+const NUM_COLORS: usize = 3;
+
+fn arb_color() -> impl Strategy<Value = rpq::graph::Color> {
+    prop_oneof![
+        3 => (0..NUM_COLORS as u8).prop_map(rpq::graph::Color),
+        1 => Just(WILDCARD),
+    ]
+}
+
+fn arb_quant() -> impl Strategy<Value = Quant> {
+    prop_oneof![
+        2 => Just(Quant::One),
+        3 => (2u32..5).prop_map(Quant::AtMost),
+        1 => Just(Quant::Plus),
+    ]
+}
+
+fn arb_regex() -> impl Strategy<Value = FRegex> {
+    prop::collection::vec((arb_color(), arb_quant()), 1..4)
+        .prop_map(|atoms| FRegex::new(atoms.into_iter().map(|(c, q)| Atom::new(c, q)).collect()))
+}
+
+fn arb_word() -> impl Strategy<Value = Vec<rpq::graph::Color>> {
+    prop::collection::vec((0..NUM_COLORS as u8).prop_map(rpq::graph::Color), 0..8)
+}
+
+/// A small random data graph plus its distance matrix inputs.
+fn arb_graph() -> impl Strategy<Value = (u64, usize, usize)> {
+    (0u64..10_000, 3usize..26, 0usize..70)
+}
+
+fn build_graph(seed: u64, n: usize, e: usize) -> Graph {
+    rpq::graph::gen::synthetic(n, e.min(n * (n - 1) / 2), 2, NUM_COLORS, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness of the linear scan: scan-positive ⇒ exact-positive.
+    #[test]
+    fn scan_containment_is_sound(a in arb_regex(), b in arb_regex()) {
+        if rpq_regex::contain::contains_scan(&a, &b) {
+            prop_assert!(rpq_regex::contain::contains_exact(&a, &b, NUM_COLORS));
+        }
+    }
+
+    /// Exact containment really is containment: any word matched by `a`
+    /// is matched by `b` whenever the decider says `a ⊆ b`.
+    #[test]
+    fn exact_containment_respects_words(a in arb_regex(), b in arb_regex(), w in arb_word()) {
+        if rpq_regex::contain::contains_exact(&a, &b, NUM_COLORS) && a.matches(&w) {
+            prop_assert!(b.matches(&w), "word {w:?} separates the languages");
+        }
+    }
+
+    /// The NFA accepts exactly the words the matcher accepts.
+    #[test]
+    fn nfa_equals_matcher(re in arb_regex(), w in arb_word()) {
+        let nfa = rpq_regex::Nfa::from_regex(&re);
+        prop_assert_eq!(nfa.accepts(&w), re.matches(&w));
+    }
+
+    /// Scan containment is reflexive and transitive on the regex class.
+    #[test]
+    fn scan_is_a_preorder(a in arb_regex(), b in arb_regex(), c in arb_regex()) {
+        use rpq_regex::contain::contains_scan;
+        prop_assert!(contains_scan(&a, &a));
+        if contains_scan(&a, &b) && contains_scan(&b, &c) {
+            prop_assert!(contains_scan(&a, &c));
+        }
+    }
+}
+
+proptest! {
+    // graph-valued cases are costlier; fewer of them
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All three RQ strategies return identical results.
+    #[test]
+    fn rq_strategies_interchangeable(
+        (seed, n, e) in arb_graph(),
+        re in arb_regex(),
+        lo in 0i64..8,
+    ) {
+        let g = build_graph(seed, n, e);
+        let m = DistanceMatrix::build(&g);
+        let rq = Rq::new(
+            Predicate::parse(&format!("a0 >= {lo}"), g.schema()).unwrap(),
+            Predicate::always_true(),
+            re,
+        );
+        let a = rq.eval_bfs(&g);
+        prop_assert_eq!(&a, &rq.eval_with_matrix(&g, &m), "DM");
+        prop_assert_eq!(&a, &rq.eval_bibfs(&g), "biBFS");
+    }
+
+    /// JoinMatch and SplitMatch (both backends) equal the fixpoint
+    /// semantics on arbitrary 2-node patterns with a possible cycle.
+    #[test]
+    fn pq_algorithms_equal_semantics(
+        (seed, n, e) in arb_graph(),
+        re1 in arb_regex(),
+        re2 in prop::option::of(arb_regex()),
+        bound in 0i64..8,
+    ) {
+        let g = build_graph(seed, n, e);
+        let m = DistanceMatrix::build(&g);
+        let mut pq = Pq::new();
+        let a = pq.add_node("a", Predicate::parse(&format!("a1 <= {bound}"), g.schema()).unwrap());
+        let b = pq.add_node("b", Predicate::always_true());
+        pq.add_edge(a, b, re1);
+        if let Some(r2) = re2 {
+            pq.add_edge(b, a, r2);
+        }
+        let oracle = pq.eval_naive(&g);
+        prop_assert_eq!(&JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m)), &oracle);
+        prop_assert_eq!(&JoinMatch::eval(&pq, &g, &mut CachedReach::new(1 << 12)), &oracle);
+        prop_assert_eq!(&SplitMatch::eval(&pq, &g, &mut MatrixReach::new(&m)), &oracle);
+        prop_assert_eq!(&SplitMatch::eval(&pq, &g, &mut CachedReach::new(1 << 12)), &oracle);
+    }
+
+    /// Minimization: equivalent, never larger, and idempotent in size.
+    #[test]
+    fn minimize_invariants(
+        re1 in arb_regex(),
+        re2 in arb_regex(),
+        re3 in arb_regex(),
+        dup in any::<bool>(),
+    ) {
+        let mut schema = Schema::new();
+        schema.intern("t");
+        let p = |v: i64| Predicate::parse(&format!("t = {v}"), &schema).unwrap();
+        let mut q = Pq::new();
+        let r = q.add_node("r", p(0));
+        let x = q.add_node("x", p(1));
+        let y = q.add_node("y", p(1));
+        q.add_edge(r, x, re1.clone());
+        q.add_edge(r, y, if dup { re1 } else { re2 });
+        q.add_edge(x, r, re3.clone());
+        q.add_edge(y, r, re3);
+        let m1 = minimize(&q);
+        prop_assert!(rpq::core::pq_equivalent(&m1, &q), "equivalence lost");
+        prop_assert!(m1.size() <= q.size(), "minimization grew the query");
+        let m2 = minimize(&m1);
+        prop_assert!(rpq::core::pq_equivalent(&m2, &m1));
+        prop_assert_eq!(m2.size(), m1.size(), "not a fixpoint");
+    }
+
+    /// PQ containment is consistent with evaluation on single-edge
+    /// patterns: a ⊑ b implies Se(a) ⊆ Se(b) on every tested graph.
+    #[test]
+    fn pq_containment_consistent_with_eval(
+        (seed, n, e) in arb_graph(),
+        ra in arb_regex(),
+        rb in arb_regex(),
+    ) {
+        let g = build_graph(seed, n, e);
+        let mk = |re: &FRegex| {
+            let mut q = Pq::new();
+            let a = q.add_node("a", Predicate::always_true());
+            let b = q.add_node("b", Predicate::always_true());
+            q.add_edge(a, b, re.clone());
+            q
+        };
+        let qa = mk(&ra);
+        let qb = mk(&rb);
+        if rpq::core::pq_contained_in(&qa, &qb) {
+            let sa = qa.eval_naive(&g);
+            let sb = qb.eval_naive(&g);
+            for p in sa.edge_matches(0) {
+                prop_assert!(sb.edge_matches(0).contains(p), "pair {p:?} not covered");
+            }
+        }
+    }
+}
