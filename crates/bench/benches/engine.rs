@@ -1,0 +1,73 @@
+//! Benchmark: batch throughput of the parallel `QueryEngine` against
+//! sequential single-query evaluation of the same workload — the scaling
+//! argument for the engine layer (shared indices + reach-set memoization +
+//! worker threads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_bench::querygen::generate_rq;
+use rpq_engine::{EngineConfig, Query, QueryEngine};
+use rpq_graph::gen::youtube_like;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// A mixed batch: distinct RQs plus repeated hot keys (real traffic
+/// repeats popular queries, which is what the memo exploits).
+fn workload(g: &Arc<rpq_graph::Graph>, batch: usize) -> Vec<Query> {
+    (0..batch)
+        .map(|i| {
+            // every 4th query repeats one of 8 hot keys
+            let seed = if i % 4 == 0 {
+                (i % 8) as u64
+            } else {
+                1000 + i as u64
+            };
+            Query::Rq(generate_rq(g, 2, 4, 2, seed))
+        })
+        .collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let g = Arc::new(youtube_like(4000, 42));
+    let mut group = c.benchmark_group("engine_batch");
+    group.sample_size(10);
+    for &batch in &[16usize, 64] {
+        let queries = workload(&g, batch);
+
+        // sequential reference: one query at a time, no shared state
+        group.bench_with_input(
+            BenchmarkId::new("sequential", batch),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    for q in queries {
+                        if let Query::Rq(rq) = q {
+                            black_box(rq.eval_bibfs(&g));
+                        }
+                    }
+                })
+            },
+        );
+
+        for &workers in &[1usize, 4] {
+            let engine = QueryEngine::with_config(
+                Arc::clone(&g),
+                EngineConfig {
+                    workers,
+                    // youtube_like(4000) is over the default limit anyway;
+                    // pin it so the comparison stays index-free
+                    matrix_node_limit: 0,
+                    ..EngineConfig::default()
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("engine_w{workers}"), batch),
+                &queries,
+                |b, queries| b.iter(|| black_box(engine.run_batch(queries))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

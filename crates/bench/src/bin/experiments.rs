@@ -14,7 +14,9 @@
 
 use rpq_bench::harness::{mean_ms, time, Table};
 use rpq_bench::measure::{f_measure, pairs_of, MatchPairs};
-use rpq_bench::querygen::{generate_pq_anchored, generate_pq_with_redundancy, generate_rq, QueryParams};
+use rpq_bench::querygen::{
+    generate_pq_anchored, generate_pq_with_redundancy, generate_rq, QueryParams,
+};
 use rpq_core::baseline::{bounded_sim_match, subiso_match};
 use rpq_core::{CachedReach, JoinMatch, MatrixReach, Pq, SplitMatch};
 use rpq_graph::gen::{synthetic, terrorism_like, youtube_like};
@@ -135,7 +137,10 @@ fn fig9b(cfg: &Config) {
             f_sub += f_measure(&truth, &sub_pairs).f_measure;
         }
         let n = queries.len() as f64;
-        table.row(format!("({size},{size})"), vec![f_pq / n, f_match / n, f_sub / n]);
+        table.row(
+            format!("({size},{size})"),
+            vec![f_pq / n, f_match / n, f_sub / n],
+        );
     }
     table.print();
 }
@@ -198,7 +203,12 @@ fn fig10a(cfg: &Config) {
         let n = cfg.queries as f64;
         table.row(
             format!("({nv},{ne})"),
-            vec![mean_ms(&t_norm), mean_ms(&t_min), sz as f64 / n, szm as f64 / n],
+            vec![
+                mean_ms(&t_norm),
+                mean_ms(&t_min),
+                sz as f64 / n,
+                szm as f64 / n,
+            ],
         );
     }
     table.print();
@@ -216,7 +226,10 @@ fn fig10b(cfg: &Config) {
     // not, which is the regime where the pre-computed index wins, as in
     // the paper's figure.
     for (title, preds) in [
-        ("Fig 10(b) — RQ strategies vs number of colors (YouTube-like, |pred|=3)", 3usize),
+        (
+            "Fig 10(b) — RQ strategies vs number of colors (YouTube-like, |pred|=3)",
+            3usize,
+        ),
         ("Fig 10(b') — ablation: unselective endpoints (|pred|=0)", 0),
     ] {
         let mut table = Table::new(title, "#colors", &["DM", "biBFS", "BFS"], "ms");
@@ -253,7 +266,13 @@ fn pq_efficiency(
     let mut table = Table::new(
         title,
         x_label,
-        &["JoinMatchM", "JoinMatchC", "SplitMatchM", "SplitMatchC", "M-index"],
+        &[
+            "JoinMatchM",
+            "JoinMatchC",
+            "SplitMatchM",
+            "SplitMatchC",
+            "M-index",
+        ],
         "ms",
     );
     for (row_idx, (label, params)) in settings.iter().enumerate() {
@@ -299,7 +318,13 @@ fn fig11a(cfg: &Config) {
             (nv.to_string(), p)
         })
         .collect();
-    pq_efficiency("Fig 11(a) — PQ time vs |Vp| (YouTube-like)", "|Vp|", &g, &settings, cfg);
+    pq_efficiency(
+        "Fig 11(a) — PQ time vs |Vp| (YouTube-like)",
+        "|Vp|",
+        &g,
+        &settings,
+        cfg,
+    );
 }
 
 fn fig11b(cfg: &Config) {
@@ -312,7 +337,13 @@ fn fig11b(cfg: &Config) {
             (ne.to_string(), p)
         })
         .collect();
-    pq_efficiency("Fig 11(b) — PQ time vs |Ep| (YouTube-like)", "|Ep|", &g, &settings, cfg);
+    pq_efficiency(
+        "Fig 11(b) — PQ time vs |Ep| (YouTube-like)",
+        "|Ep|",
+        &g,
+        &settings,
+        cfg,
+    );
 }
 
 fn fig11c(cfg: &Config) {
@@ -324,7 +355,13 @@ fn fig11c(cfg: &Config) {
             (preds.to_string(), p)
         })
         .collect();
-    pq_efficiency("Fig 11(c) — PQ time vs |pred| (YouTube-like)", "|pred|", &g, &settings, cfg);
+    pq_efficiency(
+        "Fig 11(c) — PQ time vs |pred| (YouTube-like)",
+        "|pred|",
+        &g,
+        &settings,
+        cfg,
+    );
 }
 
 fn fig11d(cfg: &Config) {
@@ -337,7 +374,13 @@ fn fig11d(cfg: &Config) {
             (b.to_string(), p)
         })
         .collect();
-    pq_efficiency("Fig 11(d) — PQ time vs bound b (YouTube-like)", "b", &g, &settings, cfg);
+    pq_efficiency(
+        "Fig 11(d) — PQ time vs bound b (YouTube-like)",
+        "b",
+        &g,
+        &settings,
+        cfg,
+    );
 }
 
 fn fig12a(cfg: &Config) {
@@ -354,7 +397,12 @@ fn fig12a(cfg: &Config) {
         let m = DistanceMatrix::build(&g);
         let mut t: [Vec<Duration>; 4] = Default::default();
         for i in 0..cfg.queries {
-            let pq = generate_pq_anchored(&g, &m, &QueryParams::defaults(), cfg.seed + (step * 777 + i) as u64);
+            let pq = generate_pq_anchored(
+                &g,
+                &m,
+                &QueryParams::defaults(),
+                cfg.seed + (step * 777 + i) as u64,
+            );
             t[0].push(time(|| JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m))).1);
             let mut cache = CachedReach::with_default_capacity();
             t[1].push(time(|| JoinMatch::eval(&pq, &g, &mut cache)).1);
@@ -381,7 +429,12 @@ fn fig12b(cfg: &Config) {
         let m = DistanceMatrix::build(&g);
         let mut t: [Vec<Duration>; 4] = Default::default();
         for i in 0..cfg.queries {
-            let pq = generate_pq_anchored(&g, &m, &QueryParams::defaults(), cfg.seed + (step * 555 + i) as u64);
+            let pq = generate_pq_anchored(
+                &g,
+                &m,
+                &QueryParams::defaults(),
+                cfg.seed + (step * 555 + i) as u64,
+            );
             t[0].push(time(|| JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m))).1);
             let mut cache = CachedReach::with_default_capacity();
             t[1].push(time(|| JoinMatch::eval(&pq, &g, &mut cache)).1);
@@ -416,7 +469,12 @@ fn fig12c(cfg: &Config) {
             (nv.to_string(), p)
         })
         .collect();
-    fig12_pattern_sweep(cfg, "Fig 12(c) — PQ time vs |Vp| (synthetic)", "|Vp|", settings);
+    fig12_pattern_sweep(
+        cfg,
+        "Fig 12(c) — PQ time vs |Vp| (synthetic)",
+        "|Vp|",
+        settings,
+    );
 }
 
 fn fig12d(cfg: &Config) {
@@ -429,7 +487,12 @@ fn fig12d(cfg: &Config) {
             (ne.to_string(), p)
         })
         .collect();
-    fig12_pattern_sweep(cfg, "Fig 12(d) — PQ time vs |Ep| (synthetic)", "|Ep|", settings);
+    fig12_pattern_sweep(
+        cfg,
+        "Fig 12(d) — PQ time vs |Ep| (synthetic)",
+        "|Ep|",
+        settings,
+    );
 }
 
 fn fig12e(cfg: &Config) {
@@ -440,7 +503,12 @@ fn fig12e(cfg: &Config) {
             (preds.to_string(), p)
         })
         .collect();
-    fig12_pattern_sweep(cfg, "Fig 12(e) — PQ time vs |pred| (synthetic)", "|pred|", settings);
+    fig12_pattern_sweep(
+        cfg,
+        "Fig 12(e) — PQ time vs |pred| (synthetic)",
+        "|pred|",
+        settings,
+    );
 }
 
 fn fig12f(cfg: &Config) {

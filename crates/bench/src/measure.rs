@@ -37,8 +37,16 @@ pub struct Scores {
 /// Score `found` against `truth`.
 pub fn f_measure(truth: &MatchPairs, found: &MatchPairs) -> Scores {
     let hit = found.intersection(truth).count() as f64;
-    let precision = if found.is_empty() { 1.0 } else { hit / found.len() as f64 };
-    let recall = if truth.is_empty() { 1.0 } else { hit / truth.len() as f64 };
+    let precision = if found.is_empty() {
+        1.0
+    } else {
+        hit / found.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        hit / truth.len() as f64
+    };
     let f = if precision + recall == 0.0 {
         0.0
     } else {

@@ -17,8 +17,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rpq_core::predicate::{CompOp, PredAtom, Predicate};
 use rpq_core::pq::Pq;
+use rpq_core::predicate::{CompOp, PredAtom, Predicate};
 use rpq_core::rq::Rq;
 use rpq_graph::{AttrValue, DistanceMatrix, Graph};
 use rpq_regex::{Atom, FRegex, Quant};
@@ -96,9 +96,9 @@ pub fn sample_predicate_at(
             let selectivity = g
                 .nodes()
                 .filter(|&x| {
-                    g.attrs(x)
-                        .get(atom.attr)
-                        .is_some_and(|val| val.same_domain(&atom.value) && atom.op.eval(val, &atom.value))
+                    g.attrs(x).get(atom.attr).is_some_and(|val| {
+                        val.same_domain(&atom.value) && atom.op.eval(val, &atom.value)
+                    })
                 })
                 .take(5)
                 .count();
@@ -123,7 +123,11 @@ pub fn sample_regex(g: &Graph, bound: u32, c: usize, rng: &mut StdRng) -> FRegex
         let j = rng.gen_range(i..colors.len());
         colors.swap(i, j);
     }
-    let quant = if bound <= 1 { Quant::One } else { Quant::AtMost(bound) };
+    let quant = if bound <= 1 {
+        Quant::One
+    } else {
+        Quant::AtMost(bound)
+    };
     FRegex::new(
         colors
             .into_iter()
@@ -179,7 +183,11 @@ pub fn generate_pq(g: &Graph, p: &QueryParams, seed: u64) -> Pq {
             break;
         }
         let parent = rng.gen_range(0..i);
-        let (u, v) = if rng.gen_bool(0.5) { (parent, i) } else { (i, parent) };
+        let (u, v) = if rng.gen_bool(0.5) {
+            (parent, i)
+        } else {
+            (i, parent)
+        };
         let re = next_regex(&mut rng);
         pq.add_edge(u, v, re);
         remaining -= 1;
@@ -213,8 +221,17 @@ pub fn generate_pq_anchored(g: &Graph, m: &DistanceMatrix, p: &QueryParams, seed
 
     // one color-respecting walk segment of 1..=min(b,2) hops, forward
     // (follow out-edges) or backward (follow in-edges)
-    let walk_segment = |start: rpq_graph::NodeId, forward: bool, rng: &mut StdRng| -> Option<(rpq_graph::NodeId, rpq_graph::Color)> {
-        let adj = |v: rpq_graph::NodeId| if forward { g.out_edges(v) } else { g.in_edges(v) };
+    let walk_segment = |start: rpq_graph::NodeId,
+                        forward: bool,
+                        rng: &mut StdRng|
+     -> Option<(rpq_graph::NodeId, rpq_graph::Color)> {
+        let adj = |v: rpq_graph::NodeId| {
+            if forward {
+                g.out_edges(v)
+            } else {
+                g.in_edges(v)
+            }
+        };
         let outs = adj(start);
         if outs.is_empty() {
             return None;
@@ -235,7 +252,11 @@ pub fn generate_pq_anchored(g: &Graph, m: &DistanceMatrix, p: &QueryParams, seed
         }
         Some((cur, color))
     };
-    let quant = if p.bound <= 1 { Quant::One } else { Quant::AtMost(p.bound) };
+    let quant = if p.bound <= 1 {
+        Quant::One
+    } else {
+        Quant::AtMost(p.bound)
+    };
 
     // anchors + backbone: extend from an existing anchor by a forward walk
     // (edge j → new) or a backward walk (edge new → j). Only the very
@@ -380,7 +401,11 @@ pub fn generate_rq(g: &Graph, preds: usize, bound: u32, k: usize, seed: u64) -> 
         let j = rng.gen_range(i..colors.len());
         colors.swap(i, j);
     }
-    let quant = if bound <= 1 { Quant::One } else { Quant::AtMost(bound) };
+    let quant = if bound <= 1 {
+        Quant::One
+    } else {
+        Quant::AtMost(bound)
+    };
     let regex = FRegex::new(
         colors
             .into_iter()

@@ -79,7 +79,10 @@ mod tests {
             "C",
             Predicate::parse("job = \"biologist\"", g.schema()).unwrap(),
         );
-        let b = pq.add_node("B", Predicate::parse("job = \"doctor\"", g.schema()).unwrap());
+        let b = pq.add_node(
+            "B",
+            Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+        );
         pq.add_edge(c, b, FRegex::parse("fn", g.alphabet()).unwrap());
         let res = plain_sim_match(&pq, &g);
         let n = |l: &str| g.node_by_label(l).unwrap();
@@ -98,7 +101,10 @@ mod tests {
             "C",
             Predicate::parse("job = \"biologist\"", g.schema()).unwrap(),
         );
-        let b = pq.add_node("B", Predicate::parse("job = \"doctor\"", g.schema()).unwrap());
+        let b = pq.add_node(
+            "B",
+            Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+        );
         pq.add_edge(c, b, FRegex::parse("fn^3", g.alphabet()).unwrap());
 
         let plain = plain_sim_match(&pq, &g);
@@ -124,7 +130,10 @@ mod tests {
             "C2",
             Predicate::parse("job = \"biologist\"", g.schema()).unwrap(),
         );
-        let b = pq.add_node("B", Predicate::parse("job = \"doctor\"", g.schema()).unwrap());
+        let b = pq.add_node(
+            "B",
+            Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+        );
         let re = FRegex::parse("fn", g.alphabet()).unwrap();
         pq.add_edge(c1, b, re.clone());
         pq.add_edge(c2, b, re);

@@ -42,9 +42,7 @@ pub fn subiso_match(pq: &Pq, g: &Graph, max_steps: u64) -> SubIsoResult {
         };
     }
     // initial candidates: predicate matches
-    let mut cands: Vec<Vec<NodeId>> = (0..n)
-        .map(|u| matches_of(g, &pq.node(u).pred))
-        .collect();
+    let mut cands: Vec<Vec<NodeId>> = (0..n).map(|u| matches_of(g, &pq.node(u).pred)).collect();
 
     // Ullmann refinement: x is a candidate of u only if, for each query
     // edge (u, u'), x has an out-neighbor of admissible color among the
@@ -61,17 +59,15 @@ pub fn subiso_match(pq: &Pq, g: &Graph, max_steps: u64) -> SubIsoResult {
                     pq.out_edges(u).iter().all(|&ei| {
                         let e = pq.edge(ei);
                         let color = e.regex.atoms()[0].color;
-                        g.out_edges(x).iter().any(|de| {
-                            color.admits(de.color)
-                                && cands[e.to].contains(&de.node)
-                        })
+                        g.out_edges(x)
+                            .iter()
+                            .any(|de| color.admits(de.color) && cands[e.to].contains(&de.node))
                     }) && pq.in_edges(u).iter().all(|&ei| {
                         let e = pq.edge(ei);
                         let color = e.regex.atoms()[0].color;
-                        g.in_edges(x).iter().any(|de| {
-                            color.admits(de.color)
-                                && cands[e.from].contains(&de.node)
-                        })
+                        g.in_edges(x)
+                            .iter()
+                            .any(|de| color.admits(de.color) && cands[e.from].contains(&de.node))
                     })
                 })
                 .collect();

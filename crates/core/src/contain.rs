@@ -93,10 +93,7 @@ mod tests {
                     let ra = a.eval_bfs(&g);
                     let rb = b.eval_bfs(&g);
                     for &(x, y) in ra.as_slice() {
-                        assert!(
-                            rb.contains(x, y),
-                            "containment violated on ({x:?},{y:?})"
-                        );
+                        assert!(rb.contains(x, y), "containment violated on ({x:?},{y:?})");
                     }
                 }
             }

@@ -124,7 +124,11 @@ mod tests {
         let g = synthetic(40, 150, 2, 3, 77);
         for src in ["c0", "c0^2 c1", "c2+", "_^2"] {
             let f = FRegex::parse(src, g.alphabet()).unwrap();
-            let rq = Rq::new(Predicate::always_true(), Predicate::always_true(), f.clone());
+            let rq = Rq::new(
+                Predicate::always_true(),
+                Predicate::always_true(),
+                f.clone(),
+            );
             let grq = GRq::new(
                 Predicate::always_true(),
                 Predicate::always_true(),

@@ -216,9 +216,13 @@ impl IncrementalMatcher {
                     .filter(|&x| {
                         if single {
                             let atom = &e.regex.atoms()[0];
-                            targets.iter().any(|&y| self.engine.reaches_atom(g, x, y, atom))
+                            targets
+                                .iter()
+                                .any(|&y| self.engine.reaches_atom(g, x, y, atom))
                         } else {
-                            targets.iter().any(|&y| self.engine.reaches(g, x, y, &e.regex))
+                            targets
+                                .iter()
+                                .any(|&y| self.engine.reaches(g, x, y, &e.regex))
                         }
                     })
                     .collect();
@@ -259,11 +263,7 @@ impl IncrementalMatcher {
 
 /// Incremental RQ maintenance: the RQ special case is simple enough to
 /// answer by re-running the product search over affected sources only.
-pub fn rq_affected_sources(
-    g: &Graph,
-    rq: &crate::rq::Rq,
-    updates: &[Update],
-) -> Vec<NodeId> {
+pub fn rq_affected_sources(g: &Graph, rq: &crate::rq::Rq, updates: &[Update]) -> Vec<NodeId> {
     // sources whose reach set can change: those that reach an updated
     // edge's source endpoint through a (wildcard) prefix — conservative
     // but sound overapproximation
@@ -316,7 +316,10 @@ mod tests {
             "C",
             Predicate::parse("job = \"biologist\" && sp = \"cloning\"", g.schema()).unwrap(),
         );
-        let d = pq.add_node("D", Predicate::parse("uid = \"Alice001\"", g.schema()).unwrap());
+        let d = pq.add_node(
+            "D",
+            Predicate::parse("uid = \"Alice001\"", g.schema()).unwrap(),
+        );
         let re = |s: &str| FRegex::parse(s, g.alphabet()).unwrap();
         pq.add_edge(b, c, re("fn"));
         pq.add_edge(c, b, re("fn"));
@@ -399,11 +402,18 @@ mod tests {
             let mut pq = Pq::new();
             let a = pq.add_node(
                 "a",
-                Predicate::parse(&format!("a0 <= {}", rng.gen_range(4..9)), dg.graph().schema())
-                    .unwrap(),
+                Predicate::parse(
+                    &format!("a0 <= {}", rng.gen_range(4..9)),
+                    dg.graph().schema(),
+                )
+                .unwrap(),
             );
             let b = pq.add_node("b", Predicate::always_true());
-            pq.add_edge(a, b, FRegex::parse("c0^2 c1", dg.graph().alphabet()).unwrap());
+            pq.add_edge(
+                a,
+                b,
+                FRegex::parse("c0^2 c1", dg.graph().alphabet()).unwrap(),
+            );
             pq.add_edge(b, a, FRegex::parse("_+", dg.graph().alphabet()).unwrap());
             let mut inc = IncrementalMatcher::new(pq, &dg);
             for step in 0..12 {
@@ -446,7 +456,11 @@ mod tests {
         pq.add_edge(a, bb, FRegex::parse("c", dg.graph().alphabet()).unwrap());
         let mut inc = IncrementalMatcher::new(pq, &dg);
         assert!(inc.is_empty());
-        let eff = dg.apply(&[Update::Insert(x, y, dg.graph().alphabet().get("c").unwrap())]);
+        let eff = dg.apply(&[Update::Insert(
+            x,
+            y,
+            dg.graph().alphabet().get("c").unwrap(),
+        )]);
         inc.on_update(&dg, &eff);
         assert!(!inc.is_empty());
         assert_eq!(inc.result(&dg), inc.full_reeval(&dg));

@@ -52,9 +52,7 @@ pub(crate) fn refine<R: ReachEngine>(
     engine: &mut R,
 ) -> Option<Vec<Vec<NodeId>>> {
     let n = work.node_count();
-    let mut mats: Vec<Vec<NodeId>> = (0..n)
-        .map(|u| matches_of(g, &work.node(u).pred))
-        .collect();
+    let mut mats: Vec<Vec<NodeId>> = (0..n).map(|u| matches_of(g, &work.node(u).pred)).collect();
     if mats.iter().any(|m| m.is_empty()) {
         return None;
     }
@@ -181,7 +179,10 @@ mod tests {
             "C",
             Predicate::parse("job = \"biologist\" && sp = \"cloning\"", g.schema()).unwrap(),
         );
-        let d = pq.add_node("D", Predicate::parse("uid = \"Alice001\"", g.schema()).unwrap());
+        let d = pq.add_node(
+            "D",
+            Predicate::parse("uid = \"Alice001\"", g.schema()).unwrap(),
+        );
         let re = |s: &str| FRegex::parse(s, g.alphabet()).unwrap();
         pq.add_edge(b, c, re("fn"));
         pq.add_edge(c, b, re("fn"));
@@ -231,7 +232,10 @@ mod tests {
         let oracle = pq.eval_naive(&g);
         let m = DistanceMatrix::build(&g);
         assert_eq!(JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m)), oracle);
-        assert_eq!(JoinMatch::eval(&pq, &g, &mut CachedReach::new(1024)), oracle);
+        assert_eq!(
+            JoinMatch::eval(&pq, &g, &mut CachedReach::new(1024)),
+            oracle
+        );
     }
 
     #[test]
@@ -246,11 +250,8 @@ mod tests {
             let n_nodes = rng.gen_range(2..5usize);
             for i in 0..n_nodes {
                 let pred = if rng.gen_bool(0.5) {
-                    Predicate::parse(
-                        &format!("a0 <= {}", rng.gen_range(3..10)),
-                        g.schema(),
-                    )
-                    .unwrap()
+                    Predicate::parse(&format!("a0 <= {}", rng.gen_range(3..10)), g.schema())
+                        .unwrap()
                 } else {
                     Predicate::always_true()
                 };

@@ -102,8 +102,8 @@ pub fn parse_pq(input: &str, schema: &Schema, alphabet: &Alphabet) -> Result<Pq,
                 let &tid = ids
                     .get(to)
                     .ok_or_else(|| LangError::UnknownNode(line, to.to_owned()))?;
-                let regex = FRegex::parse(regex_src, alphabet)
-                    .map_err(|e| LangError::BadRegex(line, e))?;
+                let regex =
+                    FRegex::parse(regex_src, alphabet).map_err(|e| LangError::BadRegex(line, e))?;
                 pq.add_edge(fid, tid, regex);
             } else {
                 return Err(LangError::BadStatement(line, stmt.to_owned()));

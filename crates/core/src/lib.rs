@@ -35,8 +35,8 @@ pub mod simulation;
 pub mod split_match;
 
 pub use contain::{pq_contained_in, pq_equivalent, rq_contained_in, rq_equivalent};
-pub use incremental::{DynamicGraph, IncrementalMatcher, Update};
 pub use grq::GRq;
+pub use incremental::{DynamicGraph, IncrementalMatcher, Update};
 pub use join_match::JoinMatch;
 pub use minimize::minimize;
 pub use pq::{Pq, PqEdge, PqNode, PqResult};

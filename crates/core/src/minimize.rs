@@ -165,33 +165,30 @@ fn drop_middles(set: Vec<FRegex>) -> Vec<FRegex> {
 
 /// All edges the step-3 rule deems redundant (candidates for removal).
 fn find_redundant_edges(qm: &Pq, sr: &[Vec<bool>]) -> Vec<usize> {
-    (0..qm.edge_count()).filter(|&ei| {
-        let e = qm.edge(ei);
-        let has_e1 = (0..qm.edge_count()).any(|j| {
-            if j == ei {
+    (0..qm.edge_count())
+        .filter(|&ei| {
+            let e = qm.edge(ei);
+            let has_e1 = (0..qm.edge_count()).any(|j| {
+                if j == ei {
+                    return false;
+                }
+                let e1 = qm.edge(j);
+                // e's endpoints are simulated by e1's, and e1 ⊨ e
+                sr[e.from][e1.from] && sr[e.to][e1.to] && contains_scan(&e1.regex, &e.regex)
+            });
+            if !has_e1 {
                 return false;
             }
-            let e1 = qm.edge(j);
-            // e's endpoints are simulated by e1's, and e1 ⊨ e
-            sr[e.from][e1.from]
-                && sr[e.to][e1.to]
-                && contains_scan(&e1.regex, &e.regex)
-        });
-        if !has_e1 {
-            return false;
-        }
-        (0..qm.edge_count()).any(|j| {
-            if j == ei {
-                return false;
-            }
-            let e2 = qm.edge(j);
-            // e2's endpoints are simulated by e's, and e ⊨ e2
-            sr[e2.from][e.from]
-                && sr[e2.to][e.to]
-                && contains_scan(&e.regex, &e2.regex)
+            (0..qm.edge_count()).any(|j| {
+                if j == ei {
+                    return false;
+                }
+                let e2 = qm.edge(j);
+                // e2's endpoints are simulated by e's, and e ⊨ e2
+                sr[e2.from][e.from] && sr[e2.to][e.to] && contains_scan(&e.regex, &e2.regex)
+            })
         })
-    })
-    .collect()
+        .collect()
 }
 
 fn remove_edge(q: &Pq, victim: usize) -> Pq {
@@ -252,13 +249,18 @@ mod tests {
         let (s, al) = vocab();
         let mut q1 = Pq::new();
         let b = q1.add_node("B1", pred(&s, "B"));
-        let cs: Vec<_> = (0..3).map(|i| q1.add_node(&format!("C{i}"), pred(&s, "C"))).collect();
+        let cs: Vec<_> = (0..3)
+            .map(|i| q1.add_node(&format!("C{i}"), pred(&s, "C")))
+            .collect();
         for (i, &c) in cs.iter().enumerate() {
             let r = FRegex::parse(&format!("c^{}", i + 1), &al).unwrap();
             q1.add_edge(b, c, r);
         }
         let m = minimize(&q1);
-        assert!(pq_equivalent(&m, &q1), "minimized query must stay equivalent");
+        assert!(
+            pq_equivalent(&m, &q1),
+            "minimized query must stay equivalent"
+        );
         // Q3 shape: one B, two C's, edges c (=c^1) and c^3
         assert_eq!(m.node_count(), 3);
         assert_eq!(m.edge_count(), 2);
@@ -340,7 +342,10 @@ mod tests {
         q.add_edge(a2, a2, c.clone());
         let m = minimize(&q);
         assert!(pq_equivalent(&m, &q));
-        assert!(m.size() <= 2, "expected a single self-looped node, got {m:?}");
+        assert!(
+            m.size() <= 2,
+            "expected a single self-looped node, got {m:?}"
+        );
     }
 
     #[test]

@@ -158,13 +158,14 @@ impl Pq {
     /// slower; used as the test oracle and for small graphs.
     pub fn eval_naive(&self, g: &Graph) -> PqResult {
         // candidate matches per query node
-        let mut mats: Vec<Vec<NodeId>> = self
-            .nodes
-            .iter()
-            .map(|n| matches_of(g, &n.pred))
-            .collect();
+        let mut mats: Vec<Vec<NodeId>> =
+            self.nodes.iter().map(|n| matches_of(g, &n.pred)).collect();
         // reach sets per (edge, source node), computed once
-        let nfas: Vec<Nfa> = self.edges.iter().map(|e| Nfa::from_regex(&e.regex)).collect();
+        let nfas: Vec<Nfa> = self
+            .edges
+            .iter()
+            .map(|e| Nfa::from_regex(&e.regex))
+            .collect();
         let mut reach: Vec<std::collections::HashMap<NodeId, Vec<NodeId>>> =
             vec![std::collections::HashMap::new(); self.edges.len()];
 
@@ -297,12 +298,15 @@ mod tests {
             "C",
             Predicate::parse("job = \"biologist\" && sp = \"cloning\"", g.schema()).unwrap(),
         );
-        let d = pq.add_node("D", Predicate::parse("uid = \"Alice001\"", g.schema()).unwrap());
+        let d = pq.add_node(
+            "D",
+            Predicate::parse("uid = \"Alice001\"", g.schema()).unwrap(),
+        );
         let re = |s: &str| FRegex::parse(s, g.alphabet()).unwrap();
-        pq.add_edge(b, c, re("fn"));   // edge 0: (B,C)
-        pq.add_edge(c, b, re("fn"));   // edge 1: (C,B)
-        pq.add_edge(c, c, re("fa+"));  // edge 2: (C,C)
-        pq.add_edge(b, d, re("fn"));   // edge 3: (B,D)
+        pq.add_edge(b, c, re("fn")); // edge 0: (B,C)
+        pq.add_edge(c, b, re("fn")); // edge 1: (C,B)
+        pq.add_edge(c, c, re("fa+")); // edge 2: (C,C)
+        pq.add_edge(b, d, re("fn")); // edge 3: (B,D)
         pq.add_edge(c, d, re("fa^2 sa^2")); // edge 4: (C,D)
         pq
     }

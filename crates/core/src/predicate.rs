@@ -179,10 +179,7 @@ impl Predicate {
         match goal.op {
             // Case (a): A = a implied iff the derived bounds pin A to a,
             // or A = a appears verbatim.
-            CompOp::Eq => {
-                eq == Some(g)
-                    || (lo == Some((g, false)) && hi == Some((g, false)))
-            }
+            CompOp::Eq => eq == Some(g) || (lo == Some((g, false)) && hi == Some((g, false))),
             // Case (b): A ≤ a implied iff some upper bound is at most a.
             CompOp::Le => match (eq, hi) {
                 (Some(e), _) if e <= g => true,
@@ -498,12 +495,7 @@ mod tests {
                     for v in -1..12i64 {
                         let a = Attrs::from_pairs(vec![(age, AttrValue::Int(v))]);
                         if p.matches(&a) {
-                            assert!(
-                                q.matches(&a),
-                                "unsound: {:?} implies {:?} but v={v}",
-                                p,
-                                q
-                            );
+                            assert!(q.matches(&a), "unsound: {:?} implies {:?} but v={v}", p, q);
                         }
                     }
                 }

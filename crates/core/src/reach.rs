@@ -160,15 +160,17 @@ impl ReachEngine for MatrixReach<'_> {
         let mut frontier: Vec<NodeId> = vec![x];
         for (i, atom) in atoms.iter().enumerate() {
             if i + 1 == atoms.len() {
-                return frontier
-                    .iter()
-                    .any(|&w| self.matrix.reaches_within(g, w, y, atom.color, atom.quant.max()));
+                return frontier.iter().any(|&w| {
+                    self.matrix
+                        .reaches_within(g, w, y, atom.color, atom.quant.max())
+                });
             }
             let next: Vec<NodeId> = g
                 .nodes()
                 .filter(|&z| {
                     frontier.iter().any(|&w| {
-                        self.matrix.reaches_within(g, w, z, atom.color, atom.quant.max())
+                        self.matrix
+                            .reaches_within(g, w, z, atom.color, atom.quant.max())
                     })
                 })
                 .collect();
@@ -357,11 +359,7 @@ mod tests {
                         g.label(y),
                         r.display(g.alphabet())
                     );
-                    assert_eq!(
-                        cached.reaches(&g, x, y, r),
-                        oracle,
-                        "cached {x:?}->{y:?}"
-                    );
+                    assert_eq!(cached.reaches(&g, x, y, r), oracle, "cached {x:?}->{y:?}");
                     // twice: exercise the cache-hit path
                     assert_eq!(cached.reaches(&g, x, y, r), oracle);
                 }

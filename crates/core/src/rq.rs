@@ -142,7 +142,8 @@ impl Rq {
             let k = atom.quant.max_or_infinite();
             let row = m.row(w, atom.color);
             for (z, &d) in row.iter().enumerate() {
-                if d >= 1 && d != rpq_graph::INFINITY && u64::from(d) <= k.min(u64::from(u16::MAX)) {
+                if d >= 1 && d != rpq_graph::INFINITY && u64::from(d) <= k.min(u64::from(u16::MAX))
+                {
                     hit(z);
                 }
             }
@@ -373,7 +374,9 @@ mod tests {
             Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
             Predicate::parse("sp = \"cloning\"", g.schema()).unwrap(),
         ];
-        let regexes = ["fa", "fn", "fa^2", "fa+", "fa^2 fn", "fn _+", "sa sn", "_^2 _"];
+        let regexes = [
+            "fa", "fn", "fa^2", "fa+", "fa^2 fn", "fn _+", "sa sn", "_^2 _",
+        ];
         for from in &preds {
             for to in &preds {
                 for r in &regexes {

@@ -84,9 +84,7 @@ pub fn revised_similar(q1: &Pq, q2: &Pq) -> bool {
     // condition (2): every E2 edge has a witness in E1
     q2.edges().iter().all(|e2| {
         q1.edges().iter().any(|e1| {
-            sr[e1.from][e2.from]
-                && sr[e1.to][e2.to]
-                && edge_entails(&e2.regex, &e1.regex)
+            sr[e1.from][e2.from] && sr[e1.to][e2.to] && edge_entails(&e2.regex, &e1.regex)
         })
     })
 }

@@ -144,7 +144,9 @@ impl SplitMatch {
                     let atom = &edge.regex.atoms()[0];
                     targets.iter().any(|&y| engine.reaches_atom(g, x, y, atom))
                 } else {
-                    targets.iter().any(|&y| engine.reaches(g, x, y, &edge.regex))
+                    targets
+                        .iter()
+                        .any(|&y| engine.reaches(g, x, y, &edge.regex))
                 };
                 if !ok {
                     rmv_list.push(x);
@@ -217,7 +219,10 @@ mod tests {
             "C",
             Predicate::parse("job = \"biologist\" && sp = \"cloning\"", g.schema()).unwrap(),
         );
-        let d = pq.add_node("D", Predicate::parse("uid = \"Alice001\"", g.schema()).unwrap());
+        let d = pq.add_node(
+            "D",
+            Predicate::parse("uid = \"Alice001\"", g.schema()).unwrap(),
+        );
         let re = |s: &str| FRegex::parse(s, g.alphabet()).unwrap();
         pq.add_edge(b, c, re("fn"));
         pq.add_edge(c, b, re("fn"));
@@ -235,7 +240,10 @@ mod tests {
         let oracle = pq.eval_naive(&g);
         let m = DistanceMatrix::build(&g);
         assert_eq!(SplitMatch::eval(&pq, &g, &mut MatrixReach::new(&m)), oracle);
-        assert_eq!(SplitMatch::eval(&pq, &g, &mut CachedReach::new(4096)), oracle);
+        assert_eq!(
+            SplitMatch::eval(&pq, &g, &mut CachedReach::new(4096)),
+            oracle
+        );
     }
 
     #[test]
@@ -250,8 +258,7 @@ mod tests {
             let n_nodes = rng.gen_range(2..5usize);
             for i in 0..n_nodes {
                 let pred = if rng.gen_bool(0.6) {
-                    Predicate::parse(&format!("a1 >= {}", rng.gen_range(0..6)), g.schema())
-                        .unwrap()
+                    Predicate::parse(&format!("a1 >= {}", rng.gen_range(0..6)), g.schema()).unwrap()
                 } else {
                     Predicate::always_true()
                 };

@@ -1,0 +1,141 @@
+//! Batch inputs and outputs: [`Query`], [`QueryOutput`], [`BatchResult`].
+
+use crate::planner::Plan;
+use rpq_core::pq::{Pq, PqResult};
+use rpq_core::rq::{Rq, RqResult};
+use std::time::Duration;
+
+/// One query in a batch — the engine serves RQs and PQs side by side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// A reachability query (§2, §4).
+    Rq(Rq),
+    /// A graph pattern query (§2, §5).
+    Pq(Pq),
+}
+
+impl From<Rq> for Query {
+    fn from(rq: Rq) -> Self {
+        Query::Rq(rq)
+    }
+}
+
+impl From<Pq> for Query {
+    fn from(pq: Pq) -> Self {
+        Query::Pq(pq)
+    }
+}
+
+/// The result of one query, tagged by kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutput {
+    /// Result of a [`Query::Rq`].
+    Rq(RqResult),
+    /// Result of a [`Query::Pq`].
+    Pq(PqResult),
+}
+
+impl QueryOutput {
+    /// The RQ result, if this was an RQ.
+    pub fn as_rq(&self) -> Option<&RqResult> {
+        match self {
+            QueryOutput::Rq(r) => Some(r),
+            QueryOutput::Pq(_) => None,
+        }
+    }
+
+    /// The PQ result, if this was a PQ.
+    pub fn as_pq(&self) -> Option<&PqResult> {
+        match self {
+            QueryOutput::Pq(r) => Some(r),
+            QueryOutput::Rq(_) => None,
+        }
+    }
+
+    /// Number of matched pairs (RQ) or total match-set size (PQ) — a
+    /// uniform "result volume" measure for reports.
+    pub fn match_count(&self) -> usize {
+        match self {
+            QueryOutput::Rq(r) => r.len(),
+            QueryOutput::Pq(r) => r.size(),
+        }
+    }
+}
+
+/// Per-query record in a [`BatchResult`].
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// The query's result.
+    pub output: QueryOutput,
+    /// The strategy the planner chose.
+    pub plan: Plan,
+    /// Wall-clock evaluation time of this query on its worker.
+    pub time: Duration,
+}
+
+/// Everything a batch run produced, in input order.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    items: Vec<BatchItem>,
+    wall: Duration,
+    workers: usize,
+    memo_hits: u64,
+    memo_misses: u64,
+}
+
+impl BatchResult {
+    pub(crate) fn new(
+        items: Vec<BatchItem>,
+        wall: Duration,
+        workers: usize,
+        memo_stats: (u64, u64),
+    ) -> Self {
+        BatchResult {
+            items,
+            wall,
+            workers,
+            memo_hits: memo_stats.0,
+            memo_misses: memo_stats.1,
+        }
+    }
+
+    /// Per-query records, in the order the queries were submitted.
+    pub fn items(&self) -> &[BatchItem] {
+        &self.items
+    }
+
+    /// Just the outputs, in submission order.
+    pub fn outputs(&self) -> impl Iterator<Item = &QueryOutput> {
+        self.items.iter().map(|i| &i.output)
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Wall-clock time of the whole batch (parallel).
+    pub fn wall_time(&self) -> Duration {
+        self.wall
+    }
+
+    /// Sum of per-query evaluation times (the sequential-equivalent cost).
+    pub fn total_query_time(&self) -> Duration {
+        self.items.iter().map(|i| i.time).sum()
+    }
+
+    /// Number of worker threads the batch ran on.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// `(hits, misses)` of the batch's shared reach-set memo.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (self.memo_hits, self.memo_misses)
+    }
+}

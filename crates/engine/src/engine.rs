@@ -1,0 +1,363 @@
+//! The [`QueryEngine`]: one immutable graph, lazily-built shared indices,
+//! and scoped-thread batch evaluation.
+
+use crate::batch::{BatchItem, BatchResult, Query, QueryOutput};
+use crate::memo::ReachMemo;
+use crate::planner::{self, Plan};
+use rpq_core::join_match::JoinMatch;
+use rpq_core::reach::{CachedReach, MatrixReach};
+use rpq_core::rq::RqResult;
+use rpq_graph::{DistanceMatrix, Graph};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads per batch; `0` means one per available core.
+    pub workers: usize,
+    /// Build the per-color distance matrix lazily iff
+    /// `|V| <= matrix_node_limit` (the matrix costs O(|Σ|·|V|²) memory —
+    /// the default keeps it a few tens of megabytes).
+    pub matrix_node_limit: usize,
+    /// Capacity of each worker's LRU reachability cache (used by the
+    /// cached PQ backend on graphs too large for the matrix).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            matrix_node_limit: 2048,
+            cache_capacity: 1 << 16,
+        }
+    }
+}
+
+/// A shared, immutable graph plus lazily-built indices, evaluating batches
+/// of mixed [`Query::Rq`] / [`Query::Pq`] queries on scoped worker threads.
+///
+/// The engine is `Sync`: one instance can serve batches from many threads;
+/// index construction happens at most once.
+#[derive(Debug)]
+pub struct QueryEngine {
+    graph: Arc<Graph>,
+    config: EngineConfig,
+    matrix: OnceLock<DistanceMatrix>,
+}
+
+impl QueryEngine {
+    /// Engine over `graph` with default configuration.
+    pub fn new(graph: Arc<Graph>) -> Self {
+        Self::with_config(graph, EngineConfig::default())
+    }
+
+    /// Engine over `graph` with explicit configuration.
+    pub fn with_config(graph: Arc<Graph>, config: EngineConfig) -> Self {
+        QueryEngine {
+            graph,
+            config,
+            matrix: OnceLock::new(),
+        }
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Would the planner see a distance matrix for this graph? True once
+    /// built, or when the graph is small enough that the engine will build
+    /// it on first use.
+    pub fn matrix_available(&self) -> bool {
+        self.matrix.get().is_some() || self.graph.node_count() <= self.config.matrix_node_limit
+    }
+
+    /// The distance matrix, building it first if the policy allows;
+    /// `None` when the graph is over the node limit and no matrix exists.
+    pub fn matrix(&self) -> Option<&DistanceMatrix> {
+        if self.graph.node_count() <= self.config.matrix_node_limit {
+            Some(
+                self.matrix
+                    .get_or_init(|| DistanceMatrix::build(&self.graph)),
+            )
+        } else {
+            self.matrix.get()
+        }
+    }
+
+    /// Build the matrix unconditionally (callers who know the footprint is
+    /// acceptable can opt in above the node limit).
+    pub fn force_matrix(&self) -> &DistanceMatrix {
+        self.matrix
+            .get_or_init(|| DistanceMatrix::build(&self.graph))
+    }
+
+    /// The plan the engine would pick for `query` outside any batch.
+    pub fn plan_query(&self, query: &Query) -> Plan {
+        match query {
+            Query::Rq(rq) => planner::plan_rq(&rq.regex, self.matrix_available(), false),
+            Query::Pq(_) => planner::plan_pq(self.matrix_available()),
+        }
+    }
+
+    /// Evaluate one query (a batch of one, on the calling thread).
+    pub fn run_query(&self, query: &Query) -> QueryOutput {
+        let plan = self.plan_query(query);
+        if plan_needs_matrix(plan) {
+            self.matrix();
+        }
+        let memo = ReachMemo::new();
+        let mut cached = CachedReach::new(self.config.cache_capacity);
+        self.eval_one(query, plan, &memo, &mut cached)
+    }
+
+    /// Evaluate a batch: plan each query (batch-aware), then pull queries
+    /// off a shared counter from `workers` scoped threads. Outputs come
+    /// back in submission order and are identical to sequential
+    /// single-query evaluation — the strategies differ only in cost.
+    pub fn run_batch(&self, queries: &[Query]) -> BatchResult {
+        let t0 = Instant::now();
+        if queries.is_empty() {
+            return BatchResult::new(Vec::new(), t0.elapsed(), 0, (0, 0));
+        }
+
+        // batch-shape analysis: RQ keys that repeat share one reach set
+        let mut key_count: HashMap<_, u32> = HashMap::new();
+        for q in queries {
+            if let Query::Rq(rq) = q {
+                *key_count.entry((&rq.from, &rq.regex)).or_insert(0) += 1;
+            }
+        }
+        let matrix_available = self.matrix_available();
+        let plans: Vec<Plan> = queries
+            .iter()
+            .map(|q| match q {
+                Query::Rq(rq) => {
+                    let shared = key_count[&(&rq.from, &rq.regex)] > 1;
+                    planner::plan_rq(&rq.regex, matrix_available, shared)
+                }
+                Query::Pq(_) => planner::plan_pq(matrix_available),
+            })
+            .collect();
+
+        // build the shared index once, before workers start
+        if plans.iter().any(|&p| plan_needs_matrix(p)) {
+            self.matrix();
+        }
+
+        let workers = self.worker_count(queries.len());
+        let memo = ReachMemo::new();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<(QueryOutput, std::time::Duration)>> =
+            (0..queries.len()).map(|_| OnceLock::new()).collect();
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut cached = CachedReach::new(self.config.cache_capacity);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            break;
+                        }
+                        let t = Instant::now();
+                        let out = self.eval_one(&queries[i], plans[i], &memo, &mut cached);
+                        slots[i]
+                            .set((out, t.elapsed()))
+                            .unwrap_or_else(|_| unreachable!("each index is claimed once"));
+                    }
+                });
+            }
+        });
+
+        let items = slots
+            .into_iter()
+            .zip(&plans)
+            .map(|(slot, &plan)| {
+                let (output, time) = slot.into_inner().expect("worker filled every slot");
+                BatchItem { output, plan, time }
+            })
+            .collect();
+        BatchResult::new(items, t0.elapsed(), workers, memo.stats())
+    }
+
+    fn worker_count(&self, batch_len: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let configured = if self.config.workers == 0 {
+            hw
+        } else {
+            self.config.workers
+        };
+        configured.clamp(1, batch_len.max(1))
+    }
+
+    fn eval_one(
+        &self,
+        query: &Query,
+        plan: Plan,
+        memo: &ReachMemo,
+        cached: &mut CachedReach,
+    ) -> QueryOutput {
+        let g = self.graph.as_ref();
+        match (query, plan) {
+            (Query::Rq(rq), Plan::RqDm) => {
+                let m = self.matrix.get().expect("DM plan requires the matrix");
+                QueryOutput::Rq(rq.eval_with_matrix(g, m))
+            }
+            (Query::Rq(rq), Plan::RqBiBfs) => QueryOutput::Rq(rq.eval_bibfs(g)),
+            (Query::Rq(rq), Plan::RqBfsMemo) => {
+                let pairs = memo.reach_pairs(g, &rq.from, &rq.regex);
+                let hits = pairs
+                    .iter()
+                    .filter(|&&(_, y)| rq.to.matches(g.attrs(y)))
+                    .copied()
+                    .collect();
+                QueryOutput::Rq(RqResult::from_pairs(hits))
+            }
+            (Query::Pq(pq), Plan::PqJoinMatrix) => {
+                let m = self.matrix.get().expect("DM plan requires the matrix");
+                QueryOutput::Pq(JoinMatch::eval(pq, g, &mut MatrixReach::new(m)))
+            }
+            (Query::Pq(pq), Plan::PqJoinCached) => QueryOutput::Pq(JoinMatch::eval(pq, g, cached)),
+            (Query::Rq(_), _) | (Query::Pq(_), _) => {
+                unreachable!("planner assigned a {plan:?} plan to a mismatched query kind")
+            }
+        }
+    }
+}
+
+fn plan_needs_matrix(plan: Plan) -> bool {
+    matches!(plan, Plan::RqDm | Plan::PqJoinMatrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_core::pq::Pq;
+    use rpq_core::predicate::Predicate;
+    use rpq_core::rq::Rq;
+    use rpq_graph::gen::essembly;
+    use rpq_regex::FRegex;
+
+    fn rq(g: &Graph, from: &str, to: &str, re: &str) -> Rq {
+        Rq::new(
+            Predicate::parse(from, g.schema()).unwrap(),
+            Predicate::parse(to, g.schema()).unwrap(),
+            FRegex::parse(re, g.alphabet()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn batch_equals_sequential_on_essembly() {
+        let g = Arc::new(essembly());
+        let engine = QueryEngine::with_config(
+            Arc::clone(&g),
+            EngineConfig {
+                workers: 3,
+                ..EngineConfig::default()
+            },
+        );
+        let q1 = rq(
+            &g,
+            "job = \"biologist\" && sp = \"cloning\"",
+            "job = \"doctor\"",
+            "fa^2 fn",
+        );
+        let mut pq = Pq::new();
+        let a = pq.add_node(
+            "a",
+            Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+        );
+        let b = pq.add_node("b", Predicate::always_true());
+        pq.add_edge(a, b, FRegex::parse("fn+", g.alphabet()).unwrap());
+
+        let queries: Vec<Query> = vec![
+            Query::Rq(q1.clone()),
+            Query::Pq(pq.clone()),
+            Query::Rq(q1.clone()),
+            Query::Rq(rq(&g, "job = \"physician\"", "job = \"doctor\"", "sn+")),
+        ];
+        let batch = engine.run_batch(&queries);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.workers(), 3);
+
+        let m = DistanceMatrix::build(&g);
+        assert_eq!(
+            batch.items()[0].output.as_rq().unwrap(),
+            &q1.eval_with_matrix(&g, &m)
+        );
+        assert_eq!(
+            batch.items()[1].output.as_pq().unwrap(),
+            &JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m))
+        );
+        assert_eq!(batch.items()[0].output, batch.items()[2].output);
+        assert!(batch.items()[3].output.as_rq().unwrap().is_empty());
+        assert!(batch.total_query_time() >= batch.items()[0].time);
+    }
+
+    #[test]
+    fn small_graph_builds_matrix_lazily() {
+        let g = Arc::new(essembly());
+        let engine = QueryEngine::new(Arc::clone(&g));
+        assert!(engine.matrix_available());
+        assert!(engine.matrix.get().is_none(), "matrix must be lazy");
+        let q = Query::Rq(rq(&g, "job = \"doctor\"", "job = \"doctor\"", "fa"));
+        assert_eq!(engine.plan_query(&q), Plan::RqDm);
+        engine.run_query(&q);
+        assert!(
+            engine.matrix.get().is_some(),
+            "DM plan should have built it"
+        );
+    }
+
+    #[test]
+    fn over_limit_graph_avoids_matrix() {
+        let g = Arc::new(essembly());
+        let engine = QueryEngine::with_config(
+            Arc::clone(&g),
+            EngineConfig {
+                matrix_node_limit: 0,
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(!engine.matrix_available());
+        let shared = rq(&g, "job = \"biologist\"", "job = \"doctor\"", "fa^2 fn");
+        let solo = rq(&g, "job = \"doctor\"", "job = \"biologist\"", "fa fn");
+        let batch = engine.run_batch(&[
+            Query::Rq(shared.clone()),
+            Query::Rq(shared.clone()),
+            Query::Rq(solo.clone()),
+        ]);
+        assert!(engine.matrix.get().is_none());
+        assert_eq!(batch.items()[0].plan, Plan::RqBfsMemo);
+        assert_eq!(batch.items()[1].plan, Plan::RqBfsMemo);
+        assert_eq!(batch.items()[2].plan, Plan::RqBiBfs);
+        // outputs still equal the reference strategies
+        assert_eq!(
+            batch.items()[0].output.as_rq().unwrap(),
+            &shared.eval_bfs(&g)
+        );
+        assert_eq!(batch.items()[2].output.as_rq().unwrap(), &solo.eval_bfs(&g));
+        let (hits, misses) = batch.memo_stats();
+        assert_eq!(misses, 1, "shared key computed once");
+        assert_eq!(hits, 1, "second probe reused it");
+    }
+
+    #[test]
+    fn empty_batch() {
+        let engine = QueryEngine::new(Arc::new(essembly()));
+        let batch = engine.run_batch(&[]);
+        assert!(batch.is_empty());
+        assert_eq!(batch.workers(), 0);
+    }
+}

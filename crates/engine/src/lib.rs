@@ -1,0 +1,53 @@
+//! # rpq-engine — parallel batch query engine
+//!
+//! The paper (Fan et al., ICDE 2011) evaluates RQs and PQs one at a time;
+//! this crate is the serving layer that amortizes shared work across
+//! *batches* of concurrent queries against one immutable graph:
+//!
+//! * [`QueryEngine`] owns an `Arc<Graph>` plus lazily-built shared indices
+//!   (the per-color [`DistanceMatrix`](rpq_graph::DistanceMatrix) when the
+//!   graph is small enough to afford its O(|Σ|·|V|²) footprint);
+//! * a [`planner`] picks the evaluation strategy per query — **DM** matrix
+//!   probes, **biBFS** meet-in-the-middle, or memoized **BFS** — from the
+//!   graph size, index availability and batch shape, replacing the
+//!   hard-picked strategy calls in `rpq_core::rq`;
+//! * a concurrent [`memo`] table keyed on `(source predicate, regex)`
+//!   shares product-automaton reach sets, so a reach set probed by many
+//!   queries in a batch is computed exactly once;
+//! * [`BatchResult`] carries per-query outputs, chosen plans and timings
+//!   for the bench harness.
+//!
+//! Workers are plain `std::thread::scope` scoped threads pulling query
+//! indices off an atomic counter — no external dependencies.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rpq_engine::{EngineConfig, Query, QueryEngine};
+//! use rpq_core::predicate::Predicate;
+//! use rpq_core::rq::Rq;
+//! use rpq_graph::gen::essembly;
+//! use rpq_regex::FRegex;
+//!
+//! let g = Arc::new(essembly());
+//! let engine = QueryEngine::with_config(Arc::clone(&g), EngineConfig::default());
+//! let rq = Rq::new(
+//!     Predicate::parse("job = \"biologist\"", g.schema()).unwrap(),
+//!     Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+//!     FRegex::parse("fa^2 fn", g.alphabet()).unwrap(),
+//! );
+//! let batch = engine.run_batch(&[Query::Rq(rq.clone()), Query::Rq(rq)]);
+//! assert_eq!(batch.len(), 2);
+//! assert_eq!(batch.items()[0].output.as_rq().unwrap().len(), 4);
+//! ```
+
+mod batch;
+mod engine;
+pub mod memo;
+pub mod planner;
+
+pub use batch::{BatchItem, BatchResult, Query, QueryOutput};
+pub use engine::{EngineConfig, QueryEngine};
+pub use memo::ReachMemo;
+pub use planner::Plan;

@@ -1,0 +1,156 @@
+//! Concurrent batch-scoped memo table for product-automaton reach sets.
+//!
+//! RQ evaluation by forward product search does one
+//! [`product_reach_set`](rpq_core::reach::product_reach_set) per candidate
+//! source — work that depends only on the query's *source predicate* and
+//! *regex*, not on its target predicate. Batches of real traffic repeat
+//! those keys constantly (many queries differ only in the target side), so
+//! the engine shares one table per batch: the first worker to need a key
+//! computes the full `(source, reachable)` pair set, every later worker —
+//! on any thread — gets the `Arc` for free.
+//!
+//! Concurrency scheme: a mutex-guarded map from key to a per-key
+//! `OnceLock` cell. The map lock is held only to clone the cell's `Arc`;
+//! the (expensive) reach-set computation runs outside it, so workers
+//! computing *different* keys never serialize, while workers racing on the
+//! *same* key block in `OnceLock::get_or_init` and share the one result.
+
+use rpq_core::predicate::Predicate;
+use rpq_core::reach::product_reach_set;
+use rpq_core::rq::matches_of;
+use rpq_graph::{Graph, NodeId};
+use rpq_regex::{FRegex, Nfa};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Key = (Predicate, FRegex);
+type PairSet = Arc<Vec<(NodeId, NodeId)>>;
+
+/// Shared `(source predicate, regex) → reach pairs` table.
+#[derive(Debug, Default)]
+pub struct ReachMemo {
+    cells: Mutex<HashMap<Key, Arc<OnceLock<PairSet>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ReachMemo {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All `(x, y)` with `x ⊨ from` and a nonempty path `x ⇝ y` spelling a
+    /// word of `L(regex)` — computed at most once per key per table, sorted
+    /// by `(x, y)`.
+    pub fn reach_pairs(&self, g: &Graph, from: &Predicate, regex: &FRegex) -> PairSet {
+        let cell = {
+            let mut map = self.cells.lock().expect("memo poisoned");
+            match map.get(&(from.clone(), regex.clone())) {
+                Some(c) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(c)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let c = Arc::new(OnceLock::new());
+                    map.insert((from.clone(), regex.clone()), Arc::clone(&c));
+                    c
+                }
+            }
+        };
+        Arc::clone(cell.get_or_init(|| {
+            let nfa = Nfa::from_regex(regex);
+            let mut pairs = Vec::new();
+            for x in matches_of(g, from) {
+                for y in product_reach_set(g, &nfa, x) {
+                    pairs.push((x, y));
+                }
+            }
+            pairs.sort_unstable();
+            Arc::new(pairs)
+        }))
+    }
+
+    /// `(hits, misses)` — a *hit* is a lookup that found the key already
+    /// claimed (even if still being computed by another worker).
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct keys claimed so far.
+    pub fn len(&self) -> usize {
+        self.cells.lock().expect("memo poisoned").len()
+    }
+
+    /// True if no key has been claimed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::gen::essembly;
+
+    #[test]
+    fn memo_computes_once_and_shares() {
+        let g = essembly();
+        let memo = ReachMemo::new();
+        let from = Predicate::parse("job = \"biologist\"", g.schema()).unwrap();
+        let re = FRegex::parse("fa^2 fn", g.alphabet()).unwrap();
+        let a = memo.reach_pairs(&g, &from, &re);
+        let b = memo.reach_pairs(&g, &from, &re);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one Arc");
+        assert_eq!(memo.stats(), (1, 1));
+        assert_eq!(memo.len(), 1);
+
+        let other = Predicate::parse("job = \"doctor\"", g.schema()).unwrap();
+        let c = memo.reach_pairs(&g, &other, &re);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn memo_matches_direct_eval() {
+        let g = essembly();
+        let memo = ReachMemo::new();
+        let from = Predicate::parse("job = \"biologist\" && sp = \"cloning\"", g.schema()).unwrap();
+        let re = FRegex::parse("fa^2 fn", g.alphabet()).unwrap();
+        let pairs = memo.reach_pairs(&g, &from, &re);
+        let nfa = Nfa::from_regex(&re);
+        let mut expect = Vec::new();
+        for x in matches_of(&g, &from) {
+            for y in product_reach_set(&g, &nfa, x) {
+                expect.push((x, y));
+            }
+        }
+        expect.sort_unstable();
+        assert_eq!(*pairs.as_ref(), expect);
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        let g = essembly();
+        let memo = ReachMemo::new();
+        let from = Predicate::always_true();
+        let re = FRegex::parse("fa+", g.alphabet()).unwrap();
+        let sets: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| memo.reach_pairs(&g, &from, &re)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for w in &sets[1..] {
+            assert!(Arc::ptr_eq(&sets[0], w));
+        }
+        let (hits, misses) = memo.stats();
+        assert_eq!(hits + misses, 8);
+        assert_eq!(memo.len(), 1);
+    }
+}

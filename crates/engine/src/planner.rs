@@ -1,0 +1,111 @@
+//! Per-query strategy selection.
+//!
+//! The seed library makes callers hard-pick an RQ strategy
+//! (`eval_with_matrix` / `eval_bibfs` / `eval_bfs`); the engine chooses one
+//! per query from three signals:
+//!
+//! * **index availability** — matrix probes are strictly cheapest when the
+//!   per-color [`DistanceMatrix`](rpq_graph::DistanceMatrix) exists; the
+//!   engine builds it lazily only for graphs under the configured node
+//!   limit (its footprint is O(|Σ|·|V|²));
+//! * **batch shape** — when several queries in a batch share a
+//!   `(source predicate, regex)` key, the memoized forward product search
+//!   computes their reach set once, so sharing beats a per-query biBFS;
+//! * **regex shape** — multi-atom expressions split well in the middle
+//!   (biBFS meets after half the atoms); single-atom expressions gain
+//!   nothing from bidirectionality, so they run the plain product BFS.
+
+use rpq_regex::FRegex;
+
+/// The evaluation strategy chosen for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Plan {
+    /// RQ via distance-matrix probes (`Rq::eval_with_matrix`, §4 "DM").
+    RqDm,
+    /// RQ via bi-directional search (`Rq::eval_bibfs`, §4 "biBFS").
+    RqBiBfs,
+    /// RQ via the forward product search, memoized per
+    /// `(source predicate, regex)` across the batch (`§4 "BFS"`).
+    RqBfsMemo,
+    /// PQ via `JoinMatch` over the matrix backend (normalized, §5.1).
+    PqJoinMatrix,
+    /// PQ via `JoinMatch` over the LRU-cached bi-directional backend (§4–5).
+    PqJoinCached,
+}
+
+impl Plan {
+    /// Short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Plan::RqDm => "DM",
+            Plan::RqBiBfs => "biBFS",
+            Plan::RqBfsMemo => "BFS+memo",
+            Plan::PqJoinMatrix => "JoinMatch/DM",
+            Plan::PqJoinCached => "JoinMatch/cache",
+        }
+    }
+}
+
+/// Choose the strategy for one RQ.
+///
+/// `matrix_available` — the distance matrix is (or will be) built for this
+/// graph; `shared_in_batch` — at least one other query in the batch has the
+/// same `(source predicate, regex)` key.
+pub fn plan_rq(regex: &FRegex, matrix_available: bool, shared_in_batch: bool) -> Plan {
+    if matrix_available {
+        Plan::RqDm
+    } else if shared_in_batch {
+        // the memo computes this reach set once for the whole batch
+        Plan::RqBfsMemo
+    } else if regex.atoms().len() >= 2 {
+        Plan::RqBiBfs
+    } else {
+        Plan::RqBfsMemo
+    }
+}
+
+/// Choose the strategy for one PQ.
+pub fn plan_pq(matrix_available: bool) -> Plan {
+    if matrix_available {
+        Plan::PqJoinMatrix
+    } else {
+        Plan::PqJoinCached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::{Color, WILDCARD};
+    use rpq_regex::{Atom, Quant};
+
+    fn re(n: usize) -> FRegex {
+        FRegex::new(
+            (0..n)
+                .map(|i| Atom::new(if i % 2 == 0 { Color(0) } else { WILDCARD }, Quant::One))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn matrix_always_wins() {
+        for atoms in 1..4 {
+            for shared in [false, true] {
+                assert_eq!(plan_rq(&re(atoms), true, shared), Plan::RqDm);
+            }
+        }
+        assert_eq!(plan_pq(true), Plan::PqJoinMatrix);
+    }
+
+    #[test]
+    fn sharing_prefers_memoized_bfs() {
+        assert_eq!(plan_rq(&re(3), false, true), Plan::RqBfsMemo);
+    }
+
+    #[test]
+    fn unshared_multi_atom_takes_bibfs() {
+        assert_eq!(plan_rq(&re(2), false, false), Plan::RqBiBfs);
+        assert_eq!(plan_rq(&re(1), false, false), Plan::RqBfsMemo);
+        assert_eq!(plan_pq(false), Plan::PqJoinCached);
+    }
+}

@@ -307,12 +307,7 @@ mod tests {
     fn scc_reverse_topological_order() {
         // DAG of three 2-cycles: A -> B -> C
         // nodes: A={0,1}, B={2,3}, C={4,5}
-        let adj = [vec![1],
-            vec![0, 2],
-            vec![3],
-            vec![2, 4],
-            vec![5],
-            vec![4]];
+        let adj = [vec![1], vec![0, 2], vec![3], vec![2, 4], vec![5], vec![4]];
         let (comp_of, comps) = condensation(6, |v| adj[v].iter().copied());
         assert_eq!(comps.len(), 3);
         // C (reaching nothing) must come before B, B before A
@@ -324,7 +319,9 @@ mod tests {
     fn scc_deep_chain_no_overflow() {
         // 100k-node chain: a recursive Tarjan would blow the stack
         let n = 100_000;
-        let comps = tarjan_scc(n, |v| if v + 1 < n { Some(v + 1) } else { None }.into_iter());
+        let comps = tarjan_scc(n, |v| {
+            if v + 1 < n { Some(v + 1) } else { None }.into_iter()
+        });
         assert_eq!(comps.len(), n);
     }
 

@@ -113,7 +113,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// its map slot and its list neighbors (and head/tail) at `idx`.
     fn fix_after_swap(&mut self, idx: usize, last: usize) {
         let moved_key = self.slab[idx].key.clone();
-        *self.map.get_mut(&moved_key).expect("moved key must be mapped") = idx;
+        *self
+            .map
+            .get_mut(&moved_key)
+            .expect("moved key must be mapped") = idx;
         let (p, nx) = (self.slab[idx].prev, self.slab[idx].next);
         if p != NIL {
             self.slab[p].next = idx;

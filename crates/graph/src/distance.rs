@@ -35,7 +35,11 @@ impl DistanceMatrix {
         let m = g.alphabet().len();
         let mut data = vec![INFINITY; (m + 1) * n * n];
         for layer in 0..=m {
-            let color = if layer == m { WILDCARD } else { Color(layer as u8) };
+            let color = if layer == m {
+                WILDCARD
+            } else {
+                Color(layer as u8)
+            };
             for src in g.nodes() {
                 let dist = bfs_distances(g, src, color, Direction::Forward);
                 let base = layer * n * n + src.index() * n;
@@ -78,7 +82,14 @@ impl DistanceMatrix {
     /// paper's semantics requires |path| ≥ 1, which is why `from == to`
     /// needs the one-step detour check below.
     #[inline]
-    pub fn reaches_within(&self, g: &Graph, from: NodeId, to: NodeId, color: Color, max_len: Option<u32>) -> bool {
+    pub fn reaches_within(
+        &self,
+        g: &Graph,
+        from: NodeId,
+        to: NodeId,
+        color: Color,
+        max_len: Option<u32>,
+    ) -> bool {
         if from == to {
             // need a nonempty cycle: step one admitted edge, then come back
             return self.has_cycle_within(g, from, color, max_len);
@@ -113,7 +124,13 @@ impl DistanceMatrix {
     /// out of `from`, then back, within `max_len` total hops. This is the
     /// diagonal case row scans cannot read off the matrix (the diagonal
     /// stores 0, but the semantics needs paths of length ≥ 1).
-    pub fn has_cycle_within(&self, g: &Graph, from: NodeId, color: Color, max_len: Option<u32>) -> bool {
+    pub fn has_cycle_within(
+        &self,
+        g: &Graph,
+        from: NodeId,
+        color: Color,
+        max_len: Option<u32>,
+    ) -> bool {
         let budget = max_len.unwrap_or(u32::MAX);
         if budget == 0 {
             return false;

@@ -36,16 +36,10 @@ pub fn essembly() -> Graph {
     let uid = b.attr("uid");
 
     let doctor = |b: &mut GraphBuilder, name: &str| {
-        b.add_node(
-            name,
-            [(job, "doctor".into()), (dsp, "cloning".into())],
-        )
+        b.add_node(name, [(job, "doctor".into()), (dsp, "cloning".into())])
     };
     let biologist = |b: &mut GraphBuilder, name: &str| {
-        b.add_node(
-            name,
-            [(job, "biologist".into()), (sp, "cloning".into())],
-        )
+        b.add_node(name, [(job, "biologist".into()), (sp, "cloning".into())])
     };
 
     let b1 = doctor(&mut b, "B1");
@@ -179,9 +173,15 @@ pub fn youtube_like(n: usize, seed: u64) -> Graph {
             &format!("video{i}"),
             [
                 (uid, AttrValue::Int(rng.gen_range(0..n_uploaders))),
-                (cat, AttrValue::Str(YT_CATEGORIES[rng.gen_range(0..YT_CATEGORIES.len())].into())),
+                (
+                    cat,
+                    AttrValue::Str(YT_CATEGORIES[rng.gen_range(0..YT_CATEGORIES.len())].into()),
+                ),
                 (len, AttrValue::Int(rng.gen_range(0..240))),
-                (com, AttrValue::Int((views / rng.gen_range(50..500)).max(0))),
+                (
+                    com,
+                    AttrValue::Int((views / rng.gen_range(50..500i64)).max(0)),
+                ),
                 (age, AttrValue::Int(rng.gen_range(0..2_000))),
                 (view, AttrValue::Int(views)),
             ],
@@ -199,8 +199,11 @@ pub fn youtube_like(n: usize, seed: u64) -> Graph {
         if u == v || v >= n {
             continue;
         }
-        let c = colors[rng.gen_range(0..4)];
-        let (un, vn) = (crate::graph::NodeId(u as u32), crate::graph::NodeId(v as u32));
+        let c = colors[rng.gen_range(0..4usize)];
+        let (un, vn) = (
+            crate::graph::NodeId(u as u32),
+            crate::graph::NodeId(v as u32),
+        );
         if seen.insert((un, vn, c)) {
             b.add_edge(un, vn, c);
             added += 1;
@@ -277,8 +280,14 @@ pub fn terrorism_like(seed: u64) -> Graph {
             [
                 (gn, AttrValue::Str(name)),
                 (country, AttrValue::Int(cty)),
-                (tt, AttrValue::Str(TARGET_TYPES[rng.gen_range(0..TARGET_TYPES.len())].into())),
-                (at, AttrValue::Str(ATTACK_TYPES[rng.gen_range(0..ATTACK_TYPES.len())].into())),
+                (
+                    tt,
+                    AttrValue::Str(TARGET_TYPES[rng.gen_range(0..TARGET_TYPES.len())].into()),
+                ),
+                (
+                    at,
+                    AttrValue::Str(ATTACK_TYPES[rng.gen_range(0..ATTACK_TYPES.len())].into()),
+                ),
             ],
         );
     }
@@ -313,7 +322,10 @@ pub fn terrorism_like(seed: u64) -> Graph {
         if u == v || (c == ic && countries[u] == countries[v]) {
             continue;
         }
-        let (un, vn) = (crate::graph::NodeId(u as u32), crate::graph::NodeId(v as u32));
+        let (un, vn) = (
+            crate::graph::NodeId(u as u32),
+            crate::graph::NodeId(v as u32),
+        );
         if seen.insert((un, vn, c)) {
             b.add_edge(un, vn, c);
             added += 1;
@@ -337,10 +349,7 @@ mod tests {
         let fnc = g.alphabet().get("fn").unwrap();
         assert!(g.has_edge(c3, b1, fnc));
         let job = g.schema().get("job").unwrap();
-        assert_eq!(
-            g.attrs(b1).get(job),
-            Some(&AttrValue::Str("doctor".into()))
-        );
+        assert_eq!(g.attrs(b1).get(job), Some(&AttrValue::Str("doctor".into())));
     }
 
     #[test]

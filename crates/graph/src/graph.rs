@@ -107,7 +107,10 @@ impl Graph {
     /// Find the (first) node with the given label. Linear scan — intended
     /// for tests and examples only.
     pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
-        self.labels.iter().position(|l| l == label).map(|i| NodeId(i as u32))
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| NodeId(i as u32))
     }
 
     /// The attribute-name schema shared with queries.
@@ -122,20 +125,23 @@ impl Graph {
 
     /// Iterate over every edge as `(source, target, color)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Color)> + '_ {
-        self.nodes().flat_map(move |u| {
-            self.out_edges(u).iter().map(move |e| (u, e.node, e.color))
-        })
+        self.nodes()
+            .flat_map(move |u| self.out_edges(u).iter().map(move |e| (u, e.node, e.color)))
     }
 
     /// True if there is an edge `u → v` of exactly color `c`.
     pub fn has_edge(&self, u: NodeId, v: NodeId, c: Color) -> bool {
-        self.out_edges(u).iter().any(|e| e.node == v && e.color == c)
+        self.out_edges(u)
+            .iter()
+            .any(|e| e.node == v && e.color == c)
     }
 
     /// True if there is an edge `u → v` whose color is admitted by the
     /// (possibly wildcard) query color `c`.
     pub fn has_edge_admitting(&self, u: NodeId, v: NodeId, c: Color) -> bool {
-        self.out_edges(u).iter().any(|e| e.node == v && c.admits(e.color))
+        self.out_edges(u)
+            .iter()
+            .any(|e| e.node == v && c.admits(e.color))
     }
 }
 

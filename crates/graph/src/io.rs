@@ -84,7 +84,13 @@ pub fn write_graph(g: &Graph, w: &mut impl Write) -> io::Result<()> {
         writeln!(w)?;
     }
     for (x, y, c) in g.edges() {
-        writeln!(w, "edge {} {} {}", g.label(x), g.label(y), g.alphabet().name(c))?;
+        writeln!(
+            w,
+            "edge {} {} {}",
+            g.label(x),
+            g.label(y),
+            g.alphabet().name(c)
+        )?;
     }
     Ok(())
 }
@@ -120,7 +126,10 @@ fn split_attrs(rest: &str, line: usize) -> Result<Vec<(String, String)>, GraphIo
             key.push(c);
         }
         if !saw_eq {
-            return Err(GraphIoError::Parse(line, format!("attribute {key:?} missing '='")));
+            return Err(GraphIoError::Parse(
+                line,
+                format!("attribute {key:?} missing '='"),
+            ));
         }
         if key.is_empty() {
             return Err(GraphIoError::Parse(line, "empty attribute name".into()));
@@ -175,7 +184,10 @@ pub fn read_graph(r: &mut impl BufRead) -> Result<Graph, GraphIoError> {
                 None => (rest, ""),
             };
             if node_ids.contains_key(label) {
-                return Err(GraphIoError::Parse(line_no, format!("duplicate node {label:?}")));
+                return Err(GraphIoError::Parse(
+                    line_no,
+                    format!("duplicate node {label:?}"),
+                ));
             }
             let mut pairs = Vec::new();
             for (key, raw) in split_attrs(attrs_src, line_no)? {
@@ -210,7 +222,10 @@ pub fn read_graph(r: &mut impl BufRead) -> Result<Graph, GraphIoError> {
             })?;
             b.add_edge_named(from, to, parts[2]);
         } else {
-            return Err(GraphIoError::Parse(line_no, format!("unrecognized line {stmt:?}")));
+            return Err(GraphIoError::Parse(
+                line_no,
+                format!("unrecognized line {stmt:?}"),
+            ));
         }
     }
     Ok(b.build())

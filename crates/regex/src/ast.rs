@@ -314,10 +314,7 @@ mod tests {
         ]);
         assert!(re.is_single_color());
         assert_eq!(re.distinct_colors(), 1);
-        let mixed = FRegex::new(vec![
-            Atom::new(a, Quant::One),
-            Atom::new(c(1), Quant::One),
-        ]);
+        let mixed = FRegex::new(vec![Atom::new(a, Quant::One), Atom::new(c(1), Quant::One)]);
         assert!(!mixed.is_single_color());
         assert_eq!(mixed.distinct_colors(), 2);
         let wild = FRegex::atom(WILDCARD, Quant::Plus);

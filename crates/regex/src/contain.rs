@@ -223,10 +223,7 @@ mod tests {
         for e1 in &exprs {
             for e2 in &exprs {
                 if contains_scan(e1, e2) {
-                    assert!(
-                        contains_exact(e1, e2, 2),
-                        "scan unsound: {e1:?} ⊆ {e2:?}"
-                    );
+                    assert!(contains_exact(e1, e2, 2), "scan unsound: {e1:?} ⊆ {e2:?}");
                 }
             }
         }

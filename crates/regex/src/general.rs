@@ -78,9 +78,7 @@ impl GRegex {
                     Quant::AtMost(k) => {
                         // c^k = c | cc | … | c^k
                         let alts = (1..=k)
-                            .map(|i| {
-                                GRegex::Concat(vec![GRegex::Color(a.color); i as usize])
-                            })
+                            .map(|i| GRegex::Concat(vec![GRegex::Color(a.color); i as usize]))
                             .collect();
                         GRegex::Union(alts)
                     }
@@ -174,7 +172,10 @@ impl fmt::Display for GParseError {
             GParseError::Syntax(m) => write!(f, "syntax error: {m}"),
             GParseError::Empty => write!(f, "empty expression"),
             GParseError::Nullable => {
-                write!(f, "expression may match the empty path (query edges must consume ≥1 edge)")
+                write!(
+                    f,
+                    "expression may match the empty path (query edges must consume ≥1 edge)"
+                )
             }
         }
     }
@@ -369,7 +370,10 @@ impl Builder {
                 let s = self.state();
                 let a = self.state();
                 self.steps[s as usize].push((*c, a));
-                Frag { start: s, accept: a }
+                Frag {
+                    start: s,
+                    accept: a,
+                }
             }
             GRegex::Concat(parts) => {
                 let frags: Vec<Frag> = parts.iter().map(|p| self.build(p)).collect();
@@ -389,7 +393,10 @@ impl Builder {
                     self.eps[s as usize].push(f.start);
                     self.eps[f.accept as usize].push(a);
                 }
-                Frag { start: s, accept: a }
+                Frag {
+                    start: s,
+                    accept: a,
+                }
             }
             GRegex::Plus(inner) => {
                 let f = self.build(inner);
@@ -404,7 +411,10 @@ impl Builder {
                 self.eps[s as usize].push(a);
                 self.eps[f.accept as usize].push(f.start);
                 self.eps[f.accept as usize].push(a);
-                Frag { start: s, accept: a }
+                Frag {
+                    start: s,
+                    accept: a,
+                }
             }
         }
     }
@@ -474,7 +484,11 @@ impl GNfa {
                 bwd[t as usize].push((c, s as u32));
             }
         }
-        GNfa { accepting, fwd, bwd }
+        GNfa {
+            accepting,
+            fwd,
+            bwd,
+        }
     }
 
     /// The start state.
@@ -578,9 +592,18 @@ mod tests {
     fn parse_errors() {
         let al = al();
         assert_eq!(GRegex::parse("", &al), Err(GParseError::Empty));
-        assert!(matches!(GRegex::parse("zz", &al), Err(GParseError::UnknownColor(_))));
-        assert!(matches!(GRegex::parse("(a", &al), Err(GParseError::Syntax(_))));
-        assert!(matches!(GRegex::parse("a )", &al), Err(GParseError::Syntax(_))));
+        assert!(matches!(
+            GRegex::parse("zz", &al),
+            Err(GParseError::UnknownColor(_))
+        ));
+        assert!(matches!(
+            GRegex::parse("(a", &al),
+            Err(GParseError::Syntax(_))
+        ));
+        assert!(matches!(
+            GRegex::parse("a )", &al),
+            Err(GParseError::Syntax(_))
+        ));
         assert!(matches!(GRegex::parse("| a", &al), Err(GParseError::Empty)));
     }
 

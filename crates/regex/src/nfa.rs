@@ -83,7 +83,11 @@ impl Nfa {
                 bwd[t as usize].push((c, s as StateId));
             }
         }
-        Nfa { accepting, fwd, bwd }
+        Nfa {
+            accepting,
+            fwd,
+            bwd,
+        }
     }
 
     /// The start state (never accepting: L(F) has no ε).
@@ -116,11 +120,7 @@ impl Nfa {
     /// States reachable from `s` by consuming one data edge of color
     /// `data_color`.
     #[inline]
-    pub fn successors(
-        &self,
-        s: StateId,
-        data_color: Color,
-    ) -> impl Iterator<Item = StateId> + '_ {
+    pub fn successors(&self, s: StateId, data_color: Color) -> impl Iterator<Item = StateId> + '_ {
         self.fwd[s as usize]
             .iter()
             .filter(move |(qc, _)| qc.admits(data_color))

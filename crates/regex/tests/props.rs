@@ -2,9 +2,9 @@
 //! general extension, plus the relationships between them.
 
 use proptest::prelude::*;
+use rpq_graph::{Color, WILDCARD};
 use rpq_regex::contain::{contains_exact, contains_scan, equivalent_scan};
 use rpq_regex::{Atom, FRegex, GNfa, GRegex, Nfa, Quant};
-use rpq_graph::{Color, WILDCARD};
 
 const NUM_COLORS: usize = 3;
 

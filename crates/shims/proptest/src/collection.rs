@@ -1,0 +1,27 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec<T>` with a length drawn from `len`.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        assert!(!self.len.is_empty(), "empty length range");
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + (rng.next_u64() % span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vectors of `element` values with length in `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

@@ -7,7 +7,11 @@ use rpq::prelude::*;
 
 fn main() {
     let g = rpq::graph::gen::essembly();
-    println!("Essembly network (Fig. 1): {} people, {} relationships", g.node_count(), g.edge_count());
+    println!(
+        "Essembly network (Fig. 1): {} people, {} relationships",
+        g.node_count(),
+        g.edge_count()
+    );
     for v in g.nodes() {
         let attrs: Vec<String> = g
             .attrs(v)
@@ -53,7 +57,10 @@ fn main() {
         "C",
         Predicate::parse("job = \"biologist\" && sp = \"cloning\"", g.schema()).unwrap(),
     );
-    let d = q2.add_node("D", Predicate::parse("uid = \"Alice001\"", g.schema()).unwrap());
+    let d = q2.add_node(
+        "D",
+        Predicate::parse("uid = \"Alice001\"", g.schema()).unwrap(),
+    );
     let re = |s: &str| FRegex::parse(s, g.alphabet()).unwrap();
     let edges = [
         (b, c, "fn"),
@@ -87,7 +94,13 @@ fn main() {
     let c1 = n("C1");
     assert!(!res.node_matches(c).contains(&c1));
     // all three evaluation routes agree
-    assert_eq!(res, SplitMatch::eval(&q2, &g, &mut MatrixReach::new(&matrix)));
-    assert_eq!(res, JoinMatch::eval(&q2, &g, &mut CachedReach::with_default_capacity()));
+    assert_eq!(
+        res,
+        SplitMatch::eval(&q2, &g, &mut MatrixReach::new(&matrix))
+    );
+    assert_eq!(
+        res,
+        JoinMatch::eval(&q2, &g, &mut CachedReach::with_default_capacity())
+    );
     println!("\nJoinMatch (matrix), SplitMatch (matrix) and JoinMatch (cache) agree.");
 }

@@ -65,9 +65,19 @@ fn main() {
         "advisor",
         Predicate::parse("field = \"databases\" && h >= 25", g.schema()).unwrap(),
     );
-    let student = pq.add_node("student", Predicate::parse("field = \"databases\"", g.schema()).unwrap());
-    let sys = pq.add_node("sys", Predicate::parse("field = \"systems\"", g.schema()).unwrap());
-    pq.add_edge(advisor, student, FRegex::parse("ad^2", g.alphabet()).unwrap());
+    let student = pq.add_node(
+        "student",
+        Predicate::parse("field = \"databases\"", g.schema()).unwrap(),
+    );
+    let sys = pq.add_node(
+        "sys",
+        Predicate::parse("field = \"systems\"", g.schema()).unwrap(),
+    );
+    pq.add_edge(
+        advisor,
+        student,
+        FRegex::parse("ad^2", g.alphabet()).unwrap(),
+    );
     pq.add_edge(student, sys, FRegex::parse("co", g.alphabet()).unwrap());
     pq.add_edge(sys, student, FRegex::parse("co", g.alphabet()).unwrap());
 
@@ -84,7 +94,10 @@ fn main() {
     // ---- minimization ----------------------------------------------------
     // Add a redundant twin of the student node: minPQs folds it away.
     let mut fat = pq.clone();
-    let twin = fat.add_node("student-twin", Predicate::parse("field = \"databases\"", g.schema()).unwrap());
+    let twin = fat.add_node(
+        "student-twin",
+        Predicate::parse("field = \"databases\"", g.schema()).unwrap(),
+    );
     fat.add_edge(advisor, twin, FRegex::parse("ad^2", g.alphabet()).unwrap());
     fat.add_edge(twin, sys, FRegex::parse("co", g.alphabet()).unwrap());
     fat.add_edge(sys, twin, FRegex::parse("co", g.alphabet()).unwrap());

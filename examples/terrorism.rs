@@ -21,10 +21,7 @@ fn main() {
     // Fig. 9(a)'s Q2 shape: a named anchor plus organizations related via
     // ic^2 dc+ / ic^2 / dc+ chains, with target/attack-type conditions.
     let mut pq = Pq::new();
-    let a = pq.add_node(
-        "A",
-        Predicate::parse("gn = \"Hamas\"", g.schema()).unwrap(),
-    );
+    let a = pq.add_node("A", Predicate::parse("gn = \"Hamas\"", g.schema()).unwrap());
     let bnode = pq.add_node(
         "B",
         Predicate::parse("tt = \"Business\"", g.schema()).unwrap(),
@@ -51,8 +48,17 @@ fn main() {
         return;
     }
     println!("\nmatches:");
-    for (u, lbl) in [(a, "A (anchor)"), (bnode, "B (armed assault/business)"), (c, "C (bombing/military)")] {
-        let names: Vec<String> = res.node_matches(u).iter().take(8).map(|&v| name(v)).collect();
+    for (u, lbl) in [
+        (a, "A (anchor)"),
+        (bnode, "B (armed assault/business)"),
+        (c, "C (bombing/military)"),
+    ] {
+        let names: Vec<String> = res
+            .node_matches(u)
+            .iter()
+            .take(8)
+            .map(|&v| name(v))
+            .collect();
         println!(
             "  {lbl}: {} orgs, e.g. {}",
             res.node_matches(u).len(),

@@ -21,8 +21,11 @@ fn main() {
     let mut pq = Pq::new();
     let a = pq.add_node(
         "A",
-        Predicate::parse("cat = \"Film & Animation\" && com > 20 && age > 300", g.schema())
-            .unwrap(),
+        Predicate::parse(
+            "cat = \"Film & Animation\" && com > 20 && age > 300",
+            g.schema(),
+        )
+        .unwrap(),
     );
     let bnode = pq.add_node("B", Predicate::parse("uid <= 30", g.schema()).unwrap());
     let c = pq.add_node(

@@ -76,11 +76,19 @@ fn rq(g: &Graph, rest: &[String], general: bool) -> Result<(), String> {
     let from = Predicate::parse(from_src, g.schema()).map_err(|e| e.to_string())?;
     let to = Predicate::parse(to_src, g.schema()).map_err(|e| e.to_string())?;
     let result = if general {
-        GRq::new(from, to, GRegex::parse(regex_src, g.alphabet()).map_err(|e| e.to_string())?)
-            .eval(g)
+        GRq::new(
+            from,
+            to,
+            GRegex::parse(regex_src, g.alphabet()).map_err(|e| e.to_string())?,
+        )
+        .eval(g)
     } else {
-        Rq::new(from, to, FRegex::parse(regex_src, g.alphabet()).map_err(|e| e.to_string())?)
-            .eval_bfs(g)
+        Rq::new(
+            from,
+            to,
+            FRegex::parse(regex_src, g.alphabet()).map_err(|e| e.to_string())?,
+        )
+        .eval_bfs(g)
     };
     println!("{} pairs", result.len());
     for &(x, y) in result.as_slice() {
@@ -89,7 +97,7 @@ fn rq(g: &Graph, rest: &[String], general: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn pq(g: &Graph, rest: &[String], ) -> Result<(), String> {
+fn pq(g: &Graph, rest: &[String]) -> Result<(), String> {
     let Some(query_path) = rest.first() else {
         return Err(format!("pq needs a QUERY-FILE\n{USAGE}"));
     };
@@ -103,8 +111,8 @@ fn pq(g: &Graph, rest: &[String], ) -> Result<(), String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    let text =
-        std::fs::read_to_string(query_path).map_err(|e| format!("cannot read {query_path}: {e}"))?;
+    let text = std::fs::read_to_string(query_path)
+        .map_err(|e| format!("cannot read {query_path}: {e}"))?;
     let query = parse_pq(&text, g.schema(), g.alphabet()).map_err(|e| e.to_string())?;
 
     let res = match (algo, backend) {
@@ -146,8 +154,8 @@ fn min(g: &Graph, rest: &[String]) -> Result<(), String> {
     let Some(query_path) = rest.first() else {
         return Err(format!("min needs a QUERY-FILE\n{USAGE}"));
     };
-    let text =
-        std::fs::read_to_string(query_path).map_err(|e| format!("cannot read {query_path}: {e}"))?;
+    let text = std::fs::read_to_string(query_path)
+        .map_err(|e| format!("cannot read {query_path}: {e}"))?;
     let query = parse_pq(&text, g.schema(), g.alphabet()).map_err(|e| e.to_string())?;
     let slim = minimize(&query);
     eprintln!("|Q| {} -> {}", query.size(), slim.size());

@@ -11,7 +11,11 @@
 //! * [`core`] — reachability queries (RQs), graph pattern queries (PQs),
 //!   their evaluation algorithms (`JoinMatch`, `SplitMatch`, matrix and
 //!   bi-directional-BFS backends), static analyses (containment,
-//!   equivalence, minimization) and the paper's baselines.
+//!   equivalence, minimization) and the paper's baselines,
+//! * [`engine`] — the parallel batch query engine: a [`QueryEngine`]
+//!   (see [`prelude`]) that owns a shared graph, plans a strategy per
+//!   query, and evaluates batches of mixed RQs/PQs on scoped worker
+//!   threads with batch-wide reach-set memoization.
 //!
 //! ## Quickstart
 //!
@@ -37,8 +41,43 @@
 //! let result = rq.eval_with_matrix(&g, &matrix);
 //! assert_eq!(result.pairs(), vec![(ann, bob)]);
 //! ```
+//!
+//! ## Batch evaluation
+//!
+//! Serving many queries against one graph? Hand them to the
+//! [`QueryEngine`](prelude::QueryEngine) instead of evaluating one at a
+//! time: it picks a strategy per query (matrix probes, bi-directional
+//! search, or memoized product BFS), shares indices and reach sets across
+//! the batch, and fans the work out over scoped worker threads.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rpq::prelude::*;
+//!
+//! let mut b = GraphBuilder::new();
+//! let job = b.attr("job");
+//! let ann = b.add_node("Ann", [(job, "doctor".into())]);
+//! let bob = b.add_node("Bob", [(job, "biologist".into())]);
+//! let fa = b.color("fa");
+//! b.add_edge(ann, bob, fa);
+//! let g = Arc::new(b.build());
+//!
+//! let engine = QueryEngine::new(Arc::clone(&g));
+//! let rq = Rq::new(
+//!     Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+//!     Predicate::parse("job = \"biologist\"", g.schema()).unwrap(),
+//!     FRegex::parse("fa", g.alphabet()).unwrap(),
+//! );
+//! // a (tiny) batch: the same API scales to thousands of mixed RQs/PQs
+//! let batch = engine.run_batch(&[Query::Rq(rq.clone()), Query::Rq(rq)]);
+//! for item in batch.items() {
+//!     assert_eq!(item.output.as_rq().unwrap().pairs(), vec![(ann, bob)]);
+//! }
+//! println!("batch of {} in {:?}", batch.len(), batch.wall_time());
+//! ```
 
 pub use rpq_core as core;
+pub use rpq_engine as engine;
 pub use rpq_graph as graph;
 pub use rpq_regex as regex;
 
@@ -55,6 +94,9 @@ pub mod prelude {
     pub use rpq_core::reach::{CachedReach, MatrixReach, ReachEngine};
     pub use rpq_core::rq::{Rq, RqResult};
     pub use rpq_core::split_match::SplitMatch;
+    pub use rpq_engine::{
+        BatchItem, BatchResult, EngineConfig, Plan, Query, QueryEngine, QueryOutput, ReachMemo,
+    };
     pub use rpq_graph::{
         Alphabet, AttrId, AttrValue, Attrs, DistanceMatrix, Graph, GraphBuilder, NodeId, Schema,
         WILDCARD,

@@ -15,14 +15,29 @@ fn random_pattern(g: &Graph, rng: &mut StdRng, max_nodes: usize) -> Pq {
             0 => Predicate::always_true(),
             1 => Predicate::parse(&format!("a0 <= {}", rng.gen_range(2..9)), g.schema()).unwrap(),
             _ => Predicate::parse(
-                &format!("a0 >= {} && a1 != {}", rng.gen_range(0..5), rng.gen_range(0..10)),
+                &format!(
+                    "a0 >= {} && a1 != {}",
+                    rng.gen_range(0..5),
+                    rng.gen_range(0..10)
+                ),
                 g.schema(),
             )
             .unwrap(),
         };
         pq.add_node(&format!("u{i}"), pred);
     }
-    let pool = ["c0", "c1", "c0^2", "c1^3", "c0+", "c0 c1", "c1^2 c0^2", "_^2", "_+", "_ c0"];
+    let pool = [
+        "c0",
+        "c1",
+        "c0^2",
+        "c1^3",
+        "c0+",
+        "c0 c1",
+        "c1^2 c0^2",
+        "_^2",
+        "_+",
+        "_ c0",
+    ];
     for _ in 0..rng.gen_range(1..=n_nodes + 2) {
         let u = rng.gen_range(0..n_nodes);
         let v = rng.gen_range(0..n_nodes);
@@ -89,7 +104,11 @@ fn rq_pairs_really_have_matching_paths() {
     // color word the regex accepts (verified by explicit path enumeration)
     let g = rpq::graph::gen::synthetic(25, 60, 1, 2, 99);
     let re = FRegex::parse("c0^2 c1", g.alphabet()).unwrap();
-    let rq = Rq::new(Predicate::always_true(), Predicate::always_true(), re.clone());
+    let rq = Rq::new(
+        Predicate::always_true(),
+        Predicate::always_true(),
+        re.clone(),
+    );
     let result = rq.eval_bfs(&g);
     // enumerate all words along paths up to length 3 from each source
     for &(x, y) in result.as_slice() {

@@ -100,11 +100,7 @@ fn unsatisfiable_predicate_combinations() {
     let g = rpq::graph::gen::essembly();
     let m = DistanceMatrix::build(&g);
     // contradictory conjunction (no node has both jobs)
-    let p = Predicate::parse(
-        "job = \"doctor\" && job = \"biologist\"",
-        g.schema(),
-    )
-    .unwrap();
+    let p = Predicate::parse("job = \"doctor\" && job = \"biologist\"", g.schema()).unwrap();
     let rq = Rq::new(
         p.clone(),
         Predicate::always_true(),
@@ -143,7 +139,10 @@ fn pattern_larger_than_graph() {
         pq.add_edge(w[0], w[1], re.clone());
     }
     let res = JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m));
-    assert!(!res.is_empty(), "simulation folds the chain onto the 2-cycle");
+    assert!(
+        !res.is_empty(),
+        "simulation folds the chain onto the 2-cycle"
+    );
     let iso = rpq::core::baseline::subiso_match(&pq, &g, 1 << 16);
     assert!(iso.complete);
     assert_eq!(iso.embeddings, 0, "no injective embedding exists");
@@ -238,7 +237,11 @@ fn incremental_noop_updates() {
         "b",
         Predicate::parse("job = \"doctor\"", dg.graph().schema()).unwrap(),
     );
-    pq.add_edge(a, b, FRegex::parse("fa^2 fn", dg.graph().alphabet()).unwrap());
+    pq.add_edge(
+        a,
+        b,
+        FRegex::parse("fa^2 fn", dg.graph().alphabet()).unwrap(),
+    );
     let mut inc = IncrementalMatcher::new(pq, &dg);
     let before = inc.result(&dg);
     // deleting a non-existent edge and re-inserting an existing one are

@@ -1,0 +1,178 @@
+//! Integration tests for the parallel batch query engine: parity with
+//! sequential single-query evaluation, batch-aware planning, memo sharing,
+//! and engine reuse across threads.
+
+use rpq::prelude::*;
+use rpq_bench::querygen::{generate_pq, generate_rq, QueryParams};
+use std::sync::Arc;
+
+/// A 64-query RQ workload with hot keys repeating every 4th query.
+fn rq_workload(g: &Graph, batch: usize) -> Vec<Rq> {
+    (0..batch)
+        .map(|i| {
+            let seed = if i % 4 == 0 {
+                (i % 8) as u64
+            } else {
+                500 + i as u64
+            };
+            generate_rq(g, 2, 4, 2, seed)
+        })
+        .collect()
+}
+
+/// Acceptance: a batch of ≥64 RQs on a 10k-node generated graph, run on
+/// ≥2 worker threads, returns results identical to sequential
+/// single-query evaluation.
+#[test]
+fn batch_of_64_rqs_on_10k_graph_matches_sequential() {
+    let g = Arc::new(rpq::graph::gen::youtube_like(10_000, 11));
+    assert!(g.node_count() >= 10_000);
+    let engine = QueryEngine::with_config(
+        Arc::clone(&g),
+        EngineConfig {
+            workers: 4,
+            ..EngineConfig::default()
+        },
+    );
+    // 10k nodes is over the matrix limit: the engine must plan around it
+    assert!(!engine.matrix_available());
+
+    let rqs = rq_workload(&g, 64);
+    let queries: Vec<Query> = rqs.iter().cloned().map(Query::Rq).collect();
+    let batch = engine.run_batch(&queries);
+
+    assert_eq!(batch.len(), 64);
+    assert!(batch.workers() >= 2, "got {} workers", batch.workers());
+
+    // sequential reference: the seed's own single-query strategy
+    for (i, rq) in rqs.iter().enumerate() {
+        let expect = rq.eval_bibfs(&g);
+        assert_eq!(
+            batch.items()[i].output.as_rq().expect("RQ in, RQ out"),
+            &expect,
+            "query {i} diverged from sequential evaluation"
+        );
+    }
+
+    // the hot keys must have been shared through the memo
+    let (hits, misses) = batch.memo_stats();
+    assert!(
+        hits > 0,
+        "repeated keys should hit the memo ({hits}/{misses})"
+    );
+    let memoized = batch
+        .items()
+        .iter()
+        .filter(|it| it.plan == Plan::RqBfsMemo)
+        .count();
+    assert!(
+        memoized >= 16,
+        "hot keys should plan BFS+memo, got {memoized}"
+    );
+}
+
+/// Mixed RQ/PQ batch on a small graph: the engine builds the matrix
+/// lazily and every output equals the corresponding sequential strategy.
+#[test]
+fn mixed_batch_on_small_graph_matches_sequential() {
+    let g = Arc::new(rpq::graph::gen::youtube_like(1200, 42));
+    let engine = QueryEngine::new(Arc::clone(&g));
+    assert!(engine.matrix_available());
+
+    let params = QueryParams::defaults();
+    let rqs: Vec<Rq> = (0..12).map(|i| generate_rq(&g, 2, 4, 2, i)).collect();
+    let pqs: Vec<Pq> = (0..4).map(|i| generate_pq(&g, &params, i)).collect();
+    let queries: Vec<Query> = rqs
+        .iter()
+        .cloned()
+        .map(Query::Rq)
+        .chain(pqs.iter().cloned().map(Query::Pq))
+        .collect();
+
+    let batch = engine.run_batch(&queries);
+    assert_eq!(batch.len(), 16);
+
+    let m = DistanceMatrix::build(&g);
+    for (i, rq) in rqs.iter().enumerate() {
+        assert_eq!(
+            batch.items()[i].output.as_rq().unwrap(),
+            &rq.eval_with_matrix(&g, &m),
+            "RQ {i}"
+        );
+        assert_eq!(batch.items()[i].plan, Plan::RqDm);
+    }
+    for (i, pq) in pqs.iter().enumerate() {
+        assert_eq!(
+            batch.items()[12 + i].output.as_pq().unwrap(),
+            &JoinMatch::eval(pq, &g, &mut MatrixReach::new(&m)),
+            "PQ {i}"
+        );
+        assert_eq!(batch.items()[12 + i].plan, Plan::PqJoinMatrix);
+    }
+}
+
+/// The engine is Sync: many threads can push batches at one engine and
+/// indices are built exactly once.
+#[test]
+fn engine_shared_across_threads() {
+    let g = Arc::new(rpq::graph::gen::youtube_like(800, 3));
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&g)));
+    let rqs = rq_workload(&g, 16);
+    let queries: Vec<Query> = rqs.iter().cloned().map(Query::Rq).collect();
+
+    let results: Vec<BatchResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let queries = queries.clone();
+                s.spawn(move || engine.run_batch(&queries))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let m = DistanceMatrix::build(&g);
+    for batch in &results {
+        for (i, rq) in rqs.iter().enumerate() {
+            assert_eq!(
+                batch.items()[i].output.as_rq().unwrap(),
+                &rq.eval_with_matrix(&g, &m)
+            );
+        }
+    }
+}
+
+/// Per-query timing and plan labels are recorded for the bench harness.
+#[test]
+fn batch_result_reports_plans_and_timing() {
+    let g = Arc::new(rpq::graph::gen::youtube_like(600, 9));
+    let engine = QueryEngine::with_config(
+        Arc::clone(&g),
+        EngineConfig {
+            workers: 2,
+            matrix_node_limit: 0, // force index-free plans
+            ..EngineConfig::default()
+        },
+    );
+    let hot = generate_rq(&g, 2, 4, 2, 1);
+    let queries = vec![
+        Query::Rq(hot.clone()),
+        Query::Rq(hot),
+        Query::Rq(generate_rq(&g, 2, 4, 3, 77)),
+    ];
+    let batch = engine.run_batch(&queries);
+
+    assert_eq!(batch.items()[0].plan, Plan::RqBfsMemo);
+    assert_eq!(batch.items()[1].plan, Plan::RqBfsMemo);
+    assert_eq!(batch.items()[2].plan, Plan::RqBiBfs);
+    for item in batch.items() {
+        assert!(!item.plan.name().is_empty());
+    }
+    assert!(batch.wall_time().as_nanos() > 0);
+    assert!(batch.total_query_time() >= batch.items().iter().map(|i| i.time).max().unwrap());
+    assert_eq!(batch.outputs().count(), 3);
+
+    // single-query path agrees with the batch path
+    let single = engine.run_query(&queries[2]);
+    assert_eq!(&single, &batch.items()[2].output);
+}

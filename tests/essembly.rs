@@ -26,7 +26,10 @@ fn q2(g: &Graph) -> Pq {
         "C",
         Predicate::parse("job = \"biologist\" && sp = \"cloning\"", g.schema()).unwrap(),
     );
-    let d = pq.add_node("D", Predicate::parse("uid = \"Alice001\"", g.schema()).unwrap());
+    let d = pq.add_node(
+        "D",
+        Predicate::parse("uid = \"Alice001\"", g.schema()).unwrap(),
+    );
     let re = |s: &str| FRegex::parse(s, g.alphabet()).unwrap();
     pq.add_edge(b, c, re("fn"));
     pq.add_edge(c, b, re("fn"));
@@ -60,10 +63,22 @@ fn example_2_3_q2_result_all_algorithms() {
     let oracle = pq.eval_naive(&g);
 
     let variants: Vec<(&str, PqResult)> = vec![
-        ("JoinMatchM", JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m))),
-        ("JoinMatchC", JoinMatch::eval(&pq, &g, &mut CachedReach::new(1 << 12))),
-        ("SplitMatchM", SplitMatch::eval(&pq, &g, &mut MatrixReach::new(&m))),
-        ("SplitMatchC", SplitMatch::eval(&pq, &g, &mut CachedReach::new(1 << 12))),
+        (
+            "JoinMatchM",
+            JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m)),
+        ),
+        (
+            "JoinMatchC",
+            JoinMatch::eval(&pq, &g, &mut CachedReach::new(1 << 12)),
+        ),
+        (
+            "SplitMatchM",
+            SplitMatch::eval(&pq, &g, &mut MatrixReach::new(&m)),
+        ),
+        (
+            "SplitMatchC",
+            SplitMatch::eval(&pq, &g, &mut CachedReach::new(1 << 12)),
+        ),
     ];
     for (name, res) in &variants {
         assert_eq!(res, &oracle, "{name} diverges from the semantics");
@@ -88,7 +103,10 @@ fn q1_as_single_edge_pq_matches_rq() {
     let pq = Pq::from_rq(&rq);
     let m = DistanceMatrix::build(&g);
     let pq_res = JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m));
-    assert_eq!(pq_res.edge_matches(0), rq.eval_with_matrix(&g, &m).as_slice());
+    assert_eq!(
+        pq_res.edge_matches(0),
+        rq.eval_with_matrix(&g, &m).as_slice()
+    );
 }
 
 #[test]
@@ -101,7 +119,10 @@ fn baselines_show_the_fig9b_split() {
         "C",
         Predicate::parse("job = \"biologist\"", g.schema()).unwrap(),
     );
-    let b = pq.add_node("B", Predicate::parse("job = \"doctor\"", g.schema()).unwrap());
+    let b = pq.add_node(
+        "B",
+        Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+    );
     pq.add_edge(c, b, FRegex::parse("fa^2 fn", g.alphabet()).unwrap());
 
     let m = DistanceMatrix::build(&g);

@@ -114,7 +114,10 @@ fn expressiveness_ladder() {
         "C",
         Predicate::parse("job = \"biologist\"", g.schema()).unwrap(),
     );
-    let b = pq.add_node("B", Predicate::parse("job = \"doctor\"", g.schema()).unwrap());
+    let b = pq.add_node(
+        "B",
+        Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+    );
     pq.add_edge(c, b, FRegex::parse("fa^2 fn", g.alphabet()).unwrap());
 
     let plain = plain_sim_match(&pq, &g); // one fa hop required — nobody matches
@@ -139,7 +142,10 @@ fn expressiveness_ladder() {
 fn cli_language_roundtrip_via_facade() {
     let g = rpq::graph::gen::essembly();
     let mut pq = Pq::new();
-    let a = pq.add_node("A", Predicate::parse("sp = \"cloning\"", g.schema()).unwrap());
+    let a = pq.add_node(
+        "A",
+        Predicate::parse("sp = \"cloning\"", g.schema()).unwrap(),
+    );
     let b = pq.add_node("B", Predicate::always_true());
     pq.add_edge(a, b, FRegex::parse("fa^2 sn+", g.alphabet()).unwrap());
     let text = format_pq(&pq, g.schema(), g.alphabet());
