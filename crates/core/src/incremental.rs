@@ -30,19 +30,26 @@
 //! immutable by design); the matcher keeps its own state across updates.
 
 use crate::pq::{Pq, PqResult};
-use crate::reach::{product_reach_set, CachedReach, ReachEngine};
+use crate::reach::{CachedReach, ReachEngine};
 use crate::rq::matches_of;
 use rpq_graph::{Color, Graph, GraphBuilder, NodeId};
-use rpq_regex::Nfa;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A data graph that accepts edge insertions and deletions.
 ///
-/// Updates rebuild the immutable CSR image — O(|V| + |E|) per batch, which
-/// keeps the traversal-side representation optimal. Batch several updates
-/// with [`DynamicGraph::apply`] to pay the rebuild once.
+/// Updates rebuild the immutable CSR image — O(|V| + |E| + updates) per
+/// batch (the builder's edge index makes each update O(1)), which keeps the
+/// traversal-side representation optimal. Batch several updates with
+/// [`DynamicGraph::apply`] to pay the rebuild once.
+///
+/// The image is held behind an [`Arc`] so serving layers can publish each
+/// version as an immutable snapshot without copying the graph: readers
+/// holding a [`DynamicGraph::graph_arc`] clone keep a consistent view while
+/// later batches replace the current image.
 #[derive(Debug, Clone)]
 pub struct DynamicGraph {
-    graph: Graph,
+    graph: Arc<Graph>,
     version: u64,
 }
 
@@ -58,6 +65,11 @@ pub enum Update {
 impl DynamicGraph {
     /// Wrap an existing graph.
     pub fn new(graph: Graph) -> Self {
+        Self::from_arc(Arc::new(graph))
+    }
+
+    /// Wrap an already-shared graph (no copy).
+    pub fn from_arc(graph: Arc<Graph>) -> Self {
         DynamicGraph { graph, version: 0 }
     }
 
@@ -66,52 +78,37 @@ impl DynamicGraph {
         &self.graph
     }
 
+    /// A shared handle to the current image — this is what snapshot-based
+    /// serving publishes to readers.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
     /// Monotonically increasing update-batch counter.
     pub fn version(&self) -> u64 {
         self.version
     }
 
-    /// Apply a batch of updates, rebuilding the CSR image once.
+    /// Apply a batch of `U` updates, rebuilding the CSR image once:
+    /// O(|V| + |E| + U) total, via the builder's O(1) edge index (a naive
+    /// edge-list scan per update would be O(U·|E|)).
     /// Returns the updates that actually changed the graph.
     pub fn apply(&mut self, updates: &[Update]) -> Vec<Update> {
-        let mut edges: Vec<(NodeId, NodeId, Color)> = self.graph.edges().collect();
+        let mut b = GraphBuilder::from_graph(&self.graph);
         let mut effective = Vec::new();
         for &u in updates {
-            match u {
-                Update::Insert(a, b, c) => {
-                    if !edges.contains(&(a, b, c)) {
-                        edges.push((a, b, c));
-                        effective.push(u);
-                    }
-                }
-                Update::Delete(a, b, c) => {
-                    if let Some(pos) = edges.iter().position(|&e| e == (a, b, c)) {
-                        edges.swap_remove(pos);
-                        effective.push(u);
-                    }
-                }
+            let changed = match u {
+                Update::Insert(x, y, c) => b.insert_edge(x, y, c),
+                Update::Delete(x, y, c) => b.remove_edge(x, y, c),
+            };
+            if changed {
+                effective.push(u);
             }
         }
         if effective.is_empty() {
             return effective;
         }
-        let mut b = GraphBuilder::with_vocabulary(
-            self.graph.schema().clone(),
-            self.graph.alphabet().clone(),
-        );
-        for v in self.graph.nodes() {
-            let pairs: Vec<_> = self
-                .graph
-                .attrs(v)
-                .iter()
-                .map(|(id, val)| (id, val.clone()))
-                .collect();
-            b.add_node(self.graph.label(v), pairs);
-        }
-        for (x, y, c) in edges {
-            b.add_edge(x, y, c);
-        }
-        self.graph = b.build();
+        self.graph = Arc::new(b.build());
         self.version += 1;
         effective
     }
@@ -158,6 +155,14 @@ impl IncrementalMatcher {
     /// Current matches of query node `u`.
     pub fn matches(&self, u: usize) -> &[NodeId] {
         &self.mats[u]
+    }
+
+    /// The standing match sets, indexed by query node. Snapshot-based
+    /// serving copies these out per published version and assembles the
+    /// full per-edge result lazily via
+    /// [`join_match::assemble`](crate::join_match::assemble).
+    pub fn match_sets(&self) -> &[Vec<NodeId>] {
+        &self.mats
     }
 
     /// True if the standing answer is empty.
@@ -263,39 +268,42 @@ impl IncrementalMatcher {
 
 /// Incremental RQ maintenance: the RQ special case is simple enough to
 /// answer by re-running the product search over affected sources only.
+///
+/// Sources whose reach set can change are those that reach an updated
+/// edge's source endpoint through a (wildcard) path prefix — a conservative
+/// but sound overapproximation (any regex-constrained path is in particular
+/// a wildcard path, so the wildcard test subsumes the per-regex one).
+///
+/// Cost: one multi-source backward BFS from all touched endpoints,
+/// O(|V| + |E|) *total* — the work is hoisted out of the per-source loop
+/// (one forward BFS per source, with a linear `touched` scan per node,
+/// would be O(|mat(u1)|·(|V| + |E|) + |V|·|touched|)).
 pub fn rq_affected_sources(g: &Graph, rq: &crate::rq::Rq, updates: &[Update]) -> Vec<NodeId> {
-    // sources whose reach set can change: those that reach an updated
-    // edge's source endpoint through a (wildcard) prefix — conservative
-    // but sound overapproximation
-    let nfa = Nfa::from_regex(&rq.regex);
-    let sources = rq.matches_from(g);
-    let mut touched: Vec<NodeId> = updates
-        .iter()
-        .map(|u| match *u {
-            Update::Insert(a, _, _) | Update::Delete(a, _, _) => a,
-        })
-        .collect();
-    touched.sort_unstable();
-    touched.dedup();
-    sources
+    let touched = updates.iter().map(|u| match *u {
+        Update::Insert(a, _, _) | Update::Delete(a, _, _) => a,
+    });
+    // one backward wildcard BFS seeded with every touched endpoint at once:
+    // marks exactly the nodes with a (possibly empty) path to some touched
+    // node — including the touched nodes themselves
+    let mut reaches_touched = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    for t in touched {
+        if !reaches_touched[t.index()] {
+            reaches_touched[t.index()] = true;
+            queue.push_back(t);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        for e in g.in_edges(v) {
+            if !reaches_touched[e.node.index()] {
+                reaches_touched[e.node.index()] = true;
+                queue.push_back(e.node);
+            }
+        }
+    }
+    rq.matches_from(g)
         .into_iter()
-        .filter(|&s| {
-            touched.contains(&s)
-                || product_reach_set(g, &nfa, s)
-                    .iter()
-                    .any(|y| touched.contains(y))
-                || {
-                    // s reaches a touched node via any prefix of the regex:
-                    // conservative wildcard check
-                    let d = rpq_graph::algo::bfs_distances(
-                        g,
-                        s,
-                        rpq_graph::WILDCARD,
-                        rpq_graph::algo::Direction::Forward,
-                    );
-                    touched.iter().any(|&t| d[t.index()] != rpq_graph::INFINITY)
-                }
-        })
+        .filter(|&s| reaches_touched[s.index()])
         .collect()
 }
 
@@ -353,6 +361,48 @@ mod tests {
             dg.graph().attrs(b1).get(job),
             Some(&rpq_graph::AttrValue::Str("doctor".into()))
         );
+    }
+
+    #[test]
+    fn large_batch_apply_matches_reference_set() {
+        // 1k-update batch on a 10k-edge graph: the edge-indexed apply must
+        // agree with a reference set simulation (the perf side — O(U + E),
+        // not O(U·E) — is covered by benches/incremental.rs)
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashSet;
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = synthetic(2000, 10_000, 1, 3, 17);
+        let mut reference: HashSet<(NodeId, NodeId, Color)> = g.edges().collect();
+        let mut dg = DynamicGraph::new(g);
+
+        let updates: Vec<Update> = (0..1000)
+            .map(|_| {
+                let x = NodeId(rng.gen_range(0..2000));
+                let y = NodeId(rng.gen_range(0..2000));
+                let c = Color(rng.gen_range(0..3));
+                if rng.gen_bool(0.5) {
+                    Update::Insert(x, y, c)
+                } else {
+                    Update::Delete(x, y, c)
+                }
+            })
+            .collect();
+        let mut expect_effective = 0usize;
+        for &u in &updates {
+            let changed = match u {
+                Update::Insert(x, y, c) => reference.insert((x, y, c)),
+                Update::Delete(x, y, c) => reference.remove(&(x, y, c)),
+            };
+            expect_effective += usize::from(changed);
+        }
+
+        let effective = dg.apply(&updates);
+        assert_eq!(effective.len(), expect_effective);
+        assert_eq!(dg.version(), 1, "one batch, one rebuild");
+        assert_eq!(dg.graph().edge_count(), reference.len());
+        let rebuilt: HashSet<(NodeId, NodeId, Color)> = dg.graph().edges().collect();
+        assert_eq!(rebuilt, reference);
     }
 
     #[test]

@@ -130,7 +130,13 @@ pub(crate) fn refine<R: ReachEngine>(
 /// Result assembly (Fig. 7 lines 15-16) over the *original* edges: for each
 /// surviving source, enumerate its regex-reachable targets and intersect
 /// with the target match set.
-pub(crate) fn assemble(pq: &Pq, g: &Graph, mats: &[Vec<NodeId>]) -> PqResult {
+///
+/// Public because serving layers that carry raw match sets (e.g. a
+/// snapshot holding a standing query's maintained sets) assemble the full
+/// per-edge result lazily, on first read, instead of on every update.
+/// `mats[u]` must be the match set of query node `u` at a fixpoint of the
+/// refinement on `g` — anything else yields garbage pairs, not an error.
+pub fn assemble(pq: &Pq, g: &Graph, mats: &[Vec<NodeId>]) -> PqResult {
     let mut edge_matches = Vec::with_capacity(pq.edge_count());
     for e in pq.edges() {
         let nfa = Nfa::from_regex(&e.regex);

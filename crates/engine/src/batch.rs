@@ -3,6 +3,7 @@
 use crate::planner::Plan;
 use rpq_core::pq::{Pq, PqResult};
 use rpq_core::rq::{Rq, RqResult};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One query in a batch — the engine serves RQs and PQs side by side.
@@ -27,12 +28,15 @@ impl From<Pq> for Query {
 }
 
 /// The result of one query, tagged by kind.
+///
+/// PQ results are behind an `Arc`: serving a standing query's maintained
+/// answer is an O(1) handle clone, not a deep copy of the match sets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryOutput {
     /// Result of a [`Query::Rq`].
     Rq(RqResult),
     /// Result of a [`Query::Pq`].
-    Pq(PqResult),
+    Pq(Arc<PqResult>),
 }
 
 impl QueryOutput {
@@ -47,7 +51,7 @@ impl QueryOutput {
     /// The PQ result, if this was a PQ.
     pub fn as_pq(&self) -> Option<&PqResult> {
         match self {
-            QueryOutput::Pq(r) => Some(r),
+            QueryOutput::Pq(r) => Some(r.as_ref()),
             QueryOutput::Rq(_) => None,
         }
     }
@@ -102,6 +106,12 @@ impl BatchResult {
     /// Per-query records, in the order the queries were submitted.
     pub fn items(&self) -> &[BatchItem] {
         &self.items
+    }
+
+    /// Consume the result, yielding the per-query records (used by the
+    /// snapshot layer to splice standing-query answers into a sub-batch).
+    pub(crate) fn into_items(self) -> Vec<BatchItem> {
+        self.items
     }
 
     /// Just the outputs, in submission order.

@@ -111,13 +111,19 @@ impl QueryEngine {
 
     /// Evaluate one query (a batch of one, on the calling thread).
     pub fn run_query(&self, query: &Query) -> QueryOutput {
+        self.run_query_with_memo(query, &ReachMemo::new())
+    }
+
+    /// Evaluate one query against a caller-provided reach-set memo (the
+    /// snapshot layer passes a snapshot-lifetime memo so repeated keys are
+    /// shared across batches, not just within one).
+    pub fn run_query_with_memo(&self, query: &Query, memo: &ReachMemo) -> QueryOutput {
         let plan = self.plan_query(query);
         if plan_needs_matrix(plan) {
             self.matrix();
         }
-        let memo = ReachMemo::new();
         let mut cached = CachedReach::new(self.config.cache_capacity);
-        self.eval_one(query, plan, &memo, &mut cached)
+        self.eval_one(query, plan, memo, &mut cached)
     }
 
     /// Evaluate a batch: plan each query (batch-aware), then pull queries
@@ -125,7 +131,17 @@ impl QueryEngine {
     /// back in submission order and are identical to sequential
     /// single-query evaluation — the strategies differ only in cost.
     pub fn run_batch(&self, queries: &[Query]) -> BatchResult {
+        self.run_batch_with_memo(queries, &ReachMemo::new())
+    }
+
+    /// [`run_batch`](QueryEngine::run_batch) against a caller-provided
+    /// memo, so reach sets survive across batches for as long as the memo
+    /// does (one graph version, in snapshot-based serving). The reported
+    /// memo stats are this batch's delta; under concurrent batches sharing
+    /// one memo they are approximate.
+    pub fn run_batch_with_memo(&self, queries: &[Query], memo: &ReachMemo) -> BatchResult {
         let t0 = Instant::now();
+        let (hits0, misses0) = memo.stats();
         if queries.is_empty() {
             return BatchResult::new(Vec::new(), t0.elapsed(), 0, (0, 0));
         }
@@ -155,7 +171,6 @@ impl QueryEngine {
         }
 
         let workers = self.worker_count(queries.len());
-        let memo = ReachMemo::new();
         let next = AtomicUsize::new(0);
         let slots: Vec<OnceLock<(QueryOutput, std::time::Duration)>> =
             (0..queries.len()).map(|_| OnceLock::new()).collect();
@@ -170,7 +185,7 @@ impl QueryEngine {
                             break;
                         }
                         let t = Instant::now();
-                        let out = self.eval_one(&queries[i], plans[i], &memo, &mut cached);
+                        let out = self.eval_one(&queries[i], plans[i], memo, &mut cached);
                         slots[i]
                             .set((out, t.elapsed()))
                             .unwrap_or_else(|_| unreachable!("each index is claimed once"));
@@ -187,7 +202,13 @@ impl QueryEngine {
                 BatchItem { output, plan, time }
             })
             .collect();
-        BatchResult::new(items, t0.elapsed(), workers, memo.stats())
+        let (hits1, misses1) = memo.stats();
+        BatchResult::new(
+            items,
+            t0.elapsed(),
+            workers,
+            (hits1 - hits0, misses1 - misses0),
+        )
     }
 
     fn worker_count(&self, batch_len: usize) -> usize {
@@ -225,9 +246,11 @@ impl QueryEngine {
             }
             (Query::Pq(pq), Plan::PqJoinMatrix) => {
                 let m = self.matrix.get().expect("DM plan requires the matrix");
-                QueryOutput::Pq(JoinMatch::eval(pq, g, &mut MatrixReach::new(m)))
+                QueryOutput::Pq(Arc::new(JoinMatch::eval(pq, g, &mut MatrixReach::new(m))))
             }
-            (Query::Pq(pq), Plan::PqJoinCached) => QueryOutput::Pq(JoinMatch::eval(pq, g, cached)),
+            (Query::Pq(pq), Plan::PqJoinCached) => {
+                QueryOutput::Pq(Arc::new(JoinMatch::eval(pq, g, cached)))
+            }
             (Query::Rq(_), _) | (Query::Pq(_), _) => {
                 unreachable!("planner assigned a {plan:?} plan to a mismatched query kind")
             }

@@ -15,7 +15,14 @@
 //!   shares product-automaton reach sets, so a reach set probed by many
 //!   queries in a batch is computed exactly once;
 //! * [`BatchResult`] carries per-query outputs, chosen plans and timings
-//!   for the bench harness.
+//!   for the bench harness;
+//! * [`UpdatableEngine`] serves a *mutating* graph (§7): writers apply
+//!   [`Update`](rpq_core::incremental::Update) batches and publish
+//!   immutable versioned [`Snapshot`]s via an `Arc` swap, readers query a
+//!   pinned snapshot without ever blocking on writers, indices are
+//!   versioned per snapshot, and registered standing PQs are maintained
+//!   incrementally and served from their standing answers
+//!   ([`Plan::PqStanding`]) instead of being re-evaluated.
 //!
 //! Workers are plain `std::thread::scope` scoped threads pulling query
 //! indices off an atomic counter — no external dependencies.
@@ -46,8 +53,12 @@ mod batch;
 mod engine;
 pub mod memo;
 pub mod planner;
+mod snapshot;
+mod updatable;
 
 pub use batch::{BatchItem, BatchResult, Query, QueryOutput};
 pub use engine::{EngineConfig, QueryEngine};
 pub use memo::ReachMemo;
 pub use planner::Plan;
+pub use snapshot::Snapshot;
+pub use updatable::{ApplyReport, StandingId, UpdatableEngine};

@@ -1,7 +1,7 @@
 //! Concurrent batch-scoped memo table for product-automaton reach sets.
 //!
 //! RQ evaluation by forward product search does one
-//! [`product_reach_set`](rpq_core::reach::product_reach_set) per candidate
+//! [`product_reach_set`] per candidate
 //! source — work that depends only on the query's *source predicate* and
 //! *regex*, not on its target predicate. Batches of real traffic repeat
 //! those keys constantly (many queries differ only in the target side), so
@@ -24,13 +24,19 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-type Key = (Predicate, FRegex);
 type PairSet = Arc<Vec<(NodeId, NodeId)>>;
+type Cell = Arc<OnceLock<PairSet>>;
+type Cells = HashMap<Predicate, HashMap<FRegex, Cell>>;
 
 /// Shared `(source predicate, regex) → reach pairs` table.
+///
+/// The key is split across two map levels (`predicate → regex → cell`) so
+/// that lookups hash the caller's *borrowed* predicate and regex directly:
+/// the hit path does no cloning or allocation; only the first claim of a
+/// key clones it for ownership.
 #[derive(Debug, Default)]
 pub struct ReachMemo {
-    cells: Mutex<HashMap<Key, Arc<OnceLock<PairSet>>>>,
+    cells: Mutex<Cells>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -47,7 +53,7 @@ impl ReachMemo {
     pub fn reach_pairs(&self, g: &Graph, from: &Predicate, regex: &FRegex) -> PairSet {
         let cell = {
             let mut map = self.cells.lock().expect("memo poisoned");
-            match map.get(&(from.clone(), regex.clone())) {
+            match map.get(from).and_then(|inner| inner.get(regex)) {
                 Some(c) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     Arc::clone(c)
@@ -55,7 +61,9 @@ impl ReachMemo {
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     let c = Arc::new(OnceLock::new());
-                    map.insert((from.clone(), regex.clone()), Arc::clone(&c));
+                    map.entry(from.clone())
+                        .or_default()
+                        .insert(regex.clone(), Arc::clone(&c));
                     c
                 }
             }
@@ -84,7 +92,12 @@ impl ReachMemo {
 
     /// Number of distinct keys claimed so far.
     pub fn len(&self) -> usize {
-        self.cells.lock().expect("memo poisoned").len()
+        self.cells
+            .lock()
+            .expect("memo poisoned")
+            .values()
+            .map(|inner| inner.len())
+            .sum()
     }
 
     /// True if no key has been claimed.
@@ -114,6 +127,14 @@ mod tests {
         let c = memo.reach_pairs(&g, &other, &re);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(memo.len(), 2);
+
+        // same predicate, different regex: a distinct key in the second
+        // map level
+        let re2 = FRegex::parse("fn", g.alphabet()).unwrap();
+        let d = memo.reach_pairs(&g, &from, &re2);
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!(memo.len(), 3);
+        assert!(!memo.is_empty());
     }
 
     #[test]

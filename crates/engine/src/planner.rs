@@ -31,6 +31,9 @@ pub enum Plan {
     PqJoinMatrix,
     /// PQ via `JoinMatch` over the LRU-cached bi-directional backend (§4–5).
     PqJoinCached,
+    /// PQ answered from a registered standing query's incrementally
+    /// maintained match sets — no evaluation at all (§7, live serving).
+    PqStanding,
 }
 
 impl Plan {
@@ -42,6 +45,7 @@ impl Plan {
             Plan::RqBfsMemo => "BFS+memo",
             Plan::PqJoinMatrix => "JoinMatch/DM",
             Plan::PqJoinCached => "JoinMatch/cache",
+            Plan::PqStanding => "standing",
         }
     }
 }
@@ -70,6 +74,18 @@ pub fn plan_pq(matrix_available: bool) -> Plan {
         Plan::PqJoinMatrix
     } else {
         Plan::PqJoinCached
+    }
+}
+
+/// Choose the strategy for one PQ served from a live snapshot: a PQ equal
+/// to a registered standing query is answered from its maintained match
+/// sets — beating any evaluation strategy — and everything else falls back
+/// to [`plan_pq`].
+pub fn plan_pq_live(is_standing: bool, matrix_available: bool) -> Plan {
+    if is_standing {
+        Plan::PqStanding
+    } else {
+        plan_pq(matrix_available)
     }
 }
 
@@ -107,5 +123,14 @@ mod tests {
         assert_eq!(plan_rq(&re(2), false, false), Plan::RqBiBfs);
         assert_eq!(plan_rq(&re(1), false, false), Plan::RqBfsMemo);
         assert_eq!(plan_pq(false), Plan::PqJoinCached);
+    }
+
+    #[test]
+    fn standing_answer_beats_everything() {
+        assert_eq!(plan_pq_live(true, true), Plan::PqStanding);
+        assert_eq!(plan_pq_live(true, false), Plan::PqStanding);
+        assert_eq!(plan_pq_live(false, true), Plan::PqJoinMatrix);
+        assert_eq!(plan_pq_live(false, false), Plan::PqJoinCached);
+        assert_eq!(Plan::PqStanding.name(), "standing");
     }
 }

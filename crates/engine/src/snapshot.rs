@@ -1,0 +1,221 @@
+//! Immutable, versioned read views of a live graph: [`Snapshot`].
+//!
+//! A snapshot is what readers of an [`UpdatableEngine`](crate::UpdatableEngine)
+//! actually query. It freezes together
+//!
+//! * one graph version (an `Arc<Graph>` shared with the writer that
+//!   published it),
+//! * the indices for that version — the lazily-built
+//!   [`DistanceMatrix`](rpq_graph::DistanceMatrix) inside an owned
+//!   [`QueryEngine`] and a snapshot-lifetime [`ReachMemo`] — which are
+//!   *versioned with the snapshot*: an update batch publishes a fresh
+//!   snapshot with fresh (lazily rebuilt) indices, so no reader ever sees
+//!   an index computed against a different graph version, and
+//! * the standing answers: for every registered standing PQ, the match
+//!   sets maintained by
+//!   [`IncrementalMatcher`](rpq_core::incremental::IncrementalMatcher) as
+//!   of this version, pre-assembled into a [`PqResult`].
+//!
+//! Because a snapshot owns `Arc`s of everything it needs, batches keep
+//! running against it — unaffected — while writers publish newer versions:
+//! that is the snapshot-isolation guarantee the live tests assert.
+
+use crate::batch::{BatchItem, BatchResult, Query, QueryOutput};
+use crate::engine::QueryEngine;
+use crate::memo::ReachMemo;
+use crate::planner::{self, Plan};
+use crate::updatable::StandingId;
+use rpq_core::pq::{Pq, PqResult};
+use rpq_graph::{Graph, NodeId};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// One registered standing query as of a snapshot's version: the
+/// maintained match sets, and the full per-edge [`PqResult`] assembled
+/// lazily on first read (assembly runs reachability probes per pattern
+/// edge — paying it inside the writer's `apply` for answers nobody reads
+/// would serialize that work under the writer lock).
+#[derive(Debug, Clone)]
+pub(crate) struct StandingEntry {
+    pub(crate) pq: Pq,
+    pub(crate) mats: Arc<Vec<Vec<NodeId>>>,
+    /// shared across republished snapshots of the same version, so the
+    /// answer is assembled at most once per (query, version)
+    pub(crate) cell: Arc<OnceLock<Arc<PqResult>>>,
+}
+
+impl StandingEntry {
+    pub(crate) fn new(pq: Pq, mats: Vec<Vec<NodeId>>) -> Self {
+        StandingEntry {
+            pq,
+            mats: Arc::new(mats),
+            cell: Arc::new(OnceLock::new()),
+        }
+    }
+
+    fn answer(&self, g: &Graph) -> Arc<PqResult> {
+        Arc::clone(self.cell.get_or_init(|| {
+            Arc::new(if self.mats.iter().any(|m| m.is_empty()) {
+                PqResult::empty(&self.pq)
+            } else {
+                rpq_core::join_match::assemble(&self.pq, g, &self.mats)
+            })
+        }))
+    }
+}
+
+/// A consistent, immutable view of the graph at one version, with its own
+/// indices and the standing answers maintained up to that version.
+///
+/// Obtained from [`UpdatableEngine::snapshot`](crate::UpdatableEngine::snapshot)
+/// (or an [`ApplyReport`](crate::ApplyReport)); cheap to clone the `Arc`
+/// and safe to query from any thread for as long as the caller keeps it.
+#[derive(Debug)]
+pub struct Snapshot {
+    version: u64,
+    engine: Arc<QueryEngine>,
+    memo: Arc<ReachMemo>,
+    standing: Vec<StandingEntry>,
+}
+
+impl Snapshot {
+    pub(crate) fn new(
+        version: u64,
+        engine: Arc<QueryEngine>,
+        memo: Arc<ReachMemo>,
+        standing: Vec<StandingEntry>,
+    ) -> Self {
+        Snapshot {
+            version,
+            engine,
+            memo,
+            standing,
+        }
+    }
+
+    /// The graph version this snapshot serves (the
+    /// [`DynamicGraph`](rpq_core::incremental::DynamicGraph) batch counter
+    /// at publication time).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The graph image at this version.
+    pub fn graph(&self) -> &Arc<Graph> {
+        self.engine.graph()
+    }
+
+    /// The per-version batch engine (shared indices live here).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    pub(crate) fn engine_arc(&self) -> Arc<QueryEngine> {
+        Arc::clone(&self.engine)
+    }
+
+    pub(crate) fn memo_arc(&self) -> Arc<ReachMemo> {
+        Arc::clone(&self.memo)
+    }
+
+    pub(crate) fn standing_entries(&self) -> &[StandingEntry] {
+        &self.standing
+    }
+
+    /// Number of standing queries this snapshot carries answers for.
+    pub fn standing_count(&self) -> usize {
+        self.standing.len()
+    }
+
+    /// The maintained answer of standing query `id` as of this version
+    /// (`None` if `id` was registered after this snapshot was published).
+    /// Assembled from the maintained match sets on first read, then cached
+    /// for the life of the version.
+    pub fn standing_result(&self, id: StandingId) -> Option<Arc<PqResult>> {
+        self.standing
+            .get(id.index())
+            .map(|s| s.answer(self.graph()))
+    }
+
+    fn standing_match(&self, pq: &Pq) -> Option<usize> {
+        self.standing.iter().position(|s| &s.pq == pq)
+    }
+
+    /// The plan this snapshot would pick for `query`: a PQ equal to a
+    /// registered standing query is served from its maintained match sets
+    /// ([`Plan::PqStanding`]); everything else gets the batch engine's
+    /// plan.
+    pub fn plan_query(&self, query: &Query) -> Plan {
+        match query {
+            Query::Pq(pq) => planner::plan_pq_live(
+                self.standing_match(pq).is_some(),
+                self.engine.matrix_available(),
+            ),
+            Query::Rq(_) => self.engine.plan_query(query),
+        }
+    }
+
+    /// Evaluate one query against this snapshot (standing answers are
+    /// served without evaluation; everything else reuses the snapshot's
+    /// memo and indices).
+    pub fn run_query(&self, query: &Query) -> QueryOutput {
+        if let Query::Pq(pq) = query {
+            if let Some(i) = self.standing_match(pq) {
+                return QueryOutput::Pq(self.standing[i].answer(self.graph()));
+            }
+        }
+        self.engine.run_query_with_memo(query, &self.memo)
+    }
+
+    /// Evaluate a batch against this snapshot. Identical to
+    /// [`QueryEngine::run_batch`] except that
+    ///
+    /// * PQs equal to a registered standing query are answered from the
+    ///   maintained match sets (plan [`Plan::PqStanding`]) instead of being
+    ///   re-evaluated, and
+    /// * reach sets are shared through the snapshot-lifetime memo, so hot
+    ///   keys are computed once per graph version rather than once per
+    ///   batch.
+    pub fn run_batch(&self, queries: &[Query]) -> BatchResult {
+        let t0 = Instant::now();
+        let standing_of: Vec<Option<usize>> = queries
+            .iter()
+            .map(|q| match q {
+                Query::Pq(pq) => self.standing_match(pq),
+                Query::Rq(_) => None,
+            })
+            .collect();
+        if standing_of.iter().all(Option::is_none) {
+            return self.engine.run_batch_with_memo(queries, &self.memo);
+        }
+
+        let rest: Vec<Query> = queries
+            .iter()
+            .zip(&standing_of)
+            .filter(|(_, s)| s.is_none())
+            .map(|(q, _)| q.clone())
+            .collect();
+        let sub = self.engine.run_batch_with_memo(&rest, &self.memo);
+        let workers = sub.workers();
+        let memo_stats = sub.memo_stats();
+        let mut rest_items = sub.into_items().into_iter();
+        let items: Vec<BatchItem> = standing_of
+            .iter()
+            .map(|s| match s {
+                Some(i) => {
+                    let t = Instant::now();
+                    let output = QueryOutput::Pq(self.standing[*i].answer(self.graph()));
+                    BatchItem {
+                        output,
+                        plan: Plan::PqStanding,
+                        time: t.elapsed(),
+                    }
+                }
+                None => rest_items
+                    .next()
+                    .expect("one evaluated item per non-standing query"),
+            })
+            .collect();
+        BatchResult::new(items, t0.elapsed(), workers, memo_stats)
+    }
+}

@@ -1,0 +1,383 @@
+//! Live-update serving: [`UpdatableEngine`], the writer side of the
+//! versioned-snapshot scheme.
+//!
+//! §7 of the paper motivates this layer: *"data graphs are frequently
+//! modified, and it is too costly to re-evaluate PQs … every time the
+//! graphs are updated"*. The engine therefore separates the two roles:
+//!
+//! * **Writers** call [`UpdatableEngine::apply`] with a batch of
+//!   [`Update`]s. Under a writer mutex the batch is applied to the
+//!   [`DynamicGraph`] (one O(|V| + |E| + U) rebuild), every registered
+//!   standing PQ is maintained through its
+//!   [`IncrementalMatcher`](rpq_core::incremental::IncrementalMatcher)
+//!   (fixpoint restart from the standing match sets — §7's insertion/
+//!   deletion monotonicity), and a fresh [`Snapshot`] is published by
+//!   swapping one `Arc`.
+//! * **Readers** call [`UpdatableEngine::snapshot`] (a read-lock `Arc`
+//!   clone, no contention with the writer's update work) and run batches
+//!   against it. A reader holding a snapshot is never blocked by — and
+//!   never observes — a concurrent apply: it sees the graph, indices and
+//!   standing answers of *its* version until it asks for a newer one.
+//!
+//! Standing PQs registered with [`UpdatableEngine::register_pq`] are
+//! evaluated once and from then on *maintained*, not re-evaluated: each
+//! published snapshot carries their current answers, and the snapshot's
+//! batch path serves a matching PQ from those answers with plan
+//! [`Plan::PqStanding`](crate::Plan::PqStanding).
+
+use crate::engine::{EngineConfig, QueryEngine};
+use crate::memo::ReachMemo;
+use crate::snapshot::{Snapshot, StandingEntry};
+use rpq_core::incremental::{DynamicGraph, IncrementalMatcher, Update};
+use rpq_core::pq::{Pq, PqResult};
+use rpq_graph::Graph;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Handle to a registered standing query (index into every snapshot's
+/// standing answers, in registration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StandingId(usize);
+
+impl StandingId {
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What one [`UpdatableEngine::apply`] call did.
+#[derive(Debug, Clone)]
+pub struct ApplyReport {
+    /// Graph version after the batch (unchanged if nothing applied).
+    pub version: u64,
+    /// How many of the submitted updates actually changed the graph.
+    pub applied: usize,
+    /// The snapshot now current — gives writers read-your-writes without a
+    /// second lookup.
+    pub snapshot: Arc<Snapshot>,
+}
+
+/// Mutable state owned by the writer lock: the dynamic graph and the
+/// maintenance state of every standing query.
+struct WriterState {
+    dynamic: DynamicGraph,
+    matchers: Vec<IncrementalMatcher>,
+}
+
+/// A query engine over a *mutating* graph: writers apply update batches,
+/// readers query immutable versioned [`Snapshot`]s, and registered
+/// standing PQs are incrementally maintained instead of re-evaluated.
+///
+/// ```
+/// use rpq_engine::{Query, UpdatableEngine};
+/// use rpq_core::incremental::Update;
+/// use rpq_core::pq::Pq;
+/// use rpq_core::predicate::Predicate;
+/// use rpq_graph::gen::essembly;
+/// use rpq_regex::FRegex;
+///
+/// let engine = UpdatableEngine::new(essembly());
+/// let g = engine.snapshot().graph().clone();
+///
+/// // a standing pattern: doctors reachable from biologists via fn edges
+/// let mut pq = Pq::new();
+/// let a = pq.add_node("a", Predicate::parse("job = \"biologist\"", g.schema()).unwrap());
+/// let b = pq.add_node("b", Predicate::parse("job = \"doctor\"", g.schema()).unwrap());
+/// pq.add_edge(a, b, FRegex::parse("fn+", g.alphabet()).unwrap());
+/// let id = engine.register_pq(pq.clone());
+///
+/// // readers pin a version; writers keep publishing
+/// let before = engine.snapshot();
+/// let c1 = g.node_by_label("C1").unwrap();
+/// let b1 = g.node_by_label("B1").unwrap();
+/// let fnc = g.alphabet().get("fn").unwrap();
+/// let report = engine.apply(&[Update::Insert(c1, b1, fnc)]);
+/// assert_eq!(report.applied, 1);
+/// assert!(report.snapshot.version() > before.version());
+///
+/// // the old snapshot still answers from the old graph; the new one
+/// // serves the standing query from its maintained answer
+/// assert!(!before.graph().has_edge(c1, b1, fnc));
+/// assert!(report.snapshot.graph().has_edge(c1, b1, fnc));
+/// let out = report.snapshot.run_query(&Query::Pq(pq));
+/// assert_eq!(out.as_pq().unwrap(), &*report.snapshot.standing_result(id).unwrap());
+/// ```
+pub struct UpdatableEngine {
+    config: EngineConfig,
+    writer: Mutex<WriterState>,
+    current: RwLock<Arc<Snapshot>>,
+}
+
+impl UpdatableEngine {
+    /// Live engine over `graph` with default configuration.
+    pub fn new(graph: Graph) -> Self {
+        Self::with_config(graph, EngineConfig::default())
+    }
+
+    /// Live engine over `graph` with explicit configuration (applied to
+    /// every published snapshot's batch engine).
+    pub fn with_config(graph: Graph, config: EngineConfig) -> Self {
+        let dynamic = DynamicGraph::new(graph);
+        let snapshot = Arc::new(Snapshot::new(
+            dynamic.version(),
+            Arc::new(QueryEngine::with_config(
+                dynamic.graph_arc(),
+                config.clone(),
+            )),
+            Arc::new(ReachMemo::new()),
+            Vec::new(),
+        ));
+        UpdatableEngine {
+            config,
+            writer: Mutex::new(WriterState {
+                dynamic,
+                matchers: Vec::new(),
+            }),
+            current: RwLock::new(snapshot),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The current snapshot: a consistent view of the latest published
+    /// graph version. An `Arc` clone under a read lock — readers never
+    /// wait on in-flight update work.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// The currently published graph version.
+    pub fn version(&self) -> u64 {
+        self.snapshot().version()
+    }
+
+    /// Register a standing PQ: evaluated once now, incrementally maintained
+    /// by every subsequent [`apply`](UpdatableEngine::apply), and served
+    /// from the maintained answer whenever it appears in a batch.
+    pub fn register_pq(&self, pq: Pq) -> StandingId {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let state = &mut *writer;
+        let matcher = IncrementalMatcher::new(pq.clone(), &state.dynamic);
+        let entry = StandingEntry::new(pq, matcher.match_sets().to_vec());
+        state.matchers.push(matcher);
+        let id = StandingId(state.matchers.len() - 1);
+
+        // republish: same graph version, same (possibly warmed) indices,
+        // one more standing answer
+        let mut current = self.current.write().expect("snapshot lock poisoned");
+        let mut standing = current.standing_entries().to_vec();
+        standing.push(entry);
+        *current = Arc::new(Snapshot::new(
+            current.version(),
+            current.engine_arc(),
+            current.memo_arc(),
+            standing,
+        ));
+        id
+    }
+
+    /// Apply a batch of updates and publish the next snapshot.
+    ///
+    /// Under the writer lock: the dynamic graph rebuilds once, every
+    /// standing matcher maintains its answer from the effective updates,
+    /// and the new snapshot (fresh per-version indices, refreshed standing
+    /// answers) replaces the current one with a single `Arc` swap. A batch
+    /// that changes nothing publishes nothing.
+    pub fn apply(&self, updates: &[Update]) -> ApplyReport {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let state = &mut *writer;
+        let effective = state.dynamic.apply(updates);
+        if effective.is_empty() {
+            return ApplyReport {
+                version: state.dynamic.version(),
+                applied: 0,
+                snapshot: self.snapshot(),
+            };
+        }
+        for matcher in &mut state.matchers {
+            matcher.on_update(&state.dynamic, &effective);
+        }
+        // copy out the maintained match sets only; the full per-edge result
+        // is assembled lazily by the snapshot when (and if) it is read
+        let standing: Vec<StandingEntry> = state
+            .matchers
+            .iter()
+            .map(|m| StandingEntry::new(m.pq().clone(), m.match_sets().to_vec()))
+            .collect();
+        let snapshot = Arc::new(Snapshot::new(
+            state.dynamic.version(),
+            Arc::new(QueryEngine::with_config(
+                state.dynamic.graph_arc(),
+                self.config.clone(),
+            )),
+            Arc::new(ReachMemo::new()),
+            standing,
+        ));
+        *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&snapshot);
+        ApplyReport {
+            version: snapshot.version(),
+            applied: effective.len(),
+            snapshot,
+        }
+    }
+
+    /// The maintained answer of standing query `id` in the current
+    /// snapshot.
+    pub fn standing_result(&self, id: StandingId) -> Option<Arc<PqResult>> {
+        self.snapshot().standing_result(id)
+    }
+
+    /// Convenience: run a batch against the current snapshot (equivalent to
+    /// `self.snapshot().run_batch(queries)`; hold a [`Snapshot`] instead if
+    /// several batches must see the same version).
+    pub fn run_batch(&self, queries: &[crate::Query]) -> crate::BatchResult {
+        self.snapshot().run_batch(queries)
+    }
+
+    /// Convenience: run one query against the current snapshot.
+    pub fn run_query(&self, query: &crate::Query) -> crate::QueryOutput {
+        self.snapshot().run_query(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Plan, Query};
+    use rpq_core::predicate::Predicate;
+    use rpq_core::rq::Rq;
+    use rpq_graph::gen::essembly;
+    use rpq_regex::FRegex;
+
+    fn fn_pq(g: &Graph) -> Pq {
+        let mut pq = Pq::new();
+        let a = pq.add_node(
+            "a",
+            Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+        );
+        let b = pq.add_node("b", Predicate::always_true());
+        pq.add_edge(a, b, FRegex::parse("fn+", g.alphabet()).unwrap());
+        pq
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_updates() {
+        let engine = UpdatableEngine::new(essembly());
+        let g = engine.snapshot().graph().clone();
+        let rq = Rq::new(
+            Predicate::parse("job = \"biologist\" && sp = \"cloning\"", g.schema()).unwrap(),
+            Predicate::parse("job = \"doctor\"", g.schema()).unwrap(),
+            FRegex::parse("fa^2 fn", g.alphabet()).unwrap(),
+        );
+        let before = engine.snapshot();
+        let before_answer = before.run_query(&Query::Rq(rq.clone()));
+
+        // delete the C3 fan-in the q1 paths rely on
+        let c3 = g.node_by_label("C3").unwrap();
+        let b1 = g.node_by_label("B1").unwrap();
+        let b2 = g.node_by_label("B2").unwrap();
+        let fnc = g.alphabet().get("fn").unwrap();
+        let report = engine.apply(&[Update::Delete(c3, b1, fnc), Update::Delete(c3, b2, fnc)]);
+        assert_eq!(report.applied, 2);
+        assert_eq!(report.version, 1);
+
+        // the pinned snapshot still serves the pre-update answer
+        assert_eq!(before.version(), 0);
+        assert_eq!(before.run_query(&Query::Rq(rq.clone())), before_answer);
+        assert_eq!(
+            before_answer.as_rq().unwrap().len(),
+            4,
+            "paper Example 2.2 ground truth"
+        );
+        // the new snapshot sees the deletion
+        let after = engine.snapshot();
+        assert!(after.run_query(&Query::Rq(rq)).as_rq().unwrap().is_empty());
+    }
+
+    #[test]
+    fn standing_pq_is_served_not_reevaluated() {
+        let engine = UpdatableEngine::new(essembly());
+        let g = engine.snapshot().graph().clone();
+        let pq = fn_pq(&g);
+        let id = engine.register_pq(pq.clone());
+
+        let snap = engine.snapshot();
+        assert_eq!(snap.standing_count(), 1);
+        assert_eq!(snap.plan_query(&Query::Pq(pq.clone())), Plan::PqStanding);
+
+        let batch = snap.run_batch(&[Query::Pq(pq.clone())]);
+        assert_eq!(batch.items()[0].plan, Plan::PqStanding);
+        assert_eq!(
+            batch.items()[0].output.as_pq().unwrap(),
+            &*snap.standing_result(id).unwrap()
+        );
+        // a PQ that is NOT registered still gets an evaluation plan
+        let mut other = fn_pq(&g);
+        other.add_node("c", Predicate::always_true());
+        assert_ne!(snap.plan_query(&Query::Pq(other)), Plan::PqStanding);
+    }
+
+    #[test]
+    fn standing_answer_tracks_updates() {
+        let engine = UpdatableEngine::new(essembly());
+        let g = engine.snapshot().graph().clone();
+        let pq = fn_pq(&g);
+        let id = engine.register_pq(pq.clone());
+        let pinned = engine.snapshot();
+        let initial = engine.standing_result(id).unwrap();
+        assert!(!initial.is_empty());
+
+        // cut every fn edge out of B1: the answer must shrink accordingly
+        let b1 = g.node_by_label("B1").unwrap();
+        let fnc = g.alphabet().get("fn").unwrap();
+        let cuts: Vec<Update> = g
+            .out_edges(b1)
+            .iter()
+            .filter(|e| e.color == fnc)
+            .map(|e| Update::Delete(b1, e.node, fnc))
+            .collect();
+        assert!(!cuts.is_empty());
+        let report = engine.apply(&cuts);
+        let maintained = report.snapshot.standing_result(id).unwrap();
+
+        // reference: full evaluation on the new graph
+        let mut cached = rpq_core::reach::CachedReach::with_default_capacity();
+        let reference =
+            rpq_core::join_match::JoinMatch::eval(&pq, report.snapshot.graph(), &mut cached);
+        assert_eq!(&*maintained, &reference);
+        assert_ne!(&*maintained, &*initial, "the cut must change the answer");
+        // the pinned pre-update snapshot keeps serving the old answer
+        assert_eq!(&*pinned.standing_result(id).unwrap(), &*initial);
+    }
+
+    #[test]
+    fn noop_apply_publishes_nothing() {
+        let engine = UpdatableEngine::new(essembly());
+        let g = engine.snapshot().graph().clone();
+        let c1 = g.node_by_label("C1").unwrap();
+        let b1 = g.node_by_label("B1").unwrap();
+        let fnc = g.alphabet().get("fn").unwrap();
+        assert!(!g.has_edge(c1, b1, fnc));
+        let before = engine.snapshot();
+        let report = engine.apply(&[Update::Delete(c1, b1, fnc)]);
+        assert_eq!(report.applied, 0);
+        assert_eq!(report.version, 0);
+        assert!(Arc::ptr_eq(&before, &engine.snapshot()), "no new snapshot");
+    }
+
+    #[test]
+    fn registration_republishes_without_version_bump() {
+        let engine = UpdatableEngine::new(essembly());
+        let g = engine.snapshot().graph().clone();
+        let v0 = engine.snapshot();
+        let id = engine.register_pq(fn_pq(&g));
+        let v0b = engine.snapshot();
+        assert_eq!(v0b.version(), v0.version());
+        assert_eq!(v0.standing_count(), 0, "pinned snapshot is immutable");
+        assert_eq!(v0b.standing_count(), 1);
+        assert!(v0b.standing_result(id).is_some());
+        assert!(v0.standing_result(id).is_none());
+    }
+}

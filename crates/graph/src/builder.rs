@@ -3,8 +3,16 @@
 use crate::attr::{AttrValue, Attrs, Schema};
 use crate::color::{Alphabet, Color};
 use crate::graph::{EdgeRef, Graph, NodeId};
+use std::collections::HashSet;
 
 /// Accumulates nodes and edges, then freezes them into the CSR [`Graph`].
+///
+/// Edges are kept in a hash set, so membership tests, insertions and
+/// removals are O(1) — [`GraphBuilder::from_graph`] plus a handful of
+/// [`insert_edge`](GraphBuilder::insert_edge) /
+/// [`remove_edge`](GraphBuilder::remove_edge) calls is the cheap way to
+/// derive an updated graph from an existing one (the rebuild itself stays
+/// O(|V| + |E|)).
 ///
 /// ```
 /// use rpq_graph::GraphBuilder;
@@ -23,7 +31,7 @@ pub struct GraphBuilder {
     alphabet: Alphabet,
     labels: Vec<String>,
     attrs: Vec<Attrs>,
-    edges: Vec<(NodeId, NodeId, Color)>,
+    edges: HashSet<(NodeId, NodeId, Color)>,
 }
 
 impl GraphBuilder {
@@ -39,6 +47,22 @@ impl GraphBuilder {
             schema,
             alphabet,
             ..Default::default()
+        }
+    }
+
+    /// Builder pre-loaded with `g`'s nodes (labels, attributes), vocabulary
+    /// and edges — the starting point for *derived* graphs. Applying a
+    /// small set of edge insertions/deletions and calling
+    /// [`build`](GraphBuilder::build) costs O(|V| + |E| + updates) total,
+    /// instead of re-adding every node and scanning the edge list per
+    /// update.
+    pub fn from_graph(g: &Graph) -> Self {
+        GraphBuilder {
+            schema: g.schema.clone(),
+            alphabet: g.alphabet.clone(),
+            labels: g.labels.clone(),
+            attrs: g.attrs.clone(),
+            edges: g.edges().collect(),
         }
     }
 
@@ -77,15 +101,35 @@ impl GraphBuilder {
         self.add_node(label, pairs)
     }
 
-    /// Add a directed edge `u → v` of color `c`.
+    /// Add a directed edge `u → v` of color `c` (duplicates are dropped).
     ///
     /// # Panics
     /// If `u` or `v` was not returned by `add_node`.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, c: Color) {
+        self.insert_edge(u, v, c);
+    }
+
+    /// Add a directed edge `u → v` of color `c`; returns `true` iff the
+    /// edge was not already present. O(1).
+    ///
+    /// # Panics
+    /// If `u` or `v` was not returned by `add_node`.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId, c: Color) -> bool {
         assert!(u.index() < self.labels.len(), "unknown source node");
         assert!(v.index() < self.labels.len(), "unknown target node");
         assert!(!c.is_wildcard(), "data edges must carry a concrete color");
-        self.edges.push((u, v, c));
+        self.edges.insert((u, v, c))
+    }
+
+    /// Remove the edge `u → v` of color `c`; returns `true` iff it was
+    /// present. O(1).
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId, c: Color) -> bool {
+        self.edges.remove(&(u, v, c))
+    }
+
+    /// True if the edge `u → v` of color `c` has been added. O(1).
+    pub fn has_edge(&self, u: NodeId, v: NodeId, c: Color) -> bool {
+        self.edges.contains(&(u, v, c))
     }
 
     /// Convenience: add an edge by color name (interning it if new).
@@ -99,20 +143,22 @@ impl GraphBuilder {
         self.labels.len()
     }
 
-    /// Number of edge insertions so far (before deduplication).
+    /// Number of distinct edges added so far.
     pub fn edge_count(&self) -> usize {
         self.edges.len()
     }
 
-    /// Freeze into an immutable CSR [`Graph`]. Exact duplicate edges
-    /// (same source, target and color) are dropped.
-    pub fn build(mut self) -> Graph {
+    /// Freeze into an immutable CSR [`Graph`]. Edges are sorted by
+    /// `(source, target, color)`, so each node's out-adjacency slice is
+    /// sorted by `(target, color)` — [`Graph::has_edge`] relies on this for
+    /// its binary search.
+    pub fn build(self) -> Graph {
         let n = self.labels.len();
-        self.edges.sort_unstable();
-        self.edges.dedup();
+        let mut edges: Vec<(NodeId, NodeId, Color)> = self.edges.into_iter().collect();
+        edges.sort_unstable();
 
         let mut out_offsets = vec![0u32; n + 1];
-        for &(u, _, _) in &self.edges {
+        for &(u, _, _) in &edges {
             out_offsets[u.index() + 1] += 1;
         }
         for i in 0..n {
@@ -123,11 +169,11 @@ impl GraphBuilder {
                 node: NodeId(0),
                 color: Color(0)
             };
-            self.edges.len()
+            edges.len()
         ];
         {
             let mut cursor = out_offsets.clone();
-            for &(u, v, c) in &self.edges {
+            for &(u, v, c) in &edges {
                 let slot = cursor[u.index()] as usize;
                 out_adj[slot] = EdgeRef { node: v, color: c };
                 cursor[u.index()] += 1;
@@ -135,7 +181,7 @@ impl GraphBuilder {
         }
 
         let mut in_offsets = vec![0u32; n + 1];
-        for &(_, v, _) in &self.edges {
+        for &(_, v, _) in &edges {
             in_offsets[v.index() + 1] += 1;
         }
         for i in 0..n {
@@ -146,11 +192,11 @@ impl GraphBuilder {
                 node: NodeId(0),
                 color: Color(0)
             };
-            self.edges.len()
+            edges.len()
         ];
         {
             let mut cursor = in_offsets.clone();
-            for &(u, v, c) in &self.edges {
+            for &(u, v, c) in &edges {
                 let slot = cursor[v.index()] as usize;
                 in_adj[slot] = EdgeRef { node: u, color: c };
                 cursor[v.index()] += 1;
@@ -215,6 +261,53 @@ mod tests {
         let x = b.add_node("x", []);
         let y = b.add_node("y", []);
         b.add_edge(x, y, crate::color::WILDCARD);
+    }
+
+    #[test]
+    fn edge_index_insert_remove() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x", []);
+        let y = b.add_node("y", []);
+        let c = b.color("c");
+        assert!(b.insert_edge(x, y, c), "new edge");
+        assert!(!b.insert_edge(x, y, c), "duplicate dropped");
+        assert!(b.has_edge(x, y, c));
+        assert_eq!(b.edge_count(), 1);
+        assert!(b.remove_edge(x, y, c));
+        assert!(!b.remove_edge(x, y, c), "already gone");
+        assert!(!b.has_edge(x, y, c));
+        assert_eq!(b.build().edge_count(), 0);
+    }
+
+    #[test]
+    fn from_graph_round_trips_and_applies_deltas() {
+        let mut b = GraphBuilder::new();
+        let age = b.attr("age");
+        let x = b.add_node("x", [(age, 3.into())]);
+        let y = b.add_node("y", []);
+        let z = b.add_node("z", []);
+        let c = b.color("c");
+        let d = b.color("d");
+        b.add_edge(x, y, c);
+        b.add_edge(y, z, d);
+        let g = b.build();
+
+        // identity rebuild preserves nodes, attributes and edges
+        let same = GraphBuilder::from_graph(&g).build();
+        assert_eq!(same.node_count(), g.node_count());
+        assert_eq!(same.edge_count(), g.edge_count());
+        assert_eq!(same.label(x), "x");
+        assert_eq!(same.attrs(x).get(age), Some(&AttrValue::Int(3)));
+        assert!(same.has_edge(x, y, c));
+
+        // delta rebuild: one removal, one insertion
+        let mut delta = GraphBuilder::from_graph(&g);
+        assert!(delta.remove_edge(x, y, c));
+        assert!(delta.insert_edge(z, x, c));
+        let g2 = delta.build();
+        assert!(!g2.has_edge(x, y, c));
+        assert!(g2.has_edge(z, x, c));
+        assert!(g2.has_edge(y, z, d));
     }
 
     #[test]

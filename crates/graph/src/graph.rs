@@ -130,10 +130,14 @@ impl Graph {
     }
 
     /// True if there is an edge `u → v` of exactly color `c`.
+    ///
+    /// O(log deg(u)): the builder emits each node's out-adjacency sorted by
+    /// `(target, color)`, so the probe is a binary search instead of a
+    /// degree-linear scan (hub nodes in skewed graphs make the difference).
     pub fn has_edge(&self, u: NodeId, v: NodeId, c: Color) -> bool {
         self.out_edges(u)
-            .iter()
-            .any(|e| e.node == v && e.color == c)
+            .binary_search_by_key(&(v, c), |e| (e.node, e.color))
+            .is_ok()
     }
 
     /// True if there is an edge `u → v` whose color is admitted by the

@@ -260,3 +260,34 @@ proptest! {
         }
     }
 }
+
+/// Distance-overflow audit: distances are stored as `u16` with
+/// `u16::MAX` reserved as the INFINITY sentinel, so a real path of length
+/// ≥ 65535 must saturate *below* the sentinel — a reachable node may never
+/// alias "unreachable". (The `DistanceMatrix` stores exactly these BFS
+/// rows, so the saturation property carries over to matrix probes.)
+#[test]
+fn distances_saturate_below_infinity_sentinel() {
+    // chain longer than u16::MAX: node i sits at true distance i from node 0
+    let n = (u16::MAX as usize) + 40;
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| b.add_node(&format!("n{i}"), [])).collect();
+    let c = b.color("c");
+    for w in nodes.windows(2) {
+        b.add_edge(w[0], w[1], c);
+    }
+    let g = b.build();
+    let d = bfs_distances(&g, nodes[0], c, Direction::Forward);
+
+    // exact distances up to the saturation point…
+    assert_eq!(d[(u16::MAX - 1) as usize], u16::MAX - 1);
+    // …then every farther node saturates at u16::MAX - 1: reachable, and
+    // strictly below the INFINITY sentinel
+    for (i, &di) in d.iter().enumerate().skip(u16::MAX as usize) {
+        assert_eq!(di, u16::MAX - 1, "node {i} must saturate, not overflow");
+        assert_ne!(di, INFINITY, "reachable node {i} aliases INFINITY");
+    }
+    // a genuinely unreachable node still reads INFINITY
+    let back = bfs_distances(&g, nodes[1], c, Direction::Forward);
+    assert_eq!(back[0], INFINITY);
+}

@@ -2,7 +2,7 @@
 //! crate.
 //!
 //! The build environment has no network access, so the workspace vendors
-//! the subset of the proptest API its property tests use: the [`Strategy`]
+//! the subset of the proptest API its property tests use: the [`Strategy`](strategy::Strategy)
 //! trait with `prop_map` / `prop_flat_map` / `prop_recursive`, integer-range
 //! and tuple strategies, [`collection::vec`], [`option::of`],
 //! [`arbitrary::any`], weighted [`prop_oneof!`], and the [`proptest!`]

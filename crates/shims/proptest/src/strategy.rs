@@ -141,7 +141,7 @@ where
     }
 }
 
-/// Weighted choice among strategies (the expansion of [`prop_oneof!`]).
+/// Weighted choice among strategies (the expansion of [`prop_oneof!`](crate::prop_oneof)).
 pub struct OneOf<T> {
     arms: Vec<(u32, BoxedStrategy<T>)>,
     total: u32,

@@ -12,10 +12,14 @@
 //!   their evaluation algorithms (`JoinMatch`, `SplitMatch`, matrix and
 //!   bi-directional-BFS backends), static analyses (containment,
 //!   equivalence, minimization) and the paper's baselines,
-//! * [`engine`] — the parallel batch query engine: a [`QueryEngine`]
-//!   (see [`prelude`]) that owns a shared graph, plans a strategy per
-//!   query, and evaluates batches of mixed RQs/PQs on scoped worker
-//!   threads with batch-wide reach-set memoization.
+//! * [`engine`] — the serving layer: a
+//!   [`QueryEngine`](prelude::QueryEngine) that owns a shared graph,
+//!   plans a strategy per query, and evaluates
+//!   batches of mixed RQs/PQs on scoped worker threads with batch-wide
+//!   reach-set memoization; plus an
+//!   [`UpdatableEngine`](prelude::UpdatableEngine) serving a *mutating*
+//!   graph through versioned snapshots and incrementally maintained
+//!   standing queries.
 //!
 //! ## Quickstart
 //!
@@ -75,6 +79,39 @@
 //! }
 //! println!("batch of {} in {:?}", batch.len(), batch.wall_time());
 //! ```
+//!
+//! ## Live updates
+//!
+//! When the graph itself mutates (§7 of the paper), wrap it in an
+//! [`UpdatableEngine`](prelude::UpdatableEngine): writers apply
+//! [`Update`](prelude::Update) batches, readers query immutable versioned
+//! [`Snapshot`](prelude::Snapshot)s, and standing PQs registered with
+//! `register_pq` are incrementally maintained instead of re-evaluated.
+//!
+//! ```
+//! use rpq::prelude::*;
+//!
+//! let mut b = GraphBuilder::new();
+//! let job = b.attr("job");
+//! let ann = b.add_node("Ann", [(job, "doctor".into())]);
+//! let bob = b.add_node("Bob", [(job, "biologist".into())]);
+//! let fa = b.color("fa");
+//! let engine = UpdatableEngine::new(b.build());
+//!
+//! let rq = Rq::new(
+//!     Predicate::parse("job = \"doctor\"", engine.snapshot().graph().schema()).unwrap(),
+//!     Predicate::parse("job = \"biologist\"", engine.snapshot().graph().schema()).unwrap(),
+//!     FRegex::parse("fa", engine.snapshot().graph().alphabet()).unwrap(),
+//! );
+//!
+//! let before = engine.snapshot();                       // pin version 0
+//! engine.apply(&[Update::Insert(ann, bob, fa)]);        // publish version 1
+//!
+//! // the pinned snapshot is isolated from the update; the current one sees it
+//! assert!(before.run_query(&Query::Rq(rq.clone())).as_rq().unwrap().is_empty());
+//! let now = engine.snapshot().run_query(&Query::Rq(rq));
+//! assert_eq!(now.as_rq().unwrap().pairs(), vec![(ann, bob)]);
+//! ```
 
 pub use rpq_core as core;
 pub use rpq_engine as engine;
@@ -95,11 +132,12 @@ pub mod prelude {
     pub use rpq_core::rq::{Rq, RqResult};
     pub use rpq_core::split_match::SplitMatch;
     pub use rpq_engine::{
-        BatchItem, BatchResult, EngineConfig, Plan, Query, QueryEngine, QueryOutput, ReachMemo,
+        ApplyReport, BatchItem, BatchResult, EngineConfig, Plan, Query, QueryEngine, QueryOutput,
+        ReachMemo, Snapshot, StandingId, UpdatableEngine,
     };
     pub use rpq_graph::{
-        Alphabet, AttrId, AttrValue, Attrs, DistanceMatrix, Graph, GraphBuilder, NodeId, Schema,
-        WILDCARD,
+        Alphabet, AttrId, AttrValue, Attrs, Color, DistanceMatrix, Graph, GraphBuilder, NodeId,
+        Schema, WILDCARD,
     };
     pub use rpq_regex::{FRegex, GRegex};
 }
