@@ -54,8 +54,11 @@ fn bench_engine(c: &mut Criterion) {
                 EngineConfig {
                     workers,
                     // youtube_like(4000) is over the default limit anyway;
-                    // pin it so the comparison stays index-free
+                    // pin it — and disable the hop-label index — so the
+                    // comparison stays index-free (benches/index.rs covers
+                    // the indexed regimes)
                     matrix_node_limit: 0,
+                    hop_label_budget: 0,
                     ..EngineConfig::default()
                 },
             );

@@ -19,6 +19,7 @@ use crate::predicate::Predicate;
 use crate::reach::product_reach_set;
 use rpq_graph::algo::{bfs_distances, Direction};
 use rpq_graph::{DistanceMatrix, Graph, NodeId};
+use rpq_index::DistProbe;
 use rpq_regex::{Atom, FRegex, Nfa};
 use std::collections::HashMap;
 
@@ -116,17 +117,30 @@ impl Rq {
     }
 
     /// **DM** strategy (§4): decompose `fe` into single-color atoms (the
-    /// dummy-node rewrite) and evaluate with matrix probes.
-    ///
-    /// Implementation notes: per-atom reachability is read off *contiguous
-    /// matrix rows* (streaming scans instead of random probes — the same
-    /// O(|V|²·h) bound, far better constants). The candidate sets are
-    /// pruned in both directions before pairs are composed: forward masks
-    /// from the sources, then backward masks from the targets inside the
-    /// forward ones, then per-source composition inside the backward ones —
-    /// the paper's "compose these partial results" with the search space
-    /// already cut to nodes that can both be reached and complete a match.
+    /// dummy-node rewrite) and evaluate with matrix probes. Equivalent to
+    /// [`eval_with_dist`](Rq::eval_with_dist) over the dense matrix —
+    /// kept as the named strategy entry point of Fig. 10(b).
     pub fn eval_with_matrix(&self, g: &Graph, m: &DistanceMatrix) -> RqResult {
+        self.eval_with_dist(g, m)
+    }
+
+    /// Index-generic strategy: the DM algorithm of §4 over **any**
+    /// [`DistProbe`] backend — the dense [`DistanceMatrix`] under its node
+    /// limit, or pruned 2-hop labels (`rpq_index::HopLabels`, the engine's
+    /// `Plan::RqHop`) beyond it. Results are identical across backends;
+    /// only the probe cost differs.
+    ///
+    /// Implementation notes: per-atom reachability is read off bounded
+    /// neighborhood scans ([`DistProbe::for_each_within`] — contiguous row
+    /// scans for the matrix, inverted hub lists for labels; the scan may
+    /// report a node more than once, which the mask/bitset sinks below
+    /// absorb). The candidate sets are pruned in both directions before
+    /// pairs are composed: forward masks from the sources, then backward
+    /// masks from the targets inside the forward ones, then per-source
+    /// composition inside the backward ones — the paper's "compose these
+    /// partial results" with the search space already cut to nodes that can
+    /// both be reached and complete a match.
+    pub fn eval_with_dist<D: DistProbe + ?Sized>(&self, g: &Graph, m: &D) -> RqResult {
         let atoms = self.regex.atoms();
         let h = atoms.len();
         let n = g.node_count();
@@ -136,17 +150,12 @@ impl Rq {
             return RqResult::new(Vec::new());
         }
 
-        // one row scan: all z with a nonempty ≤k path from w (diagonal via
+        // one scan: all z with a nonempty ≤k path from w (diagonal via
         // the explicit cycle test)
         let scan = |w: NodeId, atom: &Atom, hit: &mut dyn FnMut(usize)| {
             let k = atom.quant.max_or_infinite();
-            let row = m.row(w, atom.color);
-            for (z, &d) in row.iter().enumerate() {
-                if d >= 1 && d != rpq_graph::INFINITY && u64::from(d) <= k.min(u64::from(u16::MAX))
-                {
-                    hit(z);
-                }
-            }
+            let max = k.min(u64::from(u16::MAX - 1)) as u16;
+            m.for_each_within(w, atom.color, max, &mut |z| hit(z.index()));
             if m.has_cycle_within(g, w, atom.color, atom.quant.max()) {
                 hit(w.index());
             }

@@ -8,8 +8,10 @@ use rpq_core::join_match::JoinMatch;
 use rpq_core::reach::{CachedReach, MatrixReach};
 use rpq_core::rq::RqResult;
 use rpq_graph::{DistanceMatrix, Graph};
+use rpq_index::{HopConfig, HopLabels};
+use rpq_regex::FRegex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -25,6 +27,20 @@ pub struct EngineConfig {
     /// Capacity of each worker's LRU reachability cache (used by the
     /// cached PQ backend on graphs too large for the matrix).
     pub cache_capacity: usize,
+    /// Byte budget for the pruned 2-hop label index built for graphs
+    /// *above* the matrix node limit (`0` disables hop labels entirely).
+    /// The build runs in the background off the first over-limit batch;
+    /// until it lands, RQs fall back to search. If the budget is exceeded
+    /// mid-build, the wildcard layer is dropped first and the concrete
+    /// layers kept; if even those do not fit, the engine serves search
+    /// plans permanently.
+    pub hop_label_budget: usize,
+    /// Landmarks processed per hop-label layer; `0` (the default) means
+    /// all nodes, which is what makes label probes exact. A nonzero value
+    /// below `|V|` would yield upper-bound-only probes, so the engine
+    /// treats it as "hop labels disabled" rather than serve inexact
+    /// answers — it is a build-cost ceiling, not an approximation dial.
+    pub hop_landmarks: usize,
 }
 
 impl Default for EngineConfig {
@@ -33,6 +49,8 @@ impl Default for EngineConfig {
             workers: 0,
             matrix_node_limit: 2048,
             cache_capacity: 1 << 16,
+            hop_label_budget: 256 << 20,
+            hop_landmarks: 0,
         }
     }
 }
@@ -47,6 +65,15 @@ pub struct QueryEngine {
     graph: Arc<Graph>,
     config: EngineConfig,
     matrix: OnceLock<DistanceMatrix>,
+    /// `None` inside = the build failed (over budget) — permanent fallback.
+    hop: Arc<OnceLock<Option<Arc<HopLabels>>>>,
+    /// Builder-role claim: exactly one build (background or forced) runs
+    /// at a time; a cancelled background build releases the claim.
+    hop_started: Arc<AtomicBool>,
+    /// Set by [`retire_index_builds`](QueryEngine::retire_index_builds)
+    /// when this engine's graph version is superseded: an in-flight
+    /// background label build checks it between landmarks and aborts.
+    retired: Arc<AtomicBool>,
 }
 
 impl QueryEngine {
@@ -61,6 +88,9 @@ impl QueryEngine {
             graph,
             config,
             matrix: OnceLock::new(),
+            hop: Arc::new(OnceLock::new()),
+            hop_started: Arc::new(AtomicBool::new(false)),
+            retired: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -101,10 +131,128 @@ impl QueryEngine {
             .get_or_init(|| DistanceMatrix::build(&self.graph))
     }
 
+    /// Does policy allow a hop-label index for this graph? (Over the
+    /// matrix limit — under it the strictly faster matrix wins — with a
+    /// nonzero budget and no exactness-breaking landmark cap.)
+    fn hop_policy_allows(&self) -> bool {
+        self.graph.node_count() > self.config.matrix_node_limit
+            && self.config.hop_label_budget > 0
+            && (self.config.hop_landmarks == 0
+                || self.config.hop_landmarks >= self.graph.node_count())
+    }
+
+    fn hop_config(&self) -> HopConfig {
+        HopConfig {
+            landmarks: 0,
+            budget_bytes: self.config.hop_label_budget,
+            wildcard_layer: true,
+        }
+    }
+
+    /// The hop-label index, if its build has completed and fit the budget.
+    /// Never blocks.
+    pub fn hop_labels(&self) -> Option<Arc<HopLabels>> {
+        self.hop.get().and_then(|o| o.clone())
+    }
+
+    /// True once the hop-label index is built and usable for planning.
+    pub fn hop_ready(&self) -> bool {
+        self.hop.get().is_some_and(|o| o.is_some())
+    }
+
+    /// Build the hop-label index *now*, on the calling thread (benches and
+    /// tests that need a deterministic `RqHop` plan; production traffic
+    /// relies on the background build instead). If a background build is
+    /// already in flight, waits for its result rather than building the
+    /// same index twice. `None` when policy forbids the index or the build
+    /// exceeded the budget.
+    pub fn force_hop_labels(&self) -> Option<Arc<HopLabels>> {
+        if !self.hop_policy_allows() {
+            return self.hop_labels();
+        }
+        loop {
+            if let Some(outcome) = self.hop.get() {
+                return outcome.clone();
+            }
+            // claim the builder role; if someone else holds it, a build is
+            // in flight — it will either fill the cell or (cancelled) give
+            // the role back, so poll cheaply instead of duplicating work
+            if !self.hop_started.swap(true, Ordering::AcqRel) {
+                return self
+                    .hop
+                    .get_or_init(|| {
+                        HopLabels::build_with(&self.graph, &self.hop_config(), None)
+                            .ok()
+                            .map(Arc::new)
+                    })
+                    .clone();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Kick off the background label build if policy allows and nobody has
+    /// yet. Queries keep falling back to search plans until it lands.
+    fn ensure_hop_build(&self) {
+        if !self.hop_policy_allows()
+            || self.retired.load(Ordering::Relaxed)
+            || self.hop.get().is_some()
+            || self.hop_started.swap(true, Ordering::AcqRel)
+        {
+            return;
+        }
+        let graph = Arc::clone(&self.graph);
+        let cell = Arc::clone(&self.hop);
+        let retired = Arc::clone(&self.retired);
+        let started = Arc::clone(&self.hop_started);
+        let config = self.hop_config();
+        std::thread::spawn(move || {
+            match HopLabels::build_with(&graph, &config, Some(&retired)) {
+                Ok(labels) => {
+                    let _ = cell.set(Some(Arc::new(labels)));
+                }
+                // over budget: pin the failure — retrying cannot succeed
+                Err(rpq_index::HopBuildError::OverBudget { .. }) => {
+                    let _ = cell.set(None);
+                }
+                // cancelled (version superseded or engine dropped): hand
+                // the builder role back so a deliberate force on a
+                // still-live engine can still build
+                Err(rpq_index::HopBuildError::Cancelled) => {
+                    started.store(false, Ordering::Release);
+                }
+            }
+        });
+    }
+
+    /// Mark this engine's graph version as superseded: any in-flight
+    /// background index build aborts at its next checkpoint instead of
+    /// finishing work nobody will read. Called by the live-update layer
+    /// when a newer snapshot is published; queries against this engine
+    /// stay correct (they simply keep their search fallback).
+    pub fn retire_index_builds(&self) {
+        self.retired.store(true, Ordering::Relaxed);
+    }
+
+    /// Is the hop index usable for this regex — built, and covering every
+    /// color the regex probes (the wildcard layer may have been dropped on
+    /// budget)?
+    fn hop_usable_for(&self, regex: &FRegex) -> bool {
+        match self.hop.get() {
+            Some(Some(labels)) => regex.atoms().iter().all(|a| labels.has_layer(a.color)),
+            _ => false,
+        }
+    }
+
     /// The plan the engine would pick for `query` outside any batch.
     pub fn plan_query(&self, query: &Query) -> Plan {
         match query {
-            Query::Rq(rq) => planner::plan_rq(&rq.regex, self.matrix_available(), false),
+            Query::Rq(rq) => planner::plan_rq(
+                &rq.regex,
+                self.matrix_available(),
+                self.hop_usable_for(&rq.regex),
+                false,
+            ),
             Query::Pq(_) => planner::plan_pq(self.matrix_available()),
         }
     }
@@ -118,6 +266,9 @@ impl QueryEngine {
     /// snapshot layer passes a snapshot-lifetime memo so repeated keys are
     /// shared across batches, not just within one).
     pub fn run_query_with_memo(&self, query: &Query, memo: &ReachMemo) -> QueryOutput {
+        if !self.matrix_available() {
+            self.ensure_hop_build();
+        }
         let plan = self.plan_query(query);
         if plan_needs_matrix(plan) {
             self.matrix();
@@ -154,12 +305,23 @@ impl QueryEngine {
             }
         }
         let matrix_available = self.matrix_available();
+        if !matrix_available {
+            // over the matrix limit: start the background label build off
+            // this batch; *this* batch still plans against whatever is
+            // ready right now (fallback-while-stale)
+            self.ensure_hop_build();
+        }
         let plans: Vec<Plan> = queries
             .iter()
             .map(|q| match q {
                 Query::Rq(rq) => {
                     let shared = key_count[&(&rq.from, &rq.regex)] > 1;
-                    planner::plan_rq(&rq.regex, matrix_available, shared)
+                    planner::plan_rq(
+                        &rq.regex,
+                        matrix_available,
+                        self.hop_usable_for(&rq.regex),
+                        shared,
+                    )
                 }
                 Query::Pq(_) => planner::plan_pq(matrix_available),
             })
@@ -234,6 +396,10 @@ impl QueryEngine {
                 let m = self.matrix.get().expect("DM plan requires the matrix");
                 QueryOutput::Rq(rq.eval_with_matrix(g, m))
             }
+            (Query::Rq(rq), Plan::RqHop) => {
+                let labels = self.hop_labels().expect("hop plan requires built labels");
+                QueryOutput::Rq(rq.eval_with_dist(g, labels.as_ref()))
+            }
             (Query::Rq(rq), Plan::RqBiBfs) => QueryOutput::Rq(rq.eval_bibfs(g)),
             (Query::Rq(rq), Plan::RqBfsMemo) => {
                 let pairs = memo.reach_pairs(g, &rq.from, &rq.regex);
@@ -255,6 +421,17 @@ impl QueryEngine {
                 unreachable!("planner assigned a {plan:?} plan to a mismatched query kind")
             }
         }
+    }
+}
+
+impl Drop for QueryEngine {
+    /// An engine being dropped can never serve the index its background
+    /// thread is building — cancel it instead of letting it run seconds of
+    /// CPU and keep the graph alive for a result nobody can read. (The
+    /// live-update layer additionally retires superseded engines eagerly,
+    /// while readers may still pin them.)
+    fn drop(&mut self) {
+        self.retired.store(true, Ordering::Relaxed);
     }
 }
 
@@ -350,6 +527,9 @@ mod tests {
             EngineConfig {
                 matrix_node_limit: 0,
                 workers: 2,
+                // keep plans deterministic: no background label build racing
+                // the batch's planning pass
+                hop_label_budget: 0,
                 ..EngineConfig::default()
             },
         );
@@ -382,5 +562,110 @@ mod tests {
         let batch = engine.run_batch(&[]);
         assert!(batch.is_empty());
         assert_eq!(batch.workers(), 0);
+    }
+
+    #[test]
+    fn hop_labels_serve_over_limit_rqs() {
+        let g = Arc::new(rpq_graph::gen::synthetic(600, 2400, 2, 3, 21));
+        let engine = QueryEngine::with_config(
+            Arc::clone(&g),
+            EngineConfig {
+                matrix_node_limit: 0, // force the over-limit regime
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(!engine.matrix_available());
+        assert!(!engine.hop_ready(), "index must be lazy");
+        let q = rq(&g, "a0 <= 4", "a1 >= 6", "c0^2 c1");
+
+        // deterministic path for the assertion: build inline
+        let labels = engine.force_hop_labels().expect("within default budget");
+        assert!(labels.is_exact());
+        assert!(engine.hop_ready());
+        assert_eq!(engine.plan_query(&Query::Rq(q.clone())), Plan::RqHop);
+
+        let batch = engine.run_batch(&[Query::Rq(q.clone()), Query::Rq(q.clone())]);
+        assert_eq!(batch.items()[0].plan, Plan::RqHop);
+        assert_eq!(batch.items()[1].plan, Plan::RqHop);
+        // bit-identical to search-based evaluation
+        assert_eq!(batch.items()[0].output.as_rq().unwrap(), &q.eval_bfs(&g));
+        assert_eq!(batch.items()[0].output, batch.items()[1].output);
+        // wildcard queries are covered too (wildcard layer fit the budget)
+        let wq = rq(&g, "a0 <= 9", "a1 >= 2", "_^2");
+        assert_eq!(engine.plan_query(&Query::Rq(wq.clone())), Plan::RqHop);
+        assert_eq!(
+            engine.run_query(&Query::Rq(wq.clone())).as_rq().unwrap(),
+            &wq.eval_bfs(&g)
+        );
+    }
+
+    #[test]
+    fn background_build_lands_and_later_batches_use_it() {
+        let g = Arc::new(rpq_graph::gen::synthetic(300, 1200, 2, 3, 5));
+        let engine = QueryEngine::with_config(
+            Arc::clone(&g),
+            EngineConfig {
+                matrix_node_limit: 0,
+                ..EngineConfig::default()
+            },
+        );
+        let q = rq(&g, "a0 <= 5", "a1 >= 5", "c0 c1");
+        // first batch: kicks the build; its own plan is a search fallback
+        // or (if the tiny build won the race) already hop — both correct
+        let first = engine.run_batch(&[Query::Rq(q.clone())]);
+        let reference = q.eval_bfs(&g);
+        assert_eq!(first.items()[0].output.as_rq().unwrap(), &reference);
+        // wait for the background build to land
+        let t0 = std::time::Instant::now();
+        while !engine.hop_ready() && t0.elapsed() < std::time::Duration::from_secs(30) {
+            std::thread::yield_now();
+        }
+        assert!(engine.hop_ready(), "background build never landed");
+        let second = engine.run_batch(&[Query::Rq(q.clone())]);
+        assert_eq!(second.items()[0].plan, Plan::RqHop);
+        assert_eq!(second.items()[0].output.as_rq().unwrap(), &reference);
+    }
+
+    #[test]
+    fn over_budget_build_pins_search_fallback() {
+        let g = Arc::new(rpq_graph::gen::synthetic(200, 800, 2, 3, 9));
+        let engine = QueryEngine::with_config(
+            Arc::clone(&g),
+            EngineConfig {
+                matrix_node_limit: 0,
+                hop_label_budget: 1, // nothing fits
+                ..EngineConfig::default()
+            },
+        );
+        assert!(engine.force_hop_labels().is_none());
+        let q = rq(&g, "a0 <= 5", "a1 >= 5", "c0 c1");
+        assert_ne!(engine.plan_query(&Query::Rq(q.clone())), Plan::RqHop);
+        assert_eq!(
+            engine.run_query(&Query::Rq(q.clone())).as_rq().unwrap(),
+            &q.eval_bfs(&g)
+        );
+    }
+
+    #[test]
+    fn retired_engine_never_pins_failure() {
+        let g = Arc::new(rpq_graph::gen::synthetic(150, 500, 2, 3, 2));
+        let engine = QueryEngine::with_config(
+            Arc::clone(&g),
+            EngineConfig {
+                matrix_node_limit: 0,
+                ..EngineConfig::default()
+            },
+        );
+        engine.retire_index_builds();
+        engine.ensure_hop_build();
+        // the background build is cancelled at its first landmark check and
+        // leaves the cell empty (whether it has run yet or not)
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(engine.hop.get().is_none(), "cancel must not pin a failure");
+        assert!(!engine.hop_ready());
+        // a forced build on a retired engine still works (force is
+        // deliberate and synchronous, so the epoch flag does not apply)
+        assert!(engine.force_hop_labels().is_some());
     }
 }

@@ -7,7 +7,10 @@
 //! * **index availability** — matrix probes are strictly cheapest when the
 //!   per-color [`DistanceMatrix`](rpq_graph::DistanceMatrix) exists; the
 //!   engine builds it lazily only for graphs under the configured node
-//!   limit (its footprint is O(|Σ|·|V|²));
+//!   limit (its footprint is O(|Σ|·|V|²)). Above the limit, pruned 2-hop
+//!   labels (`rpq_index::HopLabels`) take its place once their background
+//!   build lands — label probes beat any per-query search, and the index
+//!   costs memory proportional to label size, not |V|²;
 //! * **batch shape** — when several queries in a batch share a
 //!   `(source predicate, regex)` key, the memoized forward product search
 //!   computes their reach set once, so sharing beats a per-query biBFS;
@@ -22,6 +25,10 @@ use rpq_regex::FRegex;
 pub enum Plan {
     /// RQ via distance-matrix probes (`Rq::eval_with_matrix`, §4 "DM").
     RqDm,
+    /// RQ via pruned 2-hop label probes (`Rq::eval_with_dist` over
+    /// `rpq_index::HopLabels`) — the DM algorithm beyond the matrix node
+    /// limit.
+    RqHop,
     /// RQ via bi-directional search (`Rq::eval_bibfs`, §4 "biBFS").
     RqBiBfs,
     /// RQ via the forward product search, memoized per
@@ -41,6 +48,7 @@ impl Plan {
     pub fn name(self) -> &'static str {
         match self {
             Plan::RqDm => "DM",
+            Plan::RqHop => "hop",
             Plan::RqBiBfs => "biBFS",
             Plan::RqBfsMemo => "BFS+memo",
             Plan::PqJoinMatrix => "JoinMatch/DM",
@@ -53,11 +61,22 @@ impl Plan {
 /// Choose the strategy for one RQ.
 ///
 /// `matrix_available` — the distance matrix is (or will be) built for this
-/// graph; `shared_in_batch` — at least one other query in the batch has the
-/// same `(source predicate, regex)` key.
-pub fn plan_rq(regex: &FRegex, matrix_available: bool, shared_in_batch: bool) -> Plan {
+/// graph; `hop_usable` — the hop-label index is *built* and has a layer for
+/// every color this regex probes (a background build still in flight, or a
+/// wildcard layer dropped on budget, reads as `false` — the query falls
+/// back to search rather than wait); `shared_in_batch` — at least one other
+/// query in the batch has the same `(source predicate, regex)` key.
+pub fn plan_rq(
+    regex: &FRegex,
+    matrix_available: bool,
+    hop_usable: bool,
+    shared_in_batch: bool,
+) -> Plan {
     if matrix_available {
         Plan::RqDm
+    } else if hop_usable {
+        // near-constant atom probes beat both the shared memo and search
+        Plan::RqHop
     } else if shared_in_batch {
         // the memo computes this reach set once for the whole batch
         Plan::RqBfsMemo
@@ -106,22 +125,34 @@ mod tests {
     #[test]
     fn matrix_always_wins() {
         for atoms in 1..4 {
-            for shared in [false, true] {
-                assert_eq!(plan_rq(&re(atoms), true, shared), Plan::RqDm);
+            for hop in [false, true] {
+                for shared in [false, true] {
+                    assert_eq!(plan_rq(&re(atoms), true, hop, shared), Plan::RqDm);
+                }
             }
         }
         assert_eq!(plan_pq(true), Plan::PqJoinMatrix);
     }
 
     #[test]
+    fn hop_labels_beat_every_search() {
+        for atoms in 1..4 {
+            for shared in [false, true] {
+                assert_eq!(plan_rq(&re(atoms), false, true, shared), Plan::RqHop);
+            }
+        }
+        assert_eq!(Plan::RqHop.name(), "hop");
+    }
+
+    #[test]
     fn sharing_prefers_memoized_bfs() {
-        assert_eq!(plan_rq(&re(3), false, true), Plan::RqBfsMemo);
+        assert_eq!(plan_rq(&re(3), false, false, true), Plan::RqBfsMemo);
     }
 
     #[test]
     fn unshared_multi_atom_takes_bibfs() {
-        assert_eq!(plan_rq(&re(2), false, false), Plan::RqBiBfs);
-        assert_eq!(plan_rq(&re(1), false, false), Plan::RqBfsMemo);
+        assert_eq!(plan_rq(&re(2), false, false, false), Plan::RqBiBfs);
+        assert_eq!(plan_rq(&re(1), false, false, false), Plan::RqBfsMemo);
         assert_eq!(plan_pq(false), Plan::PqJoinCached);
     }
 

@@ -6,11 +6,16 @@
 //! * one graph version (an `Arc<Graph>` shared with the writer that
 //!   published it),
 //! * the indices for that version — the lazily-built
-//!   [`DistanceMatrix`](rpq_graph::DistanceMatrix) inside an owned
-//!   [`QueryEngine`] and a snapshot-lifetime [`ReachMemo`] — which are
-//!   *versioned with the snapshot*: an update batch publishes a fresh
-//!   snapshot with fresh (lazily rebuilt) indices, so no reader ever sees
-//!   an index computed against a different graph version, and
+//!   [`DistanceMatrix`](rpq_graph::DistanceMatrix) (small graphs) or
+//!   hop-label index (`rpq_index::HopLabels`, built in the background off
+//!   the first over-limit batch) inside an owned [`QueryEngine`], plus a
+//!   snapshot-lifetime [`ReachMemo`] — all *versioned with the snapshot*:
+//!   an update batch publishes a fresh snapshot with fresh (lazily
+//!   rebuilt) indices, so no reader ever sees an index computed against a
+//!   different graph version. Until a version's label build lands, its
+//!   queries fall back to search — stale indices are never consulted —
+//!   and publishing a newer version retires the superseded build
+//!   ([`QueryEngine::retire_index_builds`]), and
 //! * the standing answers: for every registered standing PQ, the match
 //!   sets maintained by
 //!   [`IncrementalMatcher`](rpq_core::incremental::IncrementalMatcher) as

@@ -215,7 +215,15 @@ impl UpdatableEngine {
             Arc::new(ReachMemo::new()),
             standing,
         ));
-        *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&snapshot);
+        let superseded = std::mem::replace(
+            &mut *self.current.write().expect("snapshot lock poisoned"),
+            Arc::clone(&snapshot),
+        );
+        // epoch invalidation: an index build still in flight for the old
+        // version is building for nobody — readers pinning that snapshot
+        // keep their (correct) search fallback, new readers get the new
+        // version, so abort the stale build instead of finishing it
+        superseded.engine().retire_index_builds();
         ApplyReport {
             version: snapshot.version(),
             applied: effective.len(),

@@ -28,8 +28,31 @@ pub enum Direction {
 /// paper's hop bounds are single digits).
 pub fn bfs_distances(g: &Graph, src: NodeId, color: Color, dir: Direction) -> Vec<u16> {
     let mut dist = vec![INFINITY; g.node_count()];
-    dist[src.index()] = 0;
     let mut queue = VecDeque::new();
+    bfs_distances_into(g, src, color, dir, &mut dist, &mut queue);
+    dist
+}
+
+/// [`bfs_distances`] into caller-owned buffers: `dist` (length `|V|`, reset
+/// to [`INFINITY`] here) and `queue` (cleared here).
+///
+/// Index construction runs one BFS per (node, color) pair; allocating a
+/// fresh `Vec<u16>` plus queue for each would dominate the build on big
+/// graphs, so bulk callers ([`DistanceMatrix::build`](crate::DistanceMatrix::build))
+/// hand the same buffers to every call — or, for the matrix, the target row
+/// itself, making the build allocation-free per (node, color).
+pub fn bfs_distances_into(
+    g: &Graph,
+    src: NodeId,
+    color: Color,
+    dir: Direction,
+    dist: &mut [u16],
+    queue: &mut VecDeque<NodeId>,
+) {
+    debug_assert_eq!(dist.len(), g.node_count(), "dist buffer sized to |V|");
+    dist.fill(INFINITY);
+    queue.clear();
+    dist[src.index()] = 0;
     queue.push_back(src);
     while let Some(u) = queue.pop_front() {
         let du = dist[u.index()];
@@ -45,7 +68,6 @@ pub fn bfs_distances(g: &Graph, src: NodeId, color: Color, dir: Direction) -> Ve
             }
         }
     }
-    dist
 }
 
 /// Shortest distance from `from` to `to` along edges admitted by `color`,

@@ -11,9 +11,10 @@
 //! bi-directional search backed by [`crate::cache::LruCache`] is used
 //! instead.
 
-use crate::algo::{bfs_distances, Direction};
+use crate::algo::{bfs_distances_into, Direction};
 use crate::color::{Color, WILDCARD};
 use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
 
 /// "Unreachable" marker in the distance matrix.
 pub const INFINITY: u16 = u16::MAX;
@@ -29,23 +30,60 @@ pub struct DistanceMatrix {
 
 impl DistanceMatrix {
     /// Build the matrix by running one BFS per (node, color) pair plus one
-    /// wildcard BFS per node: O((m+1)·|V|·(|V|+|E|)) time, as in §4.
+    /// wildcard BFS per node: O((m+1)·|V|·(|V|+|E|)) work, as in §4,
+    /// parallelized across source nodes on one scoped thread per available
+    /// core (the per-(node, color) BFSs are independent and each writes
+    /// exactly one matrix row, so workers take disjoint contiguous row
+    /// stripes and write in place — no post-merge, no per-BFS allocation).
     pub fn build(g: &Graph) -> Self {
+        Self::build_with_workers(g, 0)
+    }
+
+    /// [`build`](DistanceMatrix::build) with an explicit worker count
+    /// (`0` = one per available core).
+    pub fn build_with_workers(g: &Graph, workers: usize) -> Self {
         let n = g.node_count();
         let m = g.alphabet().len();
         let mut data = vec![INFINITY; (m + 1) * n * n];
-        for layer in 0..=m {
-            let color = if layer == m {
-                WILDCARD
-            } else {
-                Color(layer as u8)
-            };
-            for src in g.nodes() {
-                let dist = bfs_distances(g, src, color, Direction::Forward);
-                let base = layer * n * n + src.index() * n;
-                data[base..base + n].copy_from_slice(&dist);
-            }
+        let total_rows = (m + 1) * n;
+        if total_rows == 0 {
+            return DistanceMatrix { n, colors: m, data };
         }
+        let hw = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let workers = (if workers == 0 { hw } else { workers }).clamp(1, total_rows);
+        let rows_per = total_rows.div_ceil(workers);
+
+        std::thread::scope(|s| {
+            let mut rest: &mut [u16] = &mut data;
+            let mut start = 0usize;
+            while start < total_rows {
+                let take = rows_per.min(total_rows - start);
+                let (stripe, tail) = rest.split_at_mut(take * n);
+                rest = tail;
+                let lo = start;
+                s.spawn(move || {
+                    let mut queue = VecDeque::new();
+                    for (i, row) in stripe.chunks_mut(n).enumerate() {
+                        let idx = lo + i;
+                        let (layer, src) = (idx / n, idx % n);
+                        let color = if layer == m {
+                            WILDCARD
+                        } else {
+                            Color(layer as u8)
+                        };
+                        bfs_distances_into(
+                            g,
+                            NodeId(src as u32),
+                            color,
+                            Direction::Forward,
+                            row,
+                            &mut queue,
+                        );
+                    }
+                });
+                start += take;
+            }
+        });
         DistanceMatrix { n, colors: m, data }
     }
 
@@ -219,5 +257,16 @@ mod tests {
     fn memory_estimate() {
         let g = diamond();
         assert_eq!(DistanceMatrix::bytes_for(&g), 3 * 4 * 4 * 2);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let g = crate::gen::synthetic(97, 400, 2, 3, 13);
+        let serial = DistanceMatrix::build_with_workers(&g, 1);
+        for workers in [2, 3, 8, 1000] {
+            let par = DistanceMatrix::build_with_workers(&g, workers);
+            assert_eq!(par.data, serial.data, "workers = {workers}");
+        }
+        assert_eq!(DistanceMatrix::build(&g).data, serial.data);
     }
 }

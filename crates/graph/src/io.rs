@@ -236,6 +236,99 @@ pub fn graph_from_str(s: &str) -> Result<Graph, GraphIoError> {
     read_graph(&mut s.as_bytes())
 }
 
+/// Edge color assumed by [`read_edge_list`] for two-token lines.
+pub const DEFAULT_EDGE_COLOR: &str = "e";
+
+/// Read a plain-text **edge list** (the format SNAP and most public graph
+/// datasets ship): one `FROM TO [COLOR]` line per edge, whitespace
+/// separated. Nodes are created on first appearance, keeping the token as
+/// their label (attribute tuples are empty); a missing third token uses
+/// color [`DEFAULT_EDGE_COLOR`]. Lines starting with `#` or `%` and blank
+/// lines are ignored. Self-loops are kept; exact duplicate edges are
+/// deduplicated by the builder.
+///
+/// Note the format carries no isolated nodes and no attributes — use the
+/// richer [`read_graph`] format when either matters.
+pub fn read_edge_list(r: &mut impl BufRead) -> Result<Graph, GraphIoError> {
+    let mut b = GraphBuilder::new();
+    let mut node_ids: HashMap<String, crate::graph::NodeId> = HashMap::new();
+    let mut colors: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line_no = lineno + 1;
+        let line = line?;
+        let stmt = line.trim();
+        if stmt.is_empty() || stmt.starts_with('#') || stmt.starts_with('%') {
+            continue;
+        }
+        let mut parts = stmt.split_whitespace();
+        let (from, to) = match (parts.next(), parts.next()) {
+            (Some(f), Some(t)) => (f, t),
+            _ => {
+                return Err(GraphIoError::Parse(
+                    line_no,
+                    format!("edge needs 'FROM TO [COLOR]', got {stmt:?}"),
+                ))
+            }
+        };
+        let color = parts.next().unwrap_or(DEFAULT_EDGE_COLOR);
+        if parts.next().is_some() {
+            return Err(GraphIoError::Parse(
+                line_no,
+                format!("trailing tokens after 'FROM TO COLOR' in {stmt:?}"),
+            ));
+        }
+        // the alphabet stores colors as one byte with 255 reserved for the
+        // wildcard; reject oversized inputs as a parse error instead of
+        // letting the interner's assert abort the process
+        if !colors.contains(color) {
+            if colors.len() >= usize::from(crate::color::WILDCARD.0) {
+                return Err(GraphIoError::Parse(
+                    line_no,
+                    format!(
+                        "too many distinct colors (max {}), starting with {color:?}",
+                        crate::color::WILDCARD.0
+                    ),
+                ));
+            }
+            colors.insert(color.to_owned());
+        }
+        let mut node = |label: &str, b: &mut GraphBuilder| {
+            *node_ids
+                .entry(label.to_owned())
+                .or_insert_with(|| b.add_node(label, []))
+        };
+        let f = node(from, &mut b);
+        let t = node(to, &mut b);
+        b.add_edge_named(f, t, color);
+    }
+    Ok(b.build())
+}
+
+/// Write `g` as an edge list (`FROM TO COLOR` per line, node labels as
+/// tokens). The inverse of [`read_edge_list`] up to isolated nodes and
+/// attributes, which the format cannot carry.
+pub fn write_edge_list(g: &Graph, w: &mut impl Write) -> io::Result<()> {
+    for (x, y, c) in g.edges() {
+        writeln!(w, "{} {} {}", g.label(x), g.label(y), g.alphabet().name(c))?;
+    }
+    Ok(())
+}
+
+impl Graph {
+    /// Parse a SNAP-style edge list from a string — see [`read_edge_list`].
+    ///
+    /// ```
+    /// use rpq_graph::Graph;
+    /// let g = Graph::from_edge_list("# a tiny triangle\n1 2 knows\n2 3 knows\n3 1\n").unwrap();
+    /// assert_eq!(g.node_count(), 3);
+    /// assert_eq!(g.edge_count(), 3);
+    /// assert_eq!(g.alphabet().len(), 2); // "knows" and the default "e"
+    /// ```
+    pub fn from_edge_list(s: &str) -> Result<Graph, GraphIoError> {
+        read_edge_list(&mut s.as_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,5 +428,66 @@ mod tests {
         let g = graph_from_str("# header\n\ncolor c # trailing\nnode a\n").unwrap();
         assert_eq!(g.node_count(), 1);
         assert_eq!(g.alphabet().len(), 1);
+    }
+
+    #[test]
+    fn edge_list_basics() {
+        let g = Graph::from_edge_list(
+            "# SNAP-ish header\n% another comment style\n0 1 a\n1 2 b\n2 0\n2 2 a\n2 0\n",
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 4, "exact duplicate dropped, self-loop kept");
+        let n0 = g.node_by_label("0").unwrap();
+        let n2 = g.node_by_label("2").unwrap();
+        let a = g.alphabet().get("a").unwrap();
+        let e = g.alphabet().get(DEFAULT_EDGE_COLOR).unwrap();
+        assert!(g.has_edge(n2, n0, e));
+        assert!(g.has_edge(n2, n2, a));
+    }
+
+    #[test]
+    fn edge_list_errors() {
+        let err = |t: &str| Graph::from_edge_list(t).unwrap_err().to_string();
+        assert!(err("onlyone").contains("FROM TO"));
+        assert!(err("a b c d").contains("trailing"));
+        // color-alphabet overflow is a parse error, not a process abort
+        let mut big = String::new();
+        for i in 0..300 {
+            big.push_str(&format!("a b c{i}\n"));
+        }
+        assert!(err(&big).contains("too many distinct colors"));
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = synthetic(50, 220, 2, 4, 17);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let back = Graph::from_edge_list(&text).unwrap();
+        // the format drops attributes and isolated nodes: compare the edge
+        // multiset by (label, label, color name) and the connected node set
+        let key = |g: &Graph| {
+            let mut e: Vec<_> = g
+                .edges()
+                .map(|(x, y, c)| {
+                    (
+                        g.label(x).to_owned(),
+                        g.label(y).to_owned(),
+                        g.alphabet().name(c).to_owned(),
+                    )
+                })
+                .collect();
+            e.sort();
+            e
+        };
+        assert_eq!(key(&g), key(&back));
+        // and a second trip is lossless entirely
+        let mut buf2 = Vec::new();
+        write_edge_list(&back, &mut buf2).unwrap();
+        let third = Graph::from_edge_list(std::str::from_utf8(&buf2).unwrap()).unwrap();
+        assert_eq!(back.node_count(), third.node_count());
+        assert_eq!(key(&back), key(&third));
     }
 }

@@ -1,0 +1,788 @@
+//! Pruned landmark (2-hop) distance labeling: [`HopLabels`].
+//!
+//! The dense per-color [`DistanceMatrix`](rpq_graph::DistanceMatrix) of §4
+//! is the fastest RQ backend but costs O(|Σ|·|V|²) memory, which caps it at
+//! a few thousand nodes. This module trades the matrix for *labels*: every
+//! node `u` stores, per color layer,
+//!
+//! * `Lout(u)` — a set of `(hub, dist(u → hub))` entries, and
+//! * `Lin(u)` — a set of `(hub, dist(hub → u))` entries,
+//!
+//! such that for every reachable pair `(u, v)` some shortest path `u ⇝ v`
+//! passes through a hub present in both `Lout(u)` and `Lin(v)`. A distance
+//! probe is then a merge of two short sorted lists:
+//!
+//! ```text
+//! dist(u, v) = min { d(u → h) + d(h → v) : h ∈ Lout(u) ∩ Lin(v) }
+//! ```
+//!
+//! Labels are built by **pruned BFS** in the style of Akiba, Iwata &
+//! Yoshida (SIGMOD'13), adapted to directed, per-color layers: nodes are
+//! ranked by (wildcard SCC size, degree) — members of a giant strongly
+//! connected component cover the most shortest paths — and processed in
+//! rank order; the BFS from landmark `r` prunes every node whose distance
+//! is already covered by earlier (higher-ranked) hubs. On hub-heavy graphs
+//! the prune fires almost immediately for late landmarks, which is what
+//! keeps total label size near-linear in practice while the cover stays
+//! **exact**: when every node is processed as a landmark (the default),
+//! probes equal BFS ground truth bit-for-bit.
+//!
+//! One layer is built per concrete color plus one *wildcard* layer over the
+//! union of all colors (the `_` of query regexes). The wildcard layer is
+//! the densest; when a memory budget is configured and it is exceeded
+//! while building the wildcard layer, the concrete layers are kept and
+//! wildcard probes are simply reported as uncovered
+//! ([`HopLabels::has_layer`]) so the planner can fall back to search for
+//! wildcard queries only.
+
+use crate::probe::DistProbe;
+use rpq_graph::algo::condensation;
+use rpq_graph::{Color, Graph, NodeId, INFINITY};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Distances saturate one below [`INFINITY`], mirroring
+/// [`bfs_distances`](rpq_graph::algo::bfs_distances).
+const DIST_CAP: u16 = u16::MAX - 1;
+
+/// Unset marker inside the per-landmark scratch table.
+const UNSET: u16 = u16::MAX;
+
+/// Tuning knobs for [`HopLabels::build_with`].
+#[derive(Debug, Clone)]
+pub struct HopConfig {
+    /// How many ranked landmarks to process per layer; `0` means *all*
+    /// nodes, which is required for exact probes. A smaller count yields a
+    /// partial labeling whose probes are **upper bounds** (sound "yes
+    /// within k" answers, possibly missed reachability) — useful as a
+    /// filter, not for exact serving ([`HopLabels::is_exact`]).
+    pub landmarks: usize,
+    /// Abort the build once the estimated index footprint exceeds this many
+    /// bytes (`0` = unlimited). Exceeding the budget *inside the wildcard
+    /// layer* keeps the finished concrete layers and drops only wildcard
+    /// coverage.
+    pub budget_bytes: usize,
+    /// Build the wildcard (`_`) layer over the union of all colors.
+    pub wildcard_layer: bool,
+}
+
+impl Default for HopConfig {
+    fn default() -> Self {
+        HopConfig {
+            landmarks: 0,
+            budget_bytes: 0,
+            wildcard_layer: true,
+        }
+    }
+}
+
+/// Why a build did not produce a (full) index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HopBuildError {
+    /// The estimated footprint exceeded [`HopConfig::budget_bytes`] while a
+    /// concrete color layer was under construction.
+    OverBudget {
+        /// The configured budget.
+        budget: usize,
+        /// Estimated bytes at the moment the build gave up.
+        reached: usize,
+    },
+    /// The cancellation flag handed to [`HopLabels::build_with`] was set
+    /// (e.g. the graph version this build was for has been superseded).
+    Cancelled,
+}
+
+impl fmt::Display for HopBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HopBuildError::OverBudget { budget, reached } => {
+                write!(f, "hop-label budget exceeded: {reached} > {budget} bytes")
+            }
+            HopBuildError::Cancelled => write!(f, "hop-label build cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for HopBuildError {}
+
+/// One color layer: per-node `Lout`/`Lin` labels in CSR form (hubs stored
+/// as *ranks*, ascending, so probes are sorted-merge joins) plus the
+/// inverted `Lin` lists used by bounded neighborhood scans.
+#[derive(Debug, Clone, Default)]
+struct Layer {
+    out_offsets: Vec<u32>,
+    out_hubs: Vec<u32>,
+    out_dists: Vec<u16>,
+    in_offsets: Vec<u32>,
+    in_hubs: Vec<u32>,
+    in_dists: Vec<u16>,
+    /// inverted `Lin`: for hub rank `h`, every `(node, dist(h → node))`
+    inv_offsets: Vec<u32>,
+    inv_nodes: Vec<u32>,
+    inv_dists: Vec<u16>,
+}
+
+impl Layer {
+    fn out_label(&self, v: usize) -> (&[u32], &[u16]) {
+        let lo = self.out_offsets[v] as usize;
+        let hi = self.out_offsets[v + 1] as usize;
+        (&self.out_hubs[lo..hi], &self.out_dists[lo..hi])
+    }
+
+    fn in_label(&self, v: usize) -> (&[u32], &[u16]) {
+        let lo = self.in_offsets[v] as usize;
+        let hi = self.in_offsets[v + 1] as usize;
+        (&self.in_hubs[lo..hi], &self.in_dists[lo..hi])
+    }
+
+    fn inv_list(&self, hub_rank: usize) -> (&[u32], &[u16]) {
+        let lo = self.inv_offsets[hub_rank] as usize;
+        let hi = self.inv_offsets[hub_rank + 1] as usize;
+        (&self.inv_nodes[lo..hi], &self.inv_dists[lo..hi])
+    }
+
+    fn entries(&self) -> usize {
+        self.out_hubs.len() + self.in_hubs.len()
+    }
+
+    fn bytes(&self) -> usize {
+        bytes_for_entries(
+            self.out_hubs.len(),
+            self.in_hubs.len(),
+            self.out_offsets.len(),
+        )
+    }
+}
+
+/// Label entries are `(u32 rank, u16 dist)`; `Lin` entries appear twice
+/// (once inverted). Offset arrays add three `u32` per node per layer.
+fn bytes_for_entries(out_entries: usize, in_entries: usize, offsets: usize) -> usize {
+    (out_entries + 2 * in_entries) * 6 + 3 * offsets * 4
+}
+
+/// Aggregate build statistics, for logs and bench reports.
+#[derive(Debug, Clone)]
+pub struct HopStats {
+    /// Nodes the index covers.
+    pub nodes: usize,
+    /// Concrete color layers built (the alphabet size).
+    pub colors: usize,
+    /// Whether the wildcard layer was built (vs. dropped on budget).
+    pub wildcard: bool,
+    /// Landmarks processed per layer.
+    pub landmarks: usize,
+    /// Strongly connected components of the wildcard graph (ordering
+    /// signal: big SCCs breed good hubs).
+    pub scc_count: usize,
+    /// Total label entries across all layers and both directions.
+    pub entries: usize,
+    /// Estimated resident bytes of the whole index.
+    pub bytes: usize,
+}
+
+impl fmt::Display for HopStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let layers = self.colors + usize::from(self.wildcard);
+        let per_node = self.entries as f64 / (self.nodes.max(1) * 2 * layers.max(1)) as f64;
+        write!(
+            f,
+            "{} nodes, {} color layers{}, {} sccs, {} entries (avg {:.1}/node/layer/dir), ~{} KiB",
+            self.nodes,
+            self.colors,
+            if self.wildcard { " + wildcard" } else { "" },
+            self.scc_count,
+            self.entries,
+            per_node,
+            self.bytes / 1024
+        )
+    }
+}
+
+/// Pruned 2-hop distance labels: one layer per concrete color, plus an
+/// optional wildcard layer. Implements [`DistProbe`], so RQ evaluation runs
+/// unchanged against it (see `Rq::eval_with_dist` in `rpq-core`).
+#[derive(Debug, Clone)]
+pub struct HopLabels {
+    n: usize,
+    colors: usize,
+    /// `layers[c]` for concrete color `c`; `layers[colors]` = wildcard
+    /// (empty `Option` when dropped on budget or disabled).
+    layers: Vec<Option<Layer>>,
+    landmarks: usize,
+    scc_count: usize,
+}
+
+impl HopLabels {
+    /// Build exact labels with default configuration (all landmarks, no
+    /// budget). Cannot fail.
+    pub fn build(g: &Graph) -> Self {
+        Self::build_with(g, &HopConfig::default(), None)
+            .expect("unbudgeted, uncancelled build cannot fail")
+    }
+
+    /// Build labels under `config`, checking `cancel` between landmarks so
+    /// a superseded build (newer graph version) stops wasting CPU.
+    pub fn build_with(
+        g: &Graph,
+        config: &HopConfig,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Self, HopBuildError> {
+        let n = g.node_count();
+        let m = g.alphabet().len();
+        let landmarks = if config.landmarks == 0 {
+            n
+        } else {
+            config.landmarks.min(n)
+        };
+
+        // Landmark order: wildcard SCC size first (nodes inside a giant
+        // component lie on the most shortest paths), then total degree.
+        let (comp_of, comps) = condensation(n, |v| {
+            g.out_edges(NodeId(v as u32)).iter().map(|e| e.node.index())
+        });
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&v| {
+            let vi = v as usize;
+            let scc = comps[comp_of[vi]].len();
+            let deg = g.out_degree(NodeId(v)) + g.in_degree(NodeId(v));
+            (std::cmp::Reverse(scc), std::cmp::Reverse(deg), v)
+        });
+
+        let mut builder = LayerBuilder::new(g, &order, landmarks);
+        let mut layers: Vec<Option<Layer>> = Vec::with_capacity(m + 1);
+        let mut bytes_so_far = 0usize;
+        for c in 0..m {
+            // a concrete layer over budget fails the whole build: typical
+            // queries need every concrete color to be coverable
+            let layer =
+                builder.build_layer(Color(c as u8), config.budget_bytes, bytes_so_far, cancel)?;
+            bytes_so_far += layer.bytes();
+            layers.push(Some(layer));
+        }
+        if config.wildcard_layer {
+            match builder.build_layer(
+                rpq_graph::WILDCARD,
+                config.budget_bytes,
+                bytes_so_far,
+                cancel,
+            ) {
+                Ok(layer) => layers.push(Some(layer)),
+                // graceful degradation: keep concrete coverage, drop `_`
+                Err(HopBuildError::OverBudget { .. }) => layers.push(None),
+                Err(e) => return Err(e),
+            }
+        } else {
+            layers.push(None);
+        }
+
+        Ok(HopLabels {
+            n,
+            colors: m,
+            layers,
+            landmarks,
+            scc_count: comps.len(),
+        })
+    }
+
+    /// Number of nodes the index covers.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// True when every node was processed as a landmark, i.e. probes are
+    /// exact shortest distances. Partial builds answer upper bounds only.
+    pub fn is_exact(&self) -> bool {
+        self.landmarks >= self.n
+    }
+
+    /// Is `color` (possibly [`WILDCARD`](rpq_graph::WILDCARD)) answerable
+    /// from this index? False only for a wildcard layer dropped on budget
+    /// or disabled in the config.
+    pub fn has_layer(&self, color: Color) -> bool {
+        self.layer(color).is_some()
+    }
+
+    /// Estimated resident bytes of all layers.
+    pub fn bytes(&self) -> usize {
+        self.layers.iter().flatten().map(Layer::bytes).sum()
+    }
+
+    /// Build statistics for logs and bench reports.
+    pub fn stats(&self) -> HopStats {
+        HopStats {
+            nodes: self.n,
+            colors: self.colors,
+            wildcard: self.layers[self.colors].is_some(),
+            landmarks: self.landmarks,
+            scc_count: self.scc_count,
+            entries: self.layers.iter().flatten().map(Layer::entries).sum(),
+            bytes: self.bytes(),
+        }
+    }
+
+    fn layer(&self, color: Color) -> Option<&Layer> {
+        let idx = if color.is_wildcard() {
+            self.colors
+        } else {
+            debug_assert!((color.0 as usize) < self.colors, "color outside alphabet");
+            color.0 as usize
+        };
+        self.layers[idx].as_ref()
+    }
+
+    fn layer_or_panic(&self, color: Color) -> &Layer {
+        self.layer(color).unwrap_or_else(|| {
+            panic!("hop-label layer for {color:?} was not built (check has_layer first)")
+        })
+    }
+}
+
+impl DistProbe for HopLabels {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn dist(&self, from: NodeId, to: NodeId, color: Color) -> u16 {
+        if from == to {
+            return 0;
+        }
+        let layer = self.layer_or_panic(color);
+        let (oh, od) = layer.out_label(from.index());
+        let (ih, id) = layer.in_label(to.index());
+        // merge-join on hub rank (both sides ascending)
+        let mut best = u32::MAX;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < oh.len() && j < ih.len() {
+            match oh[i].cmp(&ih[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let sum = od[i] as u32 + id[j] as u32;
+                    best = best.min(sum);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        if best == u32::MAX {
+            INFINITY
+        } else {
+            best.min(DIST_CAP as u32) as u16
+        }
+    }
+
+    fn for_each_within(&self, from: NodeId, color: Color, max: u16, f: &mut dyn FnMut(NodeId)) {
+        let layer = self.layer_or_panic(color);
+        let (oh, od) = layer.out_label(from.index());
+        for (&h, &d1) in oh.iter().zip(od) {
+            if d1 > max {
+                continue;
+            }
+            let rem = max - d1;
+            let (nodes, dists) = layer.inv_list(h as usize);
+            for (&z, &d2) in nodes.iter().zip(dists) {
+                if d2 <= rem && z != from.0 {
+                    f(NodeId(z));
+                }
+            }
+        }
+    }
+}
+
+/// Shared per-build scratch: reused across layers so one build allocates
+/// its working set once.
+struct LayerBuilder<'a> {
+    g: &'a Graph,
+    order: &'a [u32],
+    landmarks: usize,
+    /// scratch: landmark's own label distances, indexed by hub rank
+    tmp: Vec<u16>,
+    /// scratch: BFS distances, indexed by node
+    dist: Vec<u16>,
+    touched: Vec<u32>,
+    queue: VecDeque<NodeId>,
+}
+
+impl<'a> LayerBuilder<'a> {
+    fn new(g: &'a Graph, order: &'a [u32], landmarks: usize) -> Self {
+        let n = g.node_count();
+        LayerBuilder {
+            g,
+            order,
+            landmarks,
+            tmp: vec![UNSET; n],
+            dist: vec![UNSET; n],
+            touched: Vec::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn build_layer(
+        &mut self,
+        color: Color,
+        budget: usize,
+        bytes_before: usize,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Layer, HopBuildError> {
+        let n = self.g.node_count();
+        let mut lin: Vec<Vec<(u32, u16)>> = vec![Vec::new(); n];
+        let mut lout: Vec<Vec<(u32, u16)>> = vec![Vec::new(); n];
+        let mut out_entries = 0usize;
+        let mut in_entries = 0usize;
+
+        for rank in 0..self.landmarks {
+            if let Some(flag) = cancel {
+                if flag.load(Ordering::Relaxed) {
+                    return Err(HopBuildError::Cancelled);
+                }
+            }
+            let r = NodeId(self.order[rank]);
+
+            // forward pruned BFS: covers r → u through hubs of Lout(r)
+            // (scratch) joined with Lin(u); survivors append (rank, d) to
+            // Lin(u) — the prune side and the write side are the same side
+            self.seed_tmp(&lout[r.index()], rank);
+            in_entries += self.pruned_bfs(r, rank, color, true, &mut lin);
+            self.clear_tmp(&lout[r.index()], rank);
+
+            // backward pruned BFS: covers u → r, writes Lout(u)
+            self.seed_tmp(&lin[r.index()], rank);
+            out_entries += self.pruned_bfs(r, rank, color, false, &mut lout);
+            self.clear_tmp(&lin[r.index()], rank);
+
+            if budget != 0 {
+                let so_far = bytes_before + bytes_for_entries(out_entries, in_entries, n + 1);
+                if so_far > budget {
+                    return Err(HopBuildError::OverBudget {
+                        budget,
+                        reached: so_far,
+                    });
+                }
+            }
+        }
+
+        Ok(Self::freeze(n, self.landmarks, lin, lout))
+    }
+
+    fn seed_tmp(&mut self, label: &[(u32, u16)], rank: usize) {
+        for &(h, d) in label {
+            self.tmp[h as usize] = d;
+        }
+        self.tmp[rank] = 0;
+    }
+
+    fn clear_tmp(&mut self, label: &[(u32, u16)], rank: usize) {
+        for &(h, _) in label {
+            self.tmp[h as usize] = UNSET;
+        }
+        self.tmp[rank] = UNSET;
+    }
+
+    /// One pruned BFS from `r` (forward over out-edges when `forward`,
+    /// else backward over in-edges). A visited node is *pruned* when the
+    /// scratch `tmp` (seeded from `r`'s opposite-direction label) joined
+    /// with `side[u]` already covers the BFS distance — pruned nodes are
+    /// neither labeled nor expanded. Survivors append `(rank, d)` to
+    /// `side[u]`. Returns the number of labels added.
+    fn pruned_bfs(
+        &mut self,
+        r: NodeId,
+        rank: usize,
+        color: Color,
+        forward: bool,
+        side: &mut [Vec<(u32, u16)>],
+    ) -> usize {
+        let g = self.g;
+        debug_assert!(self.queue.is_empty());
+        self.dist[r.index()] = 0;
+        self.touched.push(r.0);
+        self.queue.push_back(r);
+        let mut added = 0usize;
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u.index()];
+            // is (r ⇝ u) already covered by higher-ranked hubs? forward
+            // covers r → u via hubs h: d(r→h) (tmp, from Lout(r)) +
+            // d(h→u) (Lin(u) = the side being written); backward is the
+            // mirror image
+            let mut best = u32::MAX;
+            for &(h, dh) in side[u.index()].iter() {
+                let t = self.tmp[h as usize];
+                if t != UNSET {
+                    best = best.min(t as u32 + dh as u32);
+                }
+            }
+            if best <= du as u32 {
+                continue;
+            }
+            side[u.index()].push((rank as u32, du));
+            added += 1;
+            let next = du.saturating_add(1).min(DIST_CAP);
+            let adj = if forward {
+                g.out_edges(u)
+            } else {
+                g.in_edges(u)
+            };
+            for e in adj {
+                if color.admits(e.color) && self.dist[e.node.index()] == UNSET {
+                    self.dist[e.node.index()] = next;
+                    self.touched.push(e.node.0);
+                    self.queue.push_back(e.node);
+                }
+            }
+        }
+        for &t in &self.touched {
+            self.dist[t as usize] = UNSET;
+        }
+        self.touched.clear();
+        added
+    }
+
+    fn freeze(
+        n: usize,
+        landmarks: usize,
+        lin: Vec<Vec<(u32, u16)>>,
+        lout: Vec<Vec<(u32, u16)>>,
+    ) -> Layer {
+        let mut layer = Layer::default();
+        let pack = |labels: &[Vec<(u32, u16)>],
+                    offsets: &mut Vec<u32>,
+                    hubs: &mut Vec<u32>,
+                    dists: &mut Vec<u16>| {
+            offsets.reserve(n + 1);
+            offsets.push(0);
+            for l in labels {
+                for &(h, d) in l {
+                    hubs.push(h);
+                    dists.push(d);
+                }
+                offsets.push(hubs.len() as u32);
+            }
+        };
+        pack(
+            &lout,
+            &mut layer.out_offsets,
+            &mut layer.out_hubs,
+            &mut layer.out_dists,
+        );
+        pack(
+            &lin,
+            &mut layer.in_offsets,
+            &mut layer.in_hubs,
+            &mut layer.in_dists,
+        );
+
+        // invert Lin by hub rank (counting sort: labels are already grouped
+        // per node, we regroup per hub)
+        let mut counts = vec![0u32; landmarks + 1];
+        for l in &lin {
+            for &(h, _) in l {
+                counts[h as usize + 1] += 1;
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        layer.inv_offsets = counts.clone();
+        let total = *counts.last().unwrap_or(&0) as usize;
+        layer.inv_nodes = vec![0; total];
+        layer.inv_dists = vec![0; total];
+        let mut cursor = counts;
+        for (v, l) in lin.iter().enumerate() {
+            for &(h, d) in l {
+                let slot = cursor[h as usize] as usize;
+                layer.inv_nodes[slot] = v as u32;
+                layer.inv_dists[slot] = d;
+                cursor[h as usize] += 1;
+            }
+        }
+        layer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::gen::{essembly, synthetic};
+    use rpq_graph::{DistanceMatrix, GraphBuilder, WILDCARD};
+
+    fn all_colors(g: &Graph) -> Vec<Color> {
+        let mut cs: Vec<Color> = g.alphabet().colors().collect();
+        cs.push(WILDCARD);
+        cs
+    }
+
+    fn assert_parity(g: &Graph) {
+        let m = DistanceMatrix::build(g);
+        let h = HopLabels::build(g);
+        assert!(h.is_exact());
+        for c in all_colors(g) {
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(
+                        DistProbe::dist(&h, u, v, c),
+                        m.dist(u, v, c),
+                        "dist({u:?},{v:?},{c:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn essembly_parity() {
+        assert_parity(&essembly());
+    }
+
+    #[test]
+    fn synthetic_parity() {
+        for seed in [1u64, 9, 23] {
+            assert_parity(&synthetic(40, 140, 2, 3, seed));
+        }
+    }
+
+    #[test]
+    fn scan_matches_matrix_row() {
+        let g = synthetic(60, 240, 2, 3, 5);
+        let m = DistanceMatrix::build(&g);
+        let h = HopLabels::build(&g);
+        for c in all_colors(&g) {
+            for u in g.nodes() {
+                for max in [1u16, 3, DIST_CAP] {
+                    let mut want = vec![false; g.node_count()];
+                    DistProbe::for_each_within(&m, u, c, max, &mut |z| want[z.index()] = true);
+                    let mut got = vec![false; g.node_count()];
+                    h.for_each_within(u, c, max, &mut |z| got[z.index()] = true);
+                    assert_eq!(got, want, "scan from {u:?} color {c:?} max {max}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_and_reaches_semantics() {
+        let g = essembly();
+        let m = DistanceMatrix::build(&g);
+        let h = HopLabels::build(&g);
+        for c in all_colors(&g) {
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    for k in [None, Some(0u32), Some(1), Some(2), Some(5)] {
+                        assert_eq!(
+                            h.reaches_within(&g, u, v, c, k),
+                            m.reaches_within(&g, u, v, c, k),
+                            "reaches {u:?}->{v:?} {c:?} within {k:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_build_is_sound_upper_bound() {
+        let g = synthetic(50, 180, 2, 3, 3);
+        let m = DistanceMatrix::build(&g);
+        let cfg = HopConfig {
+            landmarks: 12,
+            ..HopConfig::default()
+        };
+        let h = HopLabels::build_with(&g, &cfg, None).unwrap();
+        assert!(!h.is_exact());
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let est = DistProbe::dist(&h, u, v, WILDCARD);
+                let truth = m.dist(u, v, WILDCARD);
+                // an upper bound: a finite estimate implies real
+                // reachability at no smaller true distance
+                if est != INFINITY {
+                    assert!(truth <= est, "{u:?}->{v:?}: truth {truth} > est {est}");
+                }
+                if u == v {
+                    assert_eq!(est, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_fails_concrete_but_degrades_wildcard() {
+        let g = synthetic(200, 800, 2, 3, 8);
+        // 1 byte: even the first concrete layer cannot fit
+        let tiny = HopConfig {
+            budget_bytes: 1,
+            ..HopConfig::default()
+        };
+        match HopLabels::build_with(&g, &tiny, None) {
+            Err(HopBuildError::OverBudget { budget: 1, .. }) => {}
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+        // a budget that fits the sparse concrete layers but not the dense
+        // wildcard layer: concrete probes stay answerable
+        let full = HopLabels::build(&g);
+        let concrete_bytes: usize =
+            full.bytes() - full.layers[full.colors].as_ref().unwrap().bytes();
+        let mid = HopConfig {
+            budget_bytes: concrete_bytes + bytes_for_entries(2, 2, g.node_count() + 1),
+            ..HopConfig::default()
+        };
+        let h = HopLabels::build_with(&g, &mid, None).expect("concrete layers fit");
+        assert!(!h.has_layer(WILDCARD), "wildcard layer must be dropped");
+        for c in g.alphabet().colors() {
+            assert!(h.has_layer(c));
+        }
+        assert!(!h.stats().wildcard);
+        // concrete probes still exact
+        let m = DistanceMatrix::build(&g);
+        for u in g.nodes().take(40) {
+            for v in g.nodes().take(40) {
+                let c = Color(0);
+                assert_eq!(DistProbe::dist(&h, u, v, c), m.dist(u, v, c));
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_aborts() {
+        let g = synthetic(100, 300, 1, 2, 4);
+        let flag = AtomicBool::new(true);
+        assert!(matches!(
+            HopLabels::build_with(&g, &HopConfig::default(), Some(&flag)),
+            Err(HopBuildError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn stats_and_bytes_report() {
+        let g = synthetic(80, 320, 2, 4, 6);
+        let h = HopLabels::build(&g);
+        let s = h.stats();
+        assert_eq!(s.nodes, 80);
+        assert_eq!(s.colors, 4);
+        assert!(s.wildcard);
+        assert_eq!(s.landmarks, 80);
+        assert!(s.entries > 0);
+        assert_eq!(s.bytes, h.bytes());
+        assert!(s.scc_count >= 1 && s.scc_count <= 80);
+        let line = s.to_string();
+        assert!(line.contains("80 nodes"), "{line}");
+    }
+
+    #[test]
+    fn self_loop_and_disconnected() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x", []);
+        let y = b.add_node("y", []);
+        let z = b.add_node("z", []);
+        let r = b.color("r");
+        b.add_edge(x, x, r);
+        b.add_edge(x, y, r);
+        let g = b.build();
+        let h = HopLabels::build(&g);
+        assert_eq!(DistProbe::dist(&h, x, y, r), 1);
+        assert_eq!(DistProbe::dist(&h, x, z, r), INFINITY);
+        assert_eq!(DistProbe::dist(&h, z, z, r), 0);
+        assert!(h.reaches_within(&g, x, x, r, Some(1)), "self loop");
+        assert!(!h.reaches_within(&g, y, y, r, None));
+    }
+}

@@ -1,0 +1,47 @@
+//! # rpq-index — scalable reachability-label index
+//!
+//! The paper's fastest RQ strategy is the dense per-color
+//! [`DistanceMatrix`](rpq_graph::DistanceMatrix) (§4), whose O(|Σ|·|V|²)
+//! footprint caps it at a few thousand nodes; above that the engine
+//! degrades to per-query search. This crate closes the gap between the two
+//! extremes with **pruned landmark (2-hop) distance labeling**
+//! ([`HopLabels`]): per-color forward/backward label sets built by pruned
+//! BFS from SCC/degree-ranked landmarks, answering the atom probes of the
+//! regex class F — *"is there a path of color `c` and length ≤ k?"* — as a
+//! merge of two short sorted lists, with memory proportional to total
+//! label size instead of |V|².
+//!
+//! The [`DistProbe`] trait is the seam: both the dense matrix and the hop
+//! labels implement it, so RQ evaluation in `rpq-core`
+//! (`Rq::eval_with_dist`) is backend-generic and the engine's planner is
+//! free to pick
+//!
+//! * the **matrix** under its node limit (fastest probes),
+//! * **hop labels** above it while the label budget holds
+//!   (`Plan::RqHop` in `rpq-engine`), and
+//! * per-query search (biBFS / memoized BFS) as the final fallback.
+//!
+//! ## Example
+//!
+//! ```
+//! use rpq_graph::gen::synthetic;
+//! use rpq_graph::{DistanceMatrix, WILDCARD};
+//! use rpq_index::{DistProbe, HopLabels};
+//!
+//! let g = synthetic(300, 900, 2, 3, 7);
+//! let labels = HopLabels::build(&g);
+//! let matrix = DistanceMatrix::build(&g);
+//! // exact labels agree with the dense matrix on every probe
+//! for u in g.nodes().take(10) {
+//!     for v in g.nodes().take(10) {
+//!         assert_eq!(labels.dist(u, v, WILDCARD), matrix.dist(u, v, WILDCARD));
+//!     }
+//! }
+//! assert!(labels.bytes() < DistanceMatrix::bytes_for(&g) * 4); // tiny graph; at scale the gap inverts hugely
+//! ```
+
+mod labels;
+mod probe;
+
+pub use labels::{HopBuildError, HopConfig, HopLabels, HopStats};
+pub use probe::DistProbe;

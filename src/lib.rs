@@ -8,6 +8,11 @@
 //!
 //! * [`graph`] — the attributed, edge-colored data-graph substrate,
 //! * [`regex`] — the restricted regular-expression class `F ::= c | c^k | c+ | FF`,
+//! * [`index`] — the pruned landmark (2-hop) reachability-label index
+//!   ([`HopLabels`](prelude::HopLabels)) and the [`DistProbe`](prelude::DistProbe)
+//!   backend trait: exact per-color distance probes with memory
+//!   proportional to label size, serving graphs far beyond the dense
+//!   matrix's node limit,
 //! * [`core`] — reachability queries (RQs), graph pattern queries (PQs),
 //!   their evaluation algorithms (`JoinMatch`, `SplitMatch`, matrix and
 //!   bi-directional-BFS backends), static analyses (containment,
@@ -116,6 +121,7 @@
 pub use rpq_core as core;
 pub use rpq_engine as engine;
 pub use rpq_graph as graph;
+pub use rpq_index as index;
 pub use rpq_regex as regex;
 
 /// One-stop imports for applications.
@@ -139,5 +145,6 @@ pub mod prelude {
         Alphabet, AttrId, AttrValue, Attrs, Color, DistanceMatrix, Graph, GraphBuilder, NodeId,
         Schema, WILDCARD,
     };
+    pub use rpq_index::{DistProbe, HopConfig, HopLabels, HopStats};
     pub use rpq_regex::{FRegex, GRegex};
 }

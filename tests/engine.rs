@@ -31,6 +31,9 @@ fn batch_of_64_rqs_on_10k_graph_matches_sequential() {
         Arc::clone(&g),
         EngineConfig {
             workers: 4,
+            // this test asserts the *search* planning regime; disable the
+            // hop-label index so its background build cannot race the batch
+            hop_label_budget: 0,
             ..EngineConfig::default()
         },
     );
@@ -150,7 +153,8 @@ fn batch_result_reports_plans_and_timing() {
         Arc::clone(&g),
         EngineConfig {
             workers: 2,
-            matrix_node_limit: 0, // force index-free plans
+            matrix_node_limit: 0, // force index-free plans…
+            hop_label_budget: 0,  // …and keep them index-free (no hop build)
             ..EngineConfig::default()
         },
     );
