@@ -30,7 +30,7 @@
 //! immutable by design); the matcher keeps its own state across updates.
 
 use crate::pq::{Pq, PqResult};
-use crate::reach::{CachedReach, ReachEngine};
+use crate::reach::CachedReach;
 use crate::rq::matches_of;
 use rpq_graph::{Color, Graph, GraphBuilder, NodeId};
 use std::collections::VecDeque;
@@ -126,9 +126,18 @@ pub struct IncrementalMatcher {
 }
 
 impl IncrementalMatcher {
-    /// Evaluate `pq` on the current graph and set up maintenance state.
+    /// Evaluate `pq` on the current graph and set up maintenance state
+    /// (default reachability-cache capacity).
     pub fn new(pq: Pq, g: &DynamicGraph) -> Self {
-        let mut engine = CachedReach::with_default_capacity();
+        Self::with_cache_capacity(pq, g, CachedReach::DEFAULT_CAPACITY)
+    }
+
+    /// Like [`new`](IncrementalMatcher::new) with an explicit LRU capacity
+    /// for the matcher's reachability cache — serving layers thread their
+    /// configured `reach_cache_capacity` through here instead of this
+    /// module hard-coding one.
+    pub fn with_cache_capacity(pq: Pq, g: &DynamicGraph, capacity: usize) -> Self {
+        let mut engine = CachedReach::new(capacity);
         let mats = match crate::join_match::refine(&pq, g.graph(), &mut engine) {
             Some(mats) => mats,
             None => vec![Vec::new(); pq.node_count()],
@@ -182,7 +191,7 @@ impl IncrementalMatcher {
             return;
         }
         // reachability answers are stale after any topology change
-        self.engine = CachedReach::with_default_capacity();
+        self.engine = CachedReach::new(self.engine.capacity());
 
         let had_insert = effective.iter().any(|u| matches!(u, Update::Insert(..)));
         self.last_reseeded = 0;
@@ -213,23 +222,18 @@ impl IncrementalMatcher {
             let mut changed = false;
             for e in pq.edges() {
                 let (from, to) = (e.from, e.to);
-                let single = e.regex.len() == 1;
-                let targets = self.mats[to].clone();
+                let ok = crate::join_match::survivors(
+                    g,
+                    &mut self.engine,
+                    &self.mats[from],
+                    &self.mats[to],
+                    &e.regex,
+                );
                 let kept: Vec<NodeId> = self.mats[from]
                     .iter()
-                    .copied()
-                    .filter(|&x| {
-                        if single {
-                            let atom = &e.regex.atoms()[0];
-                            targets
-                                .iter()
-                                .any(|&y| self.engine.reaches_atom(g, x, y, atom))
-                        } else {
-                            targets
-                                .iter()
-                                .any(|&y| self.engine.reaches(g, x, y, &e.regex))
-                        }
-                    })
+                    .zip(&ok)
+                    .filter(|(_, &o)| o)
+                    .map(|(&x, _)| x)
                     .collect();
                 if kept.len() != self.mats[from].len() {
                     self.mats[from] = kept;

@@ -39,7 +39,7 @@ impl JoinMatch {
             Some(mats) => mats,
             None => return PqResult::empty(pq),
         };
-        assemble(pq, g, &mats)
+        assemble_with(pq, g, &mats, engine)
     }
 }
 
@@ -88,25 +88,20 @@ pub(crate) fn refine<R: ReachEngine>(
             queued[ei] = false;
             let edge = work.edge(ei);
             let (u_from, u_to) = (edge.from, edge.to);
-            // procedure Join: prune sources with no surviving witness
-            let single = edge.regex.len() == 1;
+            // procedure Join: prune sources with no surviving witness. The
+            // single-atom case (every edge, once normalized) runs as ONE
+            // bulk backend call so index backends answer the whole step
+            // from label/row scans — and can parallelize it.
             let (kept, removed) = {
                 let (from_mat, to_mat) = (&mats[u_from], &mats[u_to]);
-                let mut kept = Vec::with_capacity(from_mat.len());
-                let mut removed = false;
-                for &x in from_mat {
-                    let ok = if single {
-                        let atom = &edge.regex.atoms()[0];
-                        to_mat.iter().any(|&y| engine.reaches_atom(g, x, y, atom))
-                    } else {
-                        to_mat.iter().any(|&y| engine.reaches(g, x, y, &edge.regex))
-                    };
-                    if ok {
-                        kept.push(x);
-                    } else {
-                        removed = true;
-                    }
-                }
+                let ok = survivors(g, engine, from_mat, to_mat, &edge.regex);
+                let kept: Vec<NodeId> = from_mat
+                    .iter()
+                    .zip(&ok)
+                    .filter(|(_, &o)| o)
+                    .map(|(&x, _)| x)
+                    .collect();
+                let removed = kept.len() != from_mat.len();
                 (kept, removed)
             };
             if removed {
@@ -127,6 +122,62 @@ pub(crate) fn refine<R: ReachEngine>(
     Some(mats)
 }
 
+/// One refinement step's witness test, shared by `JoinMatch`, `SplitMatch`
+/// and the incremental matcher: `out[i]` = does `sources[i]` reach some
+/// target through `regex`? Single-atom expressions go through the bulk
+/// [`ReachEngine::sources_reaching_atom`] primitive (index backends answer
+/// it from aggregated label/row scans, possibly on several threads);
+/// multi-atom expressions — only seen by non-normalizing backends — fall
+/// back to pairwise probes.
+pub(crate) fn survivors<R: ReachEngine + ?Sized>(
+    g: &Graph,
+    engine: &mut R,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    regex: &rpq_regex::FRegex,
+) -> Vec<bool> {
+    let atoms = regex.atoms();
+    if atoms.len() == 1 {
+        engine.sources_reaching_atom(g, sources, targets, &atoms[0])
+    } else {
+        sources
+            .iter()
+            .map(|&x| targets.iter().any(|&y| engine.reaches(g, x, y, regex)))
+            .collect()
+    }
+}
+
+/// The engine-less assembly backend: plain product-space searches with
+/// NFA reuse per distinct regex — what [`assemble`] has always done,
+/// expressed as a [`ReachEngine`] so `assemble` and [`assemble_with`]
+/// share one loop.
+#[derive(Default)]
+struct ProductReach {
+    nfas: std::collections::HashMap<rpq_regex::FRegex, Nfa>,
+}
+
+impl ProductReach {
+    fn nfa(&mut self, re: &rpq_regex::FRegex) -> &Nfa {
+        self.nfas
+            .entry(re.clone())
+            .or_insert_with(|| Nfa::from_regex(re))
+    }
+}
+
+impl ReachEngine for ProductReach {
+    fn prefers_normalized(&self) -> bool {
+        false
+    }
+
+    fn reaches(&mut self, g: &Graph, x: NodeId, y: NodeId, re: &rpq_regex::FRegex) -> bool {
+        crate::reach::product_pair_reaches(g, self.nfa(re), x, y)
+    }
+
+    fn reach_set(&mut self, g: &Graph, x: NodeId, re: &rpq_regex::FRegex) -> Vec<NodeId> {
+        product_reach_set(g, self.nfa(re), x)
+    }
+}
+
 /// Result assembly (Fig. 7 lines 15-16) over the *original* edges: for each
 /// surviving source, enumerate its regex-reachable targets and intersect
 /// with the target match set.
@@ -137,9 +188,22 @@ pub(crate) fn refine<R: ReachEngine>(
 /// `mats[u]` must be the match set of query node `u` at a fixpoint of the
 /// refinement on `g` — anything else yields garbage pairs, not an error.
 pub fn assemble(pq: &Pq, g: &Graph, mats: &[Vec<NodeId>]) -> PqResult {
+    assemble_with(pq, g, mats, &mut ProductReach::default())
+}
+
+/// [`assemble`] through a [`ReachEngine`]: per-source enumeration goes
+/// through [`ReachEngine::reach_set`], so index backends assemble from
+/// bounded neighborhood scans instead of product-space searches — on large
+/// graphs the assembly step would otherwise dominate the whole hop-backed
+/// evaluation. Identical output by construction.
+pub fn assemble_with<R: ReachEngine + ?Sized>(
+    pq: &Pq,
+    g: &Graph,
+    mats: &[Vec<NodeId>],
+    engine: &mut R,
+) -> PqResult {
     let mut edge_matches = Vec::with_capacity(pq.edge_count());
     for e in pq.edges() {
-        let nfa = Nfa::from_regex(&e.regex);
         let mut target_mask = vec![false; g.node_count()];
         for &y in &mats[e.to] {
             target_mask[y.index()] = true;
@@ -147,7 +211,8 @@ pub fn assemble(pq: &Pq, g: &Graph, mats: &[Vec<NodeId>]) -> PqResult {
         let mut pairs = Vec::new();
         for &x in &mats[e.from] {
             pairs.extend(
-                product_reach_set(g, &nfa, x)
+                engine
+                    .reach_set(g, x, &e.regex)
                     .into_iter()
                     .filter(|y| target_mask[y.index()])
                     .map(|y| (x, y)),
@@ -156,6 +221,14 @@ pub fn assemble(pq: &Pq, g: &Graph, mats: &[Vec<NodeId>]) -> PqResult {
         pairs.sort_unstable();
         edge_matches.push(pairs);
     }
+    finish_assembly(pq, mats, edge_matches)
+}
+
+fn finish_assembly(
+    pq: &Pq,
+    mats: &[Vec<NodeId>],
+    edge_matches: Vec<Vec<(NodeId, NodeId)>>,
+) -> PqResult {
     let mut node_matches: Vec<Vec<NodeId>> = mats[..pq.node_count()].to_vec();
     for m in &mut node_matches {
         m.sort_unstable();

@@ -119,6 +119,26 @@ impl Pq {
         &self.inc[u]
     }
 
+    /// Does the query graph contain a directed cycle (self-loops count)?
+    ///
+    /// A *shape signal* for the engine's PQ planner: §5.2 reports the
+    /// split-based algorithm ahead of the join-based one on larger and
+    /// cyclic patterns (cyclic components force `JoinMatch` to iterate a
+    /// whole SCC to its fixpoint, while `SplitMatch`'s partition blocks
+    /// shrink monotonically across the pattern). O(|Vp| + |Ep|), via the
+    /// same SCC condensation the refinement loop orders components with:
+    /// cyclic iff some component has ≥ 2 nodes or some edge is a self-loop.
+    pub fn has_cycle(&self) -> bool {
+        let (_, comps) = rpq_graph::algo::condensation(self.nodes.len(), |u| {
+            self.out[u]
+                .iter()
+                .map(|&e| self.edges[e].to)
+                .collect::<Vec<_>>()
+                .into_iter()
+        });
+        comps.iter().any(|c| c.len() > 1) || self.edges.iter().any(|e| e.from == e.to)
+    }
+
     /// Single-edge PQ from an RQ — "RQs are a special case of PQs" (§2).
     pub fn from_rq(rq: &crate::rq::Rq) -> Self {
         let mut pq = Pq::new();
@@ -386,6 +406,26 @@ mod tests {
         let res = pq.eval_naive(&g);
         let rq_pairs = rq.eval_bfs(&g).pairs();
         assert_eq!(res.edge_matches(0), rq_pairs.as_slice());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let g = essembly();
+        // q2 has the B↔C 2-cycle and the C self-loop
+        assert!(q2(&g).has_cycle());
+        // a pure chain is acyclic
+        let mut chain = Pq::new();
+        let a = chain.add_node("a", Predicate::always_true());
+        let b = chain.add_node("b", Predicate::always_true());
+        let c = chain.add_node("c", Predicate::always_true());
+        let re = FRegex::parse("fa", g.alphabet()).unwrap();
+        chain.add_edge(a, b, re.clone());
+        chain.add_edge(b, c, re.clone());
+        assert!(!chain.has_cycle());
+        // a self-loop alone is a cycle
+        chain.add_edge(c, c, re);
+        assert!(chain.has_cycle());
+        assert!(!Pq::new().has_cycle());
     }
 
     #[test]

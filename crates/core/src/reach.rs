@@ -1,18 +1,32 @@
-//! Regex-constrained reachability backends.
+//! Regex-constrained reachability backends — the **one** layer both query
+//! classes evaluate through.
 //!
 //! Both PQ evaluation algorithms (§5) and RQ evaluation (§4) reduce to one
 //! primitive: *does a nonempty path from `x` to `y` spell a word of
 //! `L(fe)`?* The paper gives two ways to answer it, reflected here as
 //! implementations of [`ReachEngine`]:
 //!
-//! * [`MatrixReach`] — backed by the pre-computed per-color
-//!   [`DistanceMatrix`]; single-atom tests are O(1), so callers that can
+//! * [`ProbeReach`] — backed by **any** distance index implementing
+//!   [`DistProbe`]: the dense per-color [`DistanceMatrix`] (O(1) atom
+//!   tests, the regime under the engine's matrix node limit) or the pruned
+//!   2-hop labels of `rpq_index::HopLabels` (label-merge tests, the regime
+//!   beyond it). Because atom tests are cheap on both, callers should
 //!   *normalize* queries (split every edge into single-atom edges with
-//!   dummy nodes) get the paper's O(|V|²)-per-edge refinement.
+//!   dummy nodes) and get the paper's per-edge refinement; the bulk
+//!   [`ReachEngine::sources_reaching_atom`] additionally lets index
+//!   backends aggregate the target side once per `Join` step and spread
+//!   large source sets over worker threads
+//!   ([`ProbeReach::with_workers`]).
 //! * [`CachedReach`] — no index: each pair test runs a bi-directional BFS
 //!   over the (data node × NFA state) product space, memoized in a
 //!   hand-rolled LRU cache, exactly the "distance cache using hashmap as
-//!   indices" of §4.
+//!   indices" of §4. The final fallback while an index build is in flight
+//!   or over budget.
+//!
+//! [`MatrixReach`] survives as an alias for `ProbeReach<DistanceMatrix>`:
+//! the unification of this layer means `JoinMatch`/`SplitMatch` run
+//! *unchanged* over matrix or hop labels — the planner picks the backend,
+//! the algorithms stay the same.
 //!
 //! The free functions [`product_reach_set`] and [`product_pair_reaches`]
 //! are the underlying product-space searches, usable on their own (they
@@ -20,6 +34,7 @@
 
 use rpq_graph::cache::LruCache;
 use rpq_graph::{DistanceMatrix, Graph, NodeId};
+use rpq_index::DistProbe;
 use rpq_regex::{Atom, FRegex, Nfa, Quant};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -113,8 +128,8 @@ pub fn product_pair_reaches(g: &Graph, nfa: &Nfa, x: NodeId, y: NodeId) -> bool 
 pub trait ReachEngine {
     /// Should PQ algorithms normalize queries (single-atom edges with
     /// dummy nodes) before refinement? True exactly when single-atom tests
-    /// are O(1), i.e. for the matrix backend (§5.1: "if one wants to use a
-    /// distance matrix … Qp is normalized").
+    /// are cheap index probes, i.e. for the [`ProbeReach`] backends (§5.1:
+    /// "if one wants to use a distance matrix … Qp is normalized").
     fn prefers_normalized(&self) -> bool;
 
     /// Is there a nonempty path `x → y` whose colors spell a word in
@@ -125,27 +140,133 @@ pub trait ReachEngine {
     fn reaches_atom(&mut self, g: &Graph, x: NodeId, y: NodeId, atom: &Atom) -> bool {
         self.reaches(g, x, y, &FRegex::new(vec![*atom]))
     }
+
+    /// Bulk `Join`-step primitive: `out[i]` is true iff some `y ∈ targets`
+    /// satisfies `(sources[i], y) ⊨ atom`. The default short-circuits
+    /// pairwise [`reaches_atom`](ReachEngine::reaches_atom) probes (right
+    /// for the memoizing cached backend); index backends override it so a
+    /// whole refinement step is answered from label/row scans instead of
+    /// per-pair probes — and, for [`ProbeReach::with_workers`], spread
+    /// across threads.
+    fn sources_reaching_atom(
+        &mut self,
+        g: &Graph,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        atom: &Atom,
+    ) -> Vec<bool> {
+        sources
+            .iter()
+            .map(|&x| targets.iter().any(|&y| self.reaches_atom(g, x, y, atom)))
+            .collect()
+    }
+
+    /// All `y` with `(x, y) ⊨ re` — the per-source enumeration PQ result
+    /// assembly is built from. The default runs the forward
+    /// product-automaton search ([`product_reach_set`], the only option
+    /// without an index); [`ProbeReach`] overrides it with per-atom
+    /// frontier stepping over bounded neighborhood scans, so assembly on
+    /// index backends never touches the product space.
+    fn reach_set(&mut self, g: &Graph, x: NodeId, re: &FRegex) -> Vec<NodeId> {
+        product_reach_set(g, &Nfa::from_regex(re), x)
+    }
 }
 
-/// Matrix-backed engine (O(1) atom tests).
+/// Index-backed engine over any [`DistProbe`] — the unified replacement
+/// for the former matrix-only backend. Atom tests are direct index probes;
+/// multi-atom expressions fall back to frontier stepping with bounded
+/// neighborhood scans (the paper's dummy-node decomposition, evaluated
+/// in-place), so both the dense matrix and the pruned 2-hop labels serve
+/// `JoinMatch`/`SplitMatch` through one code path.
+///
+/// The probe itself is shared immutably (`&P`): one index can back any
+/// number of concurrently running engines, which is what lets a single
+/// large PQ be refined by several batch workers at once
+/// ([`ProbeReach::with_workers`]). The only per-engine state is a reusable
+/// dedup scratch mask for frontier sweeps (kept all-false between calls),
+/// so result assembly over thousands of sources doesn't re-zero an
+/// O(|V|) buffer per source.
 #[derive(Debug)]
-pub struct MatrixReach<'a> {
-    matrix: &'a DistanceMatrix,
+pub struct ProbeReach<'a, P: DistProbe + ?Sized> {
+    probe: &'a P,
+    workers: usize,
+    scratch: Vec<bool>,
 }
 
-impl<'a> MatrixReach<'a> {
-    /// Wrap a pre-built matrix (see [`DistanceMatrix::build`]).
-    pub fn new(matrix: &'a DistanceMatrix) -> Self {
-        MatrixReach { matrix }
+/// Below this many sources a bulk refinement step is not worth spreading
+/// over threads (spawn cost dominates the label scans).
+const PAR_SOURCE_THRESHOLD: usize = 512;
+
+impl<'a, P: DistProbe + ?Sized> ProbeReach<'a, P> {
+    /// Wrap a pre-built index (a [`DistanceMatrix`] or
+    /// `rpq_index::HopLabels`).
+    pub fn new(probe: &'a P) -> Self {
+        Self::with_workers(probe, 1)
     }
 
-    /// Access the underlying matrix.
-    pub fn matrix(&self) -> &DistanceMatrix {
-        self.matrix
+    /// Like [`new`](ProbeReach::new), but bulk refinement steps over large
+    /// source sets are chunked across up to `workers` scoped threads
+    /// (clamped to ≥ 1). Serving layers pass their idle batch-worker count
+    /// here so one big PQ in a small batch still uses the whole machine.
+    pub fn with_workers(probe: &'a P, workers: usize) -> Self {
+        ProbeReach {
+            probe,
+            workers: workers.max(1),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Access the underlying index.
+    pub fn probe(&self) -> &'a P {
+        self.probe
     }
 }
 
-impl ReachEngine for MatrixReach<'_> {
+/// Matrix-backed engine — the historical name, now just [`ProbeReach`]
+/// over the dense [`DistanceMatrix`].
+pub type MatrixReach<'a> = ProbeReach<'a, DistanceMatrix>;
+
+impl<P: DistProbe + ?Sized> ProbeReach<'_, P> {
+    /// Advance a frontier through `atoms` one at a time — the paper's
+    /// dummy-node decomposition evaluated in place, using bounded
+    /// neighborhood scans (row scans on the matrix, inverted hub lists on
+    /// labels — never per-pair probes against all of V). Returns the set
+    /// of nodes reachable from `x` through every atom, i.e. exactly
+    /// `{ y : (x, y) ⊨ atoms }` under the nonempty-path semantics
+    /// ([`DistProbe::for_each_reaching_within`] is the per-atom step).
+    /// Each step costs scan-output work, not O(|V|): the reusable scratch
+    /// mask only dedups, and is restored to all-false via the nodes
+    /// actually collected.
+    fn frontier_sweep(&mut self, g: &Graph, x: NodeId, atoms: &[Atom]) -> Vec<NodeId> {
+        if self.scratch.len() < g.node_count() {
+            self.scratch.resize(g.node_count(), false);
+        }
+        let probe = self.probe;
+        let mask = &mut self.scratch;
+        let mut frontier: Vec<NodeId> = vec![x];
+        for atom in atoms {
+            let mut next: Vec<NodeId> = Vec::new();
+            for &w in &frontier {
+                probe.for_each_reaching_within(g, w, atom.color, atom.quant.max(), &mut |z| {
+                    if !mask[z.index()] {
+                        mask[z.index()] = true;
+                        next.push(z);
+                    }
+                });
+            }
+            for &z in &next {
+                mask[z.index()] = false;
+            }
+            if next.is_empty() {
+                return next;
+            }
+            frontier = next;
+        }
+        frontier
+    }
+}
+
+impl<P: DistProbe + Sync + ?Sized> ReachEngine for ProbeReach<'_, P> {
     fn prefers_normalized(&self) -> bool {
         true
     }
@@ -155,36 +276,63 @@ impl ReachEngine for MatrixReach<'_> {
         if atoms.len() == 1 {
             return self.reaches_atom(g, x, y, &atoms[0]);
         }
-        // frontier stepping: decompose as the paper's dummy-node rewrite
-        // does, one atom at a time, using O(1) matrix probes
-        let mut frontier: Vec<NodeId> = vec![x];
-        for (i, atom) in atoms.iter().enumerate() {
-            if i + 1 == atoms.len() {
-                return frontier.iter().any(|&w| {
-                    self.matrix
-                        .reaches_within(g, w, y, atom.color, atom.quant.max())
-                });
-            }
-            let next: Vec<NodeId> = g
-                .nodes()
-                .filter(|&z| {
-                    frontier.iter().any(|&w| {
-                        self.matrix
-                            .reaches_within(g, w, z, atom.color, atom.quant.max())
-                    })
-                })
-                .collect();
-            if next.is_empty() {
-                return false;
-            }
-            frontier = next;
+        // sweep through all but the last atom, then one bulk test
+        let frontier = self.frontier_sweep(g, x, &atoms[..atoms.len() - 1]);
+        if frontier.is_empty() {
+            return false;
         }
-        unreachable!("F expressions are nonempty")
+        let last = &atoms[atoms.len() - 1];
+        self.probe
+            .sources_reaching_within(g, &frontier, &[y], last.color, last.quant.max())
+            .iter()
+            .any(|&b| b)
+    }
+
+    fn reach_set(&mut self, g: &Graph, x: NodeId, re: &FRegex) -> Vec<NodeId> {
+        self.frontier_sweep(g, x, re.atoms())
     }
 
     fn reaches_atom(&mut self, g: &Graph, x: NodeId, y: NodeId, atom: &Atom) -> bool {
-        self.matrix
+        self.probe
             .reaches_within(g, x, y, atom.color, atom.quant.max())
+    }
+
+    fn sources_reaching_atom(
+        &mut self,
+        g: &Graph,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        atom: &Atom,
+    ) -> Vec<bool> {
+        let max_len = atom.quant.max();
+        let probe = self.probe;
+        // chunk the source side across scoped threads. Each chunk redoes
+        // the backend's target-side aggregation, so a chunk must carry
+        // enough sources to amortize it: at least the flat threshold, and
+        // at least a quarter of the target count (the fold is linear in
+        // targets) — this bounds the redundant aggregation work at a
+        // small constant factor of one fold however many workers run.
+        let min_chunk = PAR_SOURCE_THRESHOLD.max(targets.len() / 4);
+        let workers = self.workers.min(sources.len().div_ceil(min_chunk));
+        if workers <= 1 {
+            return probe.sources_reaching_within(g, sources, targets, atom.color, max_len);
+        }
+        let chunk = sources.len().div_ceil(workers);
+        let mut out = Vec::with_capacity(sources.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = sources
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        probe.sources_reaching_within(g, part, targets, atom.color, max_len)
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("refinement worker panicked"));
+            }
+        });
+        out
     }
 }
 
@@ -198,6 +346,10 @@ pub struct CachedReach {
 }
 
 impl CachedReach {
+    /// Default LRU capacity, tuned for the paper's workloads (millions of
+    /// pair probes against graphs of a few thousand nodes).
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
     /// Engine with an LRU of `capacity` memoized pair answers.
     pub fn new(capacity: usize) -> Self {
         CachedReach {
@@ -208,10 +360,14 @@ impl CachedReach {
         }
     }
 
-    /// Default capacity tuned for the paper's workloads (millions of pair
-    /// probes against graphs of a few thousand nodes).
+    /// Default capacity ([`DEFAULT_CAPACITY`](CachedReach::DEFAULT_CAPACITY)).
     pub fn with_default_capacity() -> Self {
-        CachedReach::new(1 << 20)
+        CachedReach::new(Self::DEFAULT_CAPACITY)
+    }
+
+    /// The configured LRU capacity.
+    pub fn capacity(&self) -> usize {
+        self.results.capacity()
     }
 
     fn intern(&mut self, re: &FRegex) -> u32 {
@@ -259,6 +415,12 @@ impl ReachEngine for CachedReach {
         };
         self.probe(g, x, y, id)
     }
+
+    fn reach_set(&mut self, g: &Graph, x: NodeId, re: &FRegex) -> Vec<NodeId> {
+        // reuse the interned NFA instead of recompiling per source
+        let id = self.intern(re);
+        product_reach_set(g, &self.nfas[id as usize], x)
+    }
 }
 
 /// Plain forward product BFS pair test — the unindexed, uncached baseline
@@ -299,7 +461,7 @@ pub fn total_bound(re: &FRegex) -> Option<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rpq_graph::{GraphBuilder, WILDCARD};
+    use rpq_graph::{Color, GraphBuilder, WILDCARD};
 
     /// The Essembly graph from Fig. 1.
     fn g() -> Graph {
@@ -339,7 +501,9 @@ mod tests {
             re(&g, "_^3"),
         ];
         let matrix = DistanceMatrix::build(&g);
+        let labels = rpq_index::HopLabels::build(&g);
         let mut mx = MatrixReach::new(&matrix);
+        let mut hop = ProbeReach::new(&labels);
         let mut cached = CachedReach::new(1024);
         for r in &regexes {
             let nfa = Nfa::from_regex(r);
@@ -359,6 +523,11 @@ mod tests {
                         g.label(y),
                         r.display(g.alphabet())
                     );
+                    assert_eq!(
+                        hop.reaches(&g, x, y, r),
+                        oracle,
+                        "hop labels {x:?}->{y:?} {r:?}"
+                    );
                     assert_eq!(cached.reaches(&g, x, y, r), oracle, "cached {x:?}->{y:?}");
                     // twice: exercise the cache-hit path
                     assert_eq!(cached.reaches(&g, x, y, r), oracle);
@@ -367,6 +536,39 @@ mod tests {
         }
         let (hits, misses) = cached.cache_stats();
         assert!(hits >= misses, "expected cache hits on repeat probes");
+    }
+
+    #[test]
+    fn parallel_bulk_matches_sequential() {
+        // the chunked multi-worker path must agree with one-shot bulk and
+        // with pairwise probes, on both index backends
+        let g = rpq_graph::gen::synthetic(1500, 6000, 1, 3, 13);
+        let matrix = DistanceMatrix::build(&g);
+        let labels = rpq_index::HopLabels::build(&g);
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let targets: Vec<NodeId> = g.nodes().filter(|n| n.index() % 7 == 0).collect();
+        for atom in [
+            Atom::new(Color(0), Quant::One),
+            Atom::new(Color(1), Quant::AtMost(3)),
+            Atom::new(WILDCARD, Quant::Plus),
+        ] {
+            let want: Vec<bool> = sources
+                .iter()
+                .map(|&x| {
+                    targets
+                        .iter()
+                        .any(|&y| MatrixReach::new(&matrix).reaches_atom(&g, x, y, &atom))
+                })
+                .collect();
+            for workers in [1usize, 4] {
+                let got_m = ProbeReach::with_workers(&matrix, workers)
+                    .sources_reaching_atom(&g, &sources, &targets, &atom);
+                assert_eq!(got_m, want, "matrix, {workers} workers, {atom:?}");
+                let got_h = ProbeReach::with_workers(&labels, workers)
+                    .sources_reaching_atom(&g, &sources, &targets, &atom);
+                assert_eq!(got_h, want, "labels, {workers} workers, {atom:?}");
+            }
+        }
     }
 
     #[test]

@@ -150,15 +150,10 @@ impl Rq {
             return RqResult::new(Vec::new());
         }
 
-        // one scan: all z with a nonempty ≤k path from w (diagonal via
-        // the explicit cycle test)
+        // one scan: all z with a nonempty ≤k path from w — the shared
+        // diagonal-aware step of the probe layer
         let scan = |w: NodeId, atom: &Atom, hit: &mut dyn FnMut(usize)| {
-            let k = atom.quant.max_or_infinite();
-            let max = k.min(u64::from(u16::MAX - 1)) as u16;
-            m.for_each_within(w, atom.color, max, &mut |z| hit(z.index()));
-            if m.has_cycle_within(g, w, atom.color, atom.quant.max()) {
-                hit(w.index());
-            }
+            m.for_each_reaching_within(g, w, atom.color, atom.quant.max(), &mut |z| hit(z.index()));
         };
 
         // forward masks: fwd[i] = nodes reachable from a source through

@@ -137,21 +137,14 @@ impl SplitMatch {
             let sources = cand(&rel[u_from], &partition);
             let targets = cand(&rel[u_to], &partition);
             // rmv(e): candidates of u_from without a witness in cand(u_to)
-            let single = edge.regex.len() == 1;
-            let mut rmv_list = Vec::new();
-            for &x in &sources {
-                let ok = if single {
-                    let atom = &edge.regex.atoms()[0];
-                    targets.iter().any(|&y| engine.reaches_atom(g, x, y, atom))
-                } else {
-                    targets
-                        .iter()
-                        .any(|&y| engine.reaches(g, x, y, &edge.regex))
-                };
-                if !ok {
-                    rmv_list.push(x);
-                }
-            }
+            // — one bulk backend call per step (see join_match::survivors)
+            let ok = crate::join_match::survivors(g, engine, &sources, &targets, &edge.regex);
+            let rmv_list: Vec<NodeId> = sources
+                .iter()
+                .zip(&ok)
+                .filter(|(_, &o)| !o)
+                .map(|(&x, _)| x)
+                .collect();
             if rmv_list.is_empty() {
                 continue;
             }
@@ -195,7 +188,7 @@ impl SplitMatch {
         if mats[..pq.node_count()].iter().any(|m| m.is_empty()) {
             return PqResult::empty(pq);
         }
-        crate::join_match::assemble(pq, g, &mats)
+        crate::join_match::assemble_with(pq, g, &mats, engine)
     }
 }
 

@@ -5,8 +5,10 @@ use crate::batch::{BatchItem, BatchResult, Query, QueryOutput};
 use crate::memo::ReachMemo;
 use crate::planner::{self, Plan};
 use rpq_core::join_match::JoinMatch;
-use rpq_core::reach::{CachedReach, MatrixReach};
+use rpq_core::pq::Pq;
+use rpq_core::reach::{CachedReach, ProbeReach};
 use rpq_core::rq::RqResult;
+use rpq_core::split_match::SplitMatch;
 use rpq_graph::{DistanceMatrix, Graph};
 use rpq_index::{HopConfig, HopLabels};
 use rpq_regex::FRegex;
@@ -24,16 +26,21 @@ pub struct EngineConfig {
     /// `|V| <= matrix_node_limit` (the matrix costs O(|Σ|·|V|²) memory —
     /// the default keeps it a few tens of megabytes).
     pub matrix_node_limit: usize,
-    /// Capacity of each worker's LRU reachability cache (used by the
-    /// cached PQ backend on graphs too large for the matrix).
-    pub cache_capacity: usize,
+    /// Capacity of each worker's LRU reachability cache, used by the
+    /// cached PQ backend (`JoinMatch/cache`, `SplitMatch/cache`) on graphs
+    /// too large for the matrix while no hop-label index is usable, and by
+    /// the standing-query matchers of the live engine. Default `1 << 16`
+    /// entries per worker (an entry is a memoized `(x, y, regex) → bool`
+    /// pair answer, ~tens of bytes).
+    pub reach_cache_capacity: usize,
     /// Byte budget for the pruned 2-hop label index built for graphs
     /// *above* the matrix node limit (`0` disables hop labels entirely).
     /// The build runs in the background off the first over-limit batch;
-    /// until it lands, RQs fall back to search. If the budget is exceeded
-    /// mid-build, the wildcard layer is dropped first and the concrete
-    /// layers kept; if even those do not fit, the engine serves search
-    /// plans permanently.
+    /// until it lands, RQs fall back to search and PQs to the cached
+    /// backend. If the budget is exceeded mid-build, the wildcard layer is
+    /// dropped first and the concrete layers kept (queries probing only
+    /// concrete colors stay indexed); if even those do not fit, the engine
+    /// serves search/cached plans permanently.
     pub hop_label_budget: usize,
     /// Landmarks processed per hop-label layer; `0` (the default) means
     /// all nodes, which is what makes label probes exact. A nonzero value
@@ -48,7 +55,7 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: 0,
             matrix_node_limit: 2048,
-            cache_capacity: 1 << 16,
+            reach_cache_capacity: 1 << 16,
             hop_label_budget: 256 << 20,
             hop_landmarks: 0,
         }
@@ -244,6 +251,19 @@ impl QueryEngine {
         }
     }
 
+    /// Is the hop index usable for this whole pattern — built, and
+    /// covering every color probed by every edge regex?
+    pub(crate) fn hop_usable_for_pq(&self, pq: &Pq) -> bool {
+        match self.hop.get() {
+            Some(Some(labels)) => pq
+                .edges()
+                .iter()
+                .flat_map(|e| e.regex.atoms())
+                .all(|a| labels.has_layer(a.color)),
+            _ => false,
+        }
+    }
+
     /// The plan the engine would pick for `query` outside any batch.
     pub fn plan_query(&self, query: &Query) -> Plan {
         match query {
@@ -253,7 +273,9 @@ impl QueryEngine {
                 self.hop_usable_for(&rq.regex),
                 false,
             ),
-            Query::Pq(_) => planner::plan_pq(self.matrix_available()),
+            Query::Pq(pq) => {
+                planner::plan_pq(pq, self.matrix_available(), self.hop_usable_for_pq(pq))
+            }
         }
     }
 
@@ -273,8 +295,9 @@ impl QueryEngine {
         if plan_needs_matrix(plan) {
             self.matrix();
         }
-        let mut cached = CachedReach::new(self.config.cache_capacity);
-        self.eval_one(query, plan, memo, &mut cached)
+        let mut cached = CachedReach::new(self.config.reach_cache_capacity);
+        // a single query owns the whole worker budget for its refinement
+        self.eval_one(query, plan, memo, &mut cached, self.configured_workers())
     }
 
     /// Evaluate a batch: plan each query (batch-aware), then pull queries
@@ -323,7 +346,7 @@ impl QueryEngine {
                         shared,
                     )
                 }
-                Query::Pq(_) => planner::plan_pq(matrix_available),
+                Query::Pq(pq) => planner::plan_pq(pq, matrix_available, self.hop_usable_for_pq(pq)),
             })
             .collect();
 
@@ -333,6 +356,11 @@ impl QueryEngine {
         }
 
         let workers = self.worker_count(queries.len());
+        // worker budget left over by a short batch goes to PQ refinement:
+        // each index-backed PQ evaluation chunks its per-edge source tests
+        // over this many threads, so one big PQ in a batch of one still
+        // saturates the machine
+        let pq_workers = (self.configured_workers() / workers).max(1);
         let next = AtomicUsize::new(0);
         let slots: Vec<OnceLock<(QueryOutput, std::time::Duration)>> =
             (0..queries.len()).map(|_| OnceLock::new()).collect();
@@ -340,14 +368,15 @@ impl QueryEngine {
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| {
-                    let mut cached = CachedReach::new(self.config.cache_capacity);
+                    let mut cached = CachedReach::new(self.config.reach_cache_capacity);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= queries.len() {
                             break;
                         }
                         let t = Instant::now();
-                        let out = self.eval_one(&queries[i], plans[i], memo, &mut cached);
+                        let out =
+                            self.eval_one(&queries[i], plans[i], memo, &mut cached, pq_workers);
                         slots[i]
                             .set((out, t.elapsed()))
                             .unwrap_or_else(|_| unreachable!("each index is claimed once"));
@@ -373,14 +402,18 @@ impl QueryEngine {
         )
     }
 
-    fn worker_count(&self, batch_len: usize) -> usize {
+    /// The configured worker budget (`0` = one per available core).
+    fn configured_workers(&self) -> usize {
         let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let configured = if self.config.workers == 0 {
+        if self.config.workers == 0 {
             hw
         } else {
             self.config.workers
-        };
-        configured.clamp(1, batch_len.max(1))
+        }
+    }
+
+    fn worker_count(&self, batch_len: usize) -> usize {
+        self.configured_workers().clamp(1, batch_len.max(1))
     }
 
     fn eval_one(
@@ -389,6 +422,7 @@ impl QueryEngine {
         plan: Plan,
         memo: &ReachMemo,
         cached: &mut CachedReach,
+        pq_workers: usize,
     ) -> QueryOutput {
         let g = self.graph.as_ref();
         match (query, plan) {
@@ -412,10 +446,29 @@ impl QueryEngine {
             }
             (Query::Pq(pq), Plan::PqJoinMatrix) => {
                 let m = self.matrix.get().expect("DM plan requires the matrix");
-                QueryOutput::Pq(Arc::new(JoinMatch::eval(pq, g, &mut MatrixReach::new(m))))
+                let mut reach = ProbeReach::with_workers(m, pq_workers);
+                QueryOutput::Pq(Arc::new(JoinMatch::eval(pq, g, &mut reach)))
+            }
+            (Query::Pq(pq), Plan::PqSplitMatrix) => {
+                let m = self.matrix.get().expect("DM plan requires the matrix");
+                let mut reach = ProbeReach::with_workers(m, pq_workers);
+                QueryOutput::Pq(Arc::new(SplitMatch::eval(pq, g, &mut reach)))
+            }
+            (Query::Pq(pq), Plan::PqJoinHop) => {
+                let labels = self.hop_labels().expect("hop plan requires built labels");
+                let mut reach = ProbeReach::with_workers(labels.as_ref(), pq_workers);
+                QueryOutput::Pq(Arc::new(JoinMatch::eval(pq, g, &mut reach)))
+            }
+            (Query::Pq(pq), Plan::PqSplitHop) => {
+                let labels = self.hop_labels().expect("hop plan requires built labels");
+                let mut reach = ProbeReach::with_workers(labels.as_ref(), pq_workers);
+                QueryOutput::Pq(Arc::new(SplitMatch::eval(pq, g, &mut reach)))
             }
             (Query::Pq(pq), Plan::PqJoinCached) => {
                 QueryOutput::Pq(Arc::new(JoinMatch::eval(pq, g, cached)))
+            }
+            (Query::Pq(pq), Plan::PqSplitCached) => {
+                QueryOutput::Pq(Arc::new(SplitMatch::eval(pq, g, cached)))
             }
             (Query::Rq(_), _) | (Query::Pq(_), _) => {
                 unreachable!("planner assigned a {plan:?} plan to a mismatched query kind")
@@ -436,7 +489,7 @@ impl Drop for QueryEngine {
 }
 
 fn plan_needs_matrix(plan: Plan) -> bool {
-    matches!(plan, Plan::RqDm | Plan::PqJoinMatrix)
+    matches!(plan, Plan::RqDm | Plan::PqJoinMatrix | Plan::PqSplitMatrix)
 }
 
 #[cfg(test)]
@@ -497,7 +550,7 @@ mod tests {
         );
         assert_eq!(
             batch.items()[1].output.as_pq().unwrap(),
-            &JoinMatch::eval(&pq, &g, &mut MatrixReach::new(&m))
+            &JoinMatch::eval(&pq, &g, &mut ProbeReach::new(&m))
         );
         assert_eq!(batch.items()[0].output, batch.items()[2].output);
         assert!(batch.items()[3].output.as_rq().unwrap().is_empty());
@@ -598,6 +651,128 @@ mod tests {
             engine.run_query(&Query::Rq(wq.clone())).as_rq().unwrap(),
             &wq.eval_bfs(&g)
         );
+    }
+
+    #[test]
+    fn hop_labels_serve_over_limit_pqs() {
+        let g = Arc::new(rpq_graph::gen::synthetic(600, 2400, 2, 3, 21));
+        let engine = QueryEngine::with_config(
+            Arc::clone(&g),
+            EngineConfig {
+                matrix_node_limit: 0, // force the over-limit regime
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        );
+        // a small acyclic pattern and a large cyclic one: over the matrix
+        // limit both route to JoinMatch (the hop/cached backends measured
+        // it ahead on every shape — split is a matrix-only pick), and the
+        // backend flips cached → hop once the index lands
+        let mut join_pq = Pq::new();
+        let a = join_pq.add_node("a", Predicate::parse("a0 <= 4", g.schema()).unwrap());
+        let b = join_pq.add_node("b", Predicate::parse("a1 >= 5", g.schema()).unwrap());
+        join_pq.add_edge(a, b, FRegex::parse("c0^2 c1", g.alphabet()).unwrap());
+
+        let mut ring_pq = Pq::new();
+        let ring: Vec<usize> = (0..10)
+            .map(|i| ring_pq.add_node(&format!("n{i}"), Predicate::always_true()))
+            .collect();
+        for i in 0..10 {
+            ring_pq.add_edge(
+                ring[i],
+                ring[(i + 1) % 10],
+                FRegex::parse(if i % 2 == 0 { "c0" } else { "_+" }, g.alphabet()).unwrap(),
+            );
+        }
+
+        // before the index lands: cached fallback plans
+        for pq in [&join_pq, &ring_pq] {
+            assert_eq!(
+                engine.plan_query(&Query::Pq(pq.clone())),
+                Plan::PqJoinCached
+            );
+        }
+
+        engine.force_hop_labels().expect("within default budget");
+        let batch = engine.run_batch(&[Query::Pq(join_pq.clone()), Query::Pq(ring_pq.clone())]);
+        assert_eq!(batch.items()[0].plan, Plan::PqJoinHop);
+        assert_eq!(batch.items()[1].plan, Plan::PqJoinHop);
+        // bit-identical to the reference fixpoint
+        assert_eq!(
+            batch.items()[0].output.as_pq().unwrap(),
+            &join_pq.eval_naive(&g)
+        );
+        assert_eq!(
+            batch.items()[1].output.as_pq().unwrap(),
+            &ring_pq.eval_naive(&g)
+        );
+        // the same large ring under the matrix limit is the split regime
+        let small_engine = QueryEngine::new(Arc::clone(&g));
+        assert_eq!(
+            small_engine.plan_query(&Query::Pq(ring_pq.clone())),
+            Plan::PqSplitMatrix
+        );
+        assert_eq!(
+            small_engine
+                .run_query(&Query::Pq(ring_pq.clone()))
+                .as_pq()
+                .unwrap(),
+            &ring_pq.eval_naive(&g)
+        );
+    }
+
+    #[test]
+    fn wildcard_dropped_on_budget_falls_back_for_pqs() {
+        // a budget that fits concrete layers only: a PQ probing `_` is not
+        // hop-usable and must keep its cached plan, while a concrete-color
+        // PQ flips to the hop backend
+        let g = Arc::new(rpq_graph::gen::synthetic(400, 1600, 2, 3, 33));
+        let full = rpq_index::HopLabels::build(&g);
+        let wildcard_bytes = {
+            let all = full.bytes();
+            let concrete = {
+                let cfg = HopConfig {
+                    wildcard_layer: false,
+                    ..HopConfig::default()
+                };
+                rpq_index::HopLabels::build_with(&g, &cfg, None)
+                    .unwrap()
+                    .bytes()
+            };
+            all - concrete
+        };
+        let engine = QueryEngine::with_config(
+            Arc::clone(&g),
+            EngineConfig {
+                matrix_node_limit: 0,
+                hop_label_budget: full.bytes() - wildcard_bytes / 2,
+                ..EngineConfig::default()
+            },
+        );
+        let labels = engine.force_hop_labels().expect("concrete layers fit");
+        assert!(!labels.has_layer(rpq_graph::WILDCARD));
+
+        let mk = |re: &str| {
+            let mut pq = Pq::new();
+            let a = pq.add_node("a", Predicate::parse("a0 <= 5", g.schema()).unwrap());
+            let b = pq.add_node("b", Predicate::always_true());
+            pq.add_edge(a, b, FRegex::parse(re, g.alphabet()).unwrap());
+            pq
+        };
+        assert_eq!(engine.plan_query(&Query::Pq(mk("c0 c1"))), Plan::PqJoinHop);
+        assert_eq!(
+            engine.plan_query(&Query::Pq(mk("c0 _^2"))),
+            Plan::PqJoinCached
+        );
+        // and both still answer correctly
+        for re in ["c0 c1", "c0 _^2"] {
+            let pq = mk(re);
+            assert_eq!(
+                engine.run_query(&Query::Pq(pq.clone())).as_pq().unwrap(),
+                &pq.eval_naive(&g),
+                "{re}"
+            );
+        }
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //!   (the per-color [`DistanceMatrix`](rpq_graph::DistanceMatrix) when the
 //!   graph is small enough to afford its O(|Σ|·|V|²) footprint);
 //! * a [`planner`] picks the evaluation strategy per query — **DM** matrix
-//!   probes, **biBFS** meet-in-the-middle, or memoized **BFS** — from the
-//!   graph size, index availability and batch shape, replacing the
-//!   hard-picked strategy calls in `rpq_core::rq`;
+//!   probes, **hop** labels, **biBFS** meet-in-the-middle, or memoized
+//!   **BFS** for RQs; `JoinMatch`/`SplitMatch` over the matrix, hop-label
+//!   or cached backend for PQs (backend by index availability, algorithm
+//!   by pattern shape) — replacing the hard-picked strategy calls in
+//!   `rpq_core::rq`;
 //! * a concurrent [`memo`] table keyed on `(source predicate, regex)`
 //!   shares product-automaton reach sets, so a reach set probed by many
 //!   queries in a batch is computed exactly once;

@@ -1,8 +1,8 @@
 //! Per-query strategy selection.
 //!
 //! The seed library makes callers hard-pick an RQ strategy
-//! (`eval_with_matrix` / `eval_bibfs` / `eval_bfs`); the engine chooses one
-//! per query from three signals:
+//! (`eval_with_matrix` / `eval_bibfs` / `eval_bfs`) and a PQ algorithm ×
+//! backend; the engine chooses per query from four signals:
 //!
 //! * **index availability** — matrix probes are strictly cheapest when the
 //!   per-color [`DistanceMatrix`](rpq_graph::DistanceMatrix) exists; the
@@ -16,8 +16,14 @@
 //!   computes their reach set once, so sharing beats a per-query biBFS;
 //! * **regex shape** — multi-atom expressions split well in the middle
 //!   (biBFS meets after half the atoms); single-atom expressions gain
-//!   nothing from bidirectionality, so they run the plain product BFS.
+//!   nothing from bidirectionality, so they run the plain product BFS;
+//! * **pattern shape** (PQs) — both §5 algorithms run over whichever
+//!   reachability backend is available (matrix → hop labels → cached
+//!   search, in that order of preference); between them, large cyclic
+//!   patterns take `SplitMatch` and everything else `JoinMatch`, per the
+//!   measured [`SPLIT_CROSSOVER`].
 
+use rpq_core::pq::Pq;
 use rpq_regex::FRegex;
 
 /// The evaluation strategy chosen for one query.
@@ -36,8 +42,20 @@ pub enum Plan {
     RqBfsMemo,
     /// PQ via `JoinMatch` over the matrix backend (normalized, §5.1).
     PqJoinMatrix,
+    /// PQ via `JoinMatch` over the pruned 2-hop label backend (normalized,
+    /// §5.1 refinement with label-scan probes) — the PQ strategy beyond
+    /// the matrix node limit.
+    PqJoinHop,
     /// PQ via `JoinMatch` over the LRU-cached bi-directional backend (§4–5).
     PqJoinCached,
+    /// PQ via `SplitMatch` over the matrix backend (§5.2) — picked for
+    /// large/cyclic patterns past the measured crossover.
+    PqSplitMatrix,
+    /// PQ via `SplitMatch` over the hop-label backend (§5.2 beyond the
+    /// matrix node limit).
+    PqSplitHop,
+    /// PQ via `SplitMatch` over the LRU-cached backend.
+    PqSplitCached,
     /// PQ answered from a registered standing query's incrementally
     /// maintained match sets — no evaluation at all (§7, live serving).
     PqStanding,
@@ -52,7 +70,11 @@ impl Plan {
             Plan::RqBiBfs => "biBFS",
             Plan::RqBfsMemo => "BFS+memo",
             Plan::PqJoinMatrix => "JoinMatch/DM",
+            Plan::PqJoinHop => "JoinMatch/hop",
             Plan::PqJoinCached => "JoinMatch/cache",
+            Plan::PqSplitMatrix => "SplitMatch/DM",
+            Plan::PqSplitHop => "SplitMatch/hop",
+            Plan::PqSplitCached => "SplitMatch/cache",
             Plan::PqStanding => "standing",
         }
     }
@@ -87,30 +109,81 @@ pub fn plan_rq(
     }
 }
 
-/// Choose the strategy for one PQ.
-pub fn plan_pq(matrix_available: bool) -> Plan {
-    if matrix_available {
-        Plan::PqJoinMatrix
-    } else {
-        Plan::PqJoinCached
+/// Normalized pattern size (`|Vp| + |Ep|` after the dummy-node rewrite —
+/// what the refinement loop actually iterates over) at and above which a
+/// **cyclic** pattern on the **matrix** backend plans `SplitMatch`
+/// instead of `JoinMatch`.
+///
+/// Measured, not guessed — `cargo bench --bench pq` sweeps pattern size ×
+/// shape on both index backends and prints the per-shape join/split
+/// ratio. The measurement (1.5k-node youtube-like graph, ring vs chain
+/// patterns, loose and selective predicates): on acyclic patterns
+/// `JoinMatch`'s reverse-topological component order wins at every size
+/// (join/split 0.87 → 0.07 as chains grow). On cyclic patterns the
+/// backends diverge: over the **matrix** the two run at parity within
+/// noise (0.94–1.02) from size ~8 upward — both share the same bulk
+/// refinement primitive and a whole-pattern SCC gives them the same
+/// worklist — so past this crossover the planner prefers `SplitMatch`
+/// there, whose monotonically refining partition bounds per-round
+/// bookkeeping by blocks rather than nodes (the §5.2 regime) at no
+/// measured cost. Over **hop labels** the bulk label scans are so cheap
+/// that `SplitMatch`'s partition bookkeeping dominates and `JoinMatch`
+/// wins every measured cyclic size by 1.3–2x (ratios 0.45–0.76), so the
+/// hop and cached backends keep `JoinMatch` for every shape.
+pub const SPLIT_CROSSOVER: usize = 16;
+
+/// The shape signals [`plan_pq`] needs from a pattern: its normalized size
+/// (nodes + edges counting every regex atom, i.e. post-dummy-rewrite) and
+/// whether its query graph is cyclic.
+fn pattern_shape(pq: &Pq) -> (usize, bool) {
+    let atoms: usize = pq.edges().iter().map(|e| e.regex.len()).sum();
+    // the dummy rewrite adds one node and one edge per extra atom
+    let size = pq.size() + 2 * atoms.saturating_sub(pq.edge_count());
+    (size, pq.has_cycle())
+}
+
+/// Choose the strategy for one PQ from backend availability and pattern
+/// shape.
+///
+/// Backend: the matrix wins when available (O(1) probes); otherwise hop
+/// labels when built and covering every color the pattern probes
+/// (`hop_usable`); otherwise the LRU-cached product search. Shape: on the
+/// matrix backend, cyclic patterns of normalized size ≥
+/// [`SPLIT_CROSSOVER`] take `SplitMatch` (§5.2); every other combination
+/// measured `JoinMatch` ahead — see the crossover constant for the
+/// numbers. The split variants of the other backends
+/// ([`Plan::PqSplitHop`], [`Plan::PqSplitCached`]) stay servable (the
+/// parity suite and benches evaluate them directly) but are never the
+/// planner's pick.
+pub fn plan_pq(pq: &Pq, matrix_available: bool, hop_usable: bool) -> Plan {
+    let (size, cyclic) = pattern_shape(pq);
+    let split = cyclic && size >= SPLIT_CROSSOVER;
+    match (matrix_available, hop_usable) {
+        (true, _) if split => Plan::PqSplitMatrix,
+        (true, _) => Plan::PqJoinMatrix,
+        (false, true) => Plan::PqJoinHop,
+        (false, false) => Plan::PqJoinCached,
     }
 }
 
 /// Choose the strategy for one PQ served from a live snapshot: a PQ equal
 /// to a registered standing query is answered from its maintained match
 /// sets — beating any evaluation strategy — and everything else falls back
-/// to [`plan_pq`].
-pub fn plan_pq_live(is_standing: bool, matrix_available: bool) -> Plan {
+/// to [`plan_pq`] with the snapshot's index state (in particular, a live
+/// snapshot whose hop-label build has landed serves `PqJoinHop`/`PqSplitHop`,
+/// never the cached fallback).
+pub fn plan_pq_live(pq: &Pq, is_standing: bool, matrix_available: bool, hop_usable: bool) -> Plan {
     if is_standing {
         Plan::PqStanding
     } else {
-        plan_pq(matrix_available)
+        plan_pq(pq, matrix_available, hop_usable)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rpq_core::predicate::Predicate;
     use rpq_graph::{Color, WILDCARD};
     use rpq_regex::{Atom, Quant};
 
@@ -122,6 +195,30 @@ mod tests {
         )
     }
 
+    /// Acyclic chain of `edges` single-atom edges.
+    fn chain(edges: usize) -> Pq {
+        let mut pq = Pq::new();
+        let mut prev = pq.add_node("n0", Predicate::always_true());
+        for i in 0..edges {
+            let next = pq.add_node(&format!("n{}", i + 1), Predicate::always_true());
+            pq.add_edge(prev, next, re(1));
+            prev = next;
+        }
+        pq
+    }
+
+    /// Directed ring of `edges` single-atom edges (cyclic for `edges ≥ 1`).
+    fn ring(edges: usize) -> Pq {
+        let mut pq = Pq::new();
+        let nodes: Vec<usize> = (0..edges)
+            .map(|i| pq.add_node(&format!("n{i}"), Predicate::always_true()))
+            .collect();
+        for i in 0..edges {
+            pq.add_edge(nodes[i], nodes[(i + 1) % edges], re(1));
+        }
+        pq
+    }
+
     #[test]
     fn matrix_always_wins() {
         for atoms in 1..4 {
@@ -131,7 +228,9 @@ mod tests {
                 }
             }
         }
-        assert_eq!(plan_pq(true), Plan::PqJoinMatrix);
+        for hop in [false, true] {
+            assert_eq!(plan_pq(&chain(2), true, hop), Plan::PqJoinMatrix);
+        }
     }
 
     #[test]
@@ -142,6 +241,8 @@ mod tests {
             }
         }
         assert_eq!(Plan::RqHop.name(), "hop");
+        assert_eq!(plan_pq(&chain(2), false, true), Plan::PqJoinHop);
+        assert_eq!(plan_pq(&chain(2), false, false), Plan::PqJoinCached);
     }
 
     #[test]
@@ -153,15 +254,53 @@ mod tests {
     fn unshared_multi_atom_takes_bibfs() {
         assert_eq!(plan_rq(&re(2), false, false, false), Plan::RqBiBfs);
         assert_eq!(plan_rq(&re(1), false, false, false), Plan::RqBfsMemo);
-        assert_eq!(plan_pq(false), Plan::PqJoinCached);
+        assert_eq!(plan_pq(&chain(1), false, false), Plan::PqJoinCached);
+    }
+
+    #[test]
+    fn split_takes_large_cyclic_patterns_on_the_matrix_only() {
+        // a big ring is cyclic and past the crossover: split on the
+        // matrix backend, where the two algorithms measured at parity
+        let big_ring = ring(SPLIT_CROSSOVER); // normalized size = 2·edges
+        assert!(big_ring.has_cycle());
+        assert_eq!(plan_pq(&big_ring, true, false), Plan::PqSplitMatrix);
+        // hop and cached backends measured JoinMatch ahead on every
+        // cyclic size — the planner never picks their split variants
+        assert_eq!(plan_pq(&big_ring, false, true), Plan::PqJoinHop);
+        assert_eq!(plan_pq(&big_ring, false, false), Plan::PqJoinCached);
+        // a chain of the same size is acyclic: join keeps it
+        let big_chain = chain(SPLIT_CROSSOVER);
+        assert_eq!(plan_pq(&big_chain, true, false), Plan::PqJoinMatrix);
+        assert_eq!(plan_pq(&big_chain, false, true), Plan::PqJoinHop);
+        // a tiny cycle stays under the crossover: join again
+        let small_ring = ring(2);
+        assert!(small_ring.has_cycle());
+        assert_eq!(plan_pq(&small_ring, true, false), Plan::PqJoinMatrix);
+        // multi-atom regexes count toward normalized size: a ring whose
+        // edges each expand to several atoms crosses over sooner
+        let mut fat_ring = ring(2);
+        let a = fat_ring.add_node("a", Predicate::always_true());
+        fat_ring.add_edge(0, a, re(SPLIT_CROSSOVER));
+        assert_eq!(plan_pq(&fat_ring, true, false), Plan::PqSplitMatrix);
     }
 
     #[test]
     fn standing_answer_beats_everything() {
-        assert_eq!(plan_pq_live(true, true), Plan::PqStanding);
-        assert_eq!(plan_pq_live(true, false), Plan::PqStanding);
-        assert_eq!(plan_pq_live(false, true), Plan::PqJoinMatrix);
-        assert_eq!(plan_pq_live(false, false), Plan::PqJoinCached);
+        let pq = ring(SPLIT_CROSSOVER);
+        for m in [false, true] {
+            for h in [false, true] {
+                assert_eq!(plan_pq_live(&pq, true, m, h), Plan::PqStanding);
+            }
+        }
+        assert_eq!(plan_pq_live(&pq, false, true, false), Plan::PqSplitMatrix);
+        // the satellite fix: a live snapshot with a built index must plan
+        // hop, never silently fall back to the cached plan
+        assert_eq!(plan_pq_live(&chain(2), false, false, true), Plan::PqJoinHop);
+        assert_eq!(plan_pq_live(&pq, false, false, true), Plan::PqJoinHop);
+        assert_eq!(
+            plan_pq_live(&chain(2), false, false, false),
+            Plan::PqJoinCached
+        );
         assert_eq!(Plan::PqStanding.name(), "standing");
     }
 }

@@ -149,12 +149,16 @@ impl Snapshot {
     /// The plan this snapshot would pick for `query`: a PQ equal to a
     /// registered standing query is served from its maintained match sets
     /// ([`Plan::PqStanding`]); everything else gets the batch engine's
-    /// plan.
+    /// plan — including this version's hop-label index once its build has
+    /// landed, so a live snapshot never silently serves the cached
+    /// fallback past that point.
     pub fn plan_query(&self, query: &Query) -> Plan {
         match query {
             Query::Pq(pq) => planner::plan_pq_live(
+                pq,
                 self.standing_match(pq).is_some(),
                 self.engine.matrix_available(),
+                self.engine.hop_usable_for_pq(pq),
             ),
             Query::Rq(_) => self.engine.plan_query(query),
         }

@@ -159,7 +159,11 @@ impl UpdatableEngine {
     pub fn register_pq(&self, pq: Pq) -> StandingId {
         let mut writer = self.writer.lock().expect("writer lock poisoned");
         let state = &mut *writer;
-        let matcher = IncrementalMatcher::new(pq.clone(), &state.dynamic);
+        let matcher = IncrementalMatcher::with_cache_capacity(
+            pq.clone(),
+            &state.dynamic,
+            self.config.reach_cache_capacity,
+        );
         let entry = StandingEntry::new(pq, matcher.match_sets().to_vec());
         state.matchers.push(matcher);
         let id = StandingId(state.matchers.len() - 1);

@@ -388,6 +388,95 @@ impl DistProbe for HopLabels {
             }
         }
     }
+
+    /// Target-side hub aggregation: fold every target's `Lin` into a
+    /// per-hub minimum (`best_in[h] = min_y d(h → y)`, with its
+    /// minimizing target `best_y[h]`) *and* the runner-up over a
+    /// **different** target (`second_in[h]`), then answer each source
+    /// with a single `Lout` scan against those tables — two passes over
+    /// labels, no per-pair hub merges (with sets like the all-of-V match
+    /// sets normalization creates for dummy nodes, anything pairwise
+    /// here is quadratic in `|V|`).
+    ///
+    /// The runner-up column is what keeps the aggregation lossless for a
+    /// source `x` that is itself a target: at any hub whose minimum is
+    /// achieved by `x` (in particular `x`'s own hub, where the empty
+    /// path contributes 0), `second_in` restores the cheapest distance
+    /// to a *different* target, so `best_excl = min_{y ≠ x} dist(x, y)`
+    /// falls out of the same scan. Target membership is tracked with an
+    /// explicit mask (not inferred from a 0-sum, which a partial build
+    /// may never produce), and a source in the target set additionally
+    /// runs [`DistProbe::has_cycle_within`] — a graph edge scan,
+    /// independent of label completeness — for the cycle witness.
+    fn sources_reaching_within(
+        &self,
+        g: &Graph,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        color: Color,
+        max_len: Option<u32>,
+    ) -> Vec<bool> {
+        let layer = self.layer_or_panic(color);
+        let budget = max_len.unwrap_or(u32::MAX);
+        const NO_Y: u32 = u32::MAX;
+        let mut best_in = vec![UNSET; self.landmarks];
+        let mut best_y = vec![NO_Y; self.landmarks];
+        let mut second_in = vec![UNSET; self.landmarks];
+        let mut is_target = vec![false; self.n];
+        for &y in targets {
+            is_target[y.index()] = true;
+            let (ih, id) = layer.in_label(y.index());
+            for (&h, &d) in ih.iter().zip(id) {
+                let h = h as usize;
+                if d < best_in[h] {
+                    if best_y[h] != y.0 {
+                        second_in[h] = best_in[h];
+                    }
+                    best_in[h] = d;
+                    best_y[h] = y.0;
+                } else if best_y[h] != y.0 && d < second_in[h] {
+                    second_in[h] = d;
+                }
+            }
+        }
+        sources
+            .iter()
+            .map(|&x| {
+                let (oh, od) = layer.out_label(x.index());
+                if is_target[x.index()] {
+                    // nonempty-path diagonal: a cycle back to x, or a
+                    // path to a target other than x (best_excl)
+                    if self.has_cycle_within(g, x, color, max_len) {
+                        return true;
+                    }
+                    let mut best_excl = u32::MAX;
+                    for (&h, &d1) in oh.iter().zip(od) {
+                        let h = h as usize;
+                        let d2 = if best_y[h] == x.0 {
+                            second_in[h]
+                        } else {
+                            best_in[h]
+                        };
+                        if d2 != UNSET {
+                            best_excl = best_excl.min(d1 as u32 + d2 as u32);
+                        }
+                    }
+                    // saturate like `dist` does, so saturated distances
+                    // agree with the pairwise probes bit-for-bit
+                    best_excl != u32::MAX && best_excl.min(DIST_CAP as u32) <= budget
+                } else {
+                    let mut best = u32::MAX;
+                    for (&h, &d1) in oh.iter().zip(od) {
+                        let d2 = best_in[h as usize];
+                        if d2 != UNSET {
+                            best = best.min(d1 as u32 + d2 as u32);
+                        }
+                    }
+                    best != u32::MAX && best.min(DIST_CAP as u32) <= budget
+                }
+            })
+            .collect()
+    }
 }
 
 /// Shared per-build scratch: reused across layers so one build allocates
@@ -740,6 +829,69 @@ mod tests {
                 assert_eq!(DistProbe::dist(&h, u, v, c), m.dist(u, v, c));
             }
         }
+    }
+
+    #[test]
+    fn bulk_sources_reaching_matches_pairwise() {
+        // the hub-aggregated bulk path must agree with the default pairwise
+        // probes on every subset shape — disjoint, overlapping, identical,
+        // strided (targets that are themselves high-rank hubs exercise the
+        // runner-up column: a hub inside the target set must not mask the
+        // distances through it) — and saturating bounds
+        for seed in [11u64, 29, 77] {
+            let g = synthetic(60, 240, 2, 3, seed);
+            let m = DistanceMatrix::build(&g);
+            let h = HopLabels::build(&g);
+            let nodes: Vec<NodeId> = g.nodes().collect();
+            let every_2nd: Vec<NodeId> = nodes.iter().copied().step_by(2).collect();
+            let every_3rd: Vec<NodeId> = nodes.iter().copied().step_by(3).collect();
+            let subsets: [(&[NodeId], &[NodeId]); 6] = [
+                (&nodes[0..20], &nodes[30..50]),
+                (&nodes[10..40], &nodes[20..30]), // overlapping: diagonal cases
+                (&nodes[0..60], &nodes[0..60]),   // identical sets
+                (&nodes[5..6], &nodes[5..6]),     // single node vs itself
+                (&every_2nd, &every_3rd),         // strided, partial overlap
+                (&nodes[0..60], &every_3rd),      // all sources, hubby targets
+            ];
+            for c in all_colors(&g) {
+                for (sources, targets) in subsets {
+                    for k in [None, Some(0u32), Some(1), Some(2), Some(7)] {
+                        let got = h.sources_reaching_within(&g, sources, targets, c, k);
+                        let want = m.sources_reaching_within(&g, sources, targets, c, k);
+                        assert_eq!(got, want, "bulk({c:?}, within {k:?}, seed {seed})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_diagonal_cycle_found_under_partial_labeling() {
+        // a self-loop witness is a graph-edge fact, independent of label
+        // completeness: even a partial (non-exact) labeling must report a
+        // source that is its own only target when it carries a self-loop
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<NodeId> = (0..30).map(|i| b.add_node(&format!("n{i}"), [])).collect();
+        let r = b.color("r");
+        for i in 0..29 {
+            b.add_edge(nodes[i], nodes[i + 1], r);
+        }
+        let looper = nodes[29]; // lowest-degree tail: never an early landmark
+        b.add_edge(looper, looper, r);
+        let g = b.build();
+        let cfg = HopConfig {
+            landmarks: 3,
+            ..HopConfig::default()
+        };
+        let h = HopLabels::build_with(&g, &cfg, None).unwrap();
+        assert!(!h.is_exact());
+        let got = h.sources_reaching_within(&g, &[looper], &[looper], r, Some(1));
+        assert_eq!(got, vec![true], "self-loop must be found without labels");
+        let m = DistanceMatrix::build(&g);
+        assert_eq!(
+            got,
+            m.sources_reaching_within(&g, &[looper], &[looper], r, Some(1))
+        );
     }
 
     #[test]

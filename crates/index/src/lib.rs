@@ -13,13 +13,21 @@
 //!
 //! The [`DistProbe`] trait is the seam: both the dense matrix and the hop
 //! labels implement it, so RQ evaluation in `rpq-core`
-//! (`Rq::eval_with_dist`) is backend-generic and the engine's planner is
-//! free to pick
+//! (`Rq::eval_with_dist`) **and PQ evaluation** (the `ReachEngine` layer —
+//! `ProbeReach<P: DistProbe>` backs `JoinMatch`/`SplitMatch`) are
+//! backend-generic and the engine's planner is free to pick
 //!
 //! * the **matrix** under its node limit (fastest probes),
 //! * **hop labels** above it while the label budget holds
-//!   (`Plan::RqHop` in `rpq-engine`), and
-//! * per-query search (biBFS / memoized BFS) as the final fallback.
+//!   (`Plan::RqHop`, `Plan::PqJoinHop`, `Plan::PqSplitHop` in
+//!   `rpq-engine`), and
+//! * per-query search (biBFS / memoized BFS for RQs, the LRU-cached
+//!   product search for PQs) as the final fallback.
+//!
+//! Beyond point probes, [`DistProbe::sources_reaching_within`] is the bulk
+//! primitive PQ refinement runs on: [`HopLabels`] answers a whole
+//! `Join`-step (every source against a target set) with one target-side
+//! hub aggregation plus one `Lout` scan per source.
 //!
 //! ## Example
 //!

@@ -45,6 +45,31 @@ pub trait DistProbe {
     /// RQ evaluation is.
     fn for_each_within(&self, from: NodeId, color: Color, max: u16, f: &mut dyn FnMut(NodeId));
 
+    /// Bounded scan **with the diagonal**: `f(z)` for every `z` with a
+    /// nonempty path `from → z` of length ≤ `max_len` (`None` =
+    /// unbounded) — [`for_each_within`](DistProbe::for_each_within) plus
+    /// `from` itself when a cycle through it fits the bound. This is the
+    /// one-atom step both RQ evaluation and PQ frontier sweeps are built
+    /// from; it lives here so the subtle diagonal rule (the matrix/label
+    /// diagonal stores 0, but the semantics requires |path| ≥ 1) is
+    /// encoded once. Like the underlying scan, `f` may be called more
+    /// than once per node.
+    fn for_each_reaching_within(
+        &self,
+        g: &Graph,
+        from: NodeId,
+        color: Color,
+        max_len: Option<u32>,
+        f: &mut dyn FnMut(NodeId),
+    ) {
+        let cap = u32::from(u16::MAX - 1);
+        let max = max_len.map_or(cap, |k| k.min(cap)) as u16;
+        self.for_each_within(from, color, max, f);
+        if self.has_cycle_within(g, from, color, max_len) {
+            f(from);
+        }
+    }
+
     /// Nonempty-cycle test at `from`: one admitted edge out, then back,
     /// within `max_len` total hops (`None` = unbounded).
     fn has_cycle_within(
@@ -91,6 +116,35 @@ pub trait DistProbe {
             None => true,
             Some(k) => (d as u32) <= k,
         }
+    }
+
+    /// Bulk atom test, the PQ refinement primitive: `out[i]` is true iff
+    /// some `y ∈ targets` satisfies
+    /// [`reaches_within`](DistProbe::reaches_within)`(sources[i], y)`.
+    ///
+    /// The default runs the pairwise probes (right for the O(1) matrix);
+    /// label-based backends override it to aggregate the *target side once*
+    /// — e.g. [`HopLabels`](crate::HopLabels) folds every target's `Lin`
+    /// into one per-hub minimum and then answers each source with a single
+    /// `Lout` scan, so a `Join` step over `|S|` sources and `|T|` targets
+    /// costs `O(Σ|Lin| + Σ|Lout|)` label entries instead of `|S|·|T|` hub
+    /// merges.
+    fn sources_reaching_within(
+        &self,
+        g: &Graph,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        color: Color,
+        max_len: Option<u32>,
+    ) -> Vec<bool> {
+        sources
+            .iter()
+            .map(|&x| {
+                targets
+                    .iter()
+                    .any(|&y| self.reaches_within(g, x, y, color, max_len))
+            })
+            .collect()
     }
 }
 

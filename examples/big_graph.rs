@@ -1,9 +1,12 @@
-//! `big_graph` — serving RQs on a graph far beyond the matrix node limit.
+//! `big_graph` — serving RQs *and PQs* on a graph far beyond the matrix
+//! node limit.
 //!
 //! Demonstrates the hop-label subsystem end to end: generate (or load) a
 //! large 4-color graph, watch the first batch fall back to search while
 //! the label index builds in the background, then watch later batches
-//! switch to `hop` plans and report the speedup.
+//! switch to `hop` / `JoinMatch/hop` plans and report the speedup. One
+//! query in eight is a pattern query, so the tick lines show both query
+//! classes flipping off their fallbacks at once.
 //!
 //! ```text
 //! cargo run --release --example big_graph [nodes] [batch] [ticks]
@@ -45,7 +48,31 @@ fn workload(g: &Graph, batch: usize, tick: usize) -> Vec<Query> {
                     Predicate::always_true(),
                 )
             };
-            Query::Rq(Rq::new(from, to, FRegex::parse(&re, g.alphabet()).unwrap()))
+            if i % 8 == 7 && !attrs.is_empty() {
+                // every 8th query: a 2-node pattern — the PQ side of the
+                // fallback→hop flip. Endpoints are *selective* (equality on
+                // a sampled node's first attribute): while this tick still
+                // serves the cached fallback, refinement cost scales with
+                // the candidate sets, and an unselective pattern on a big
+                // graph would stall the demo before the index ever landed.
+                let sample = |j: usize| {
+                    let v = NodeId(((j * 7919) % g.node_count()) as u32);
+                    let attr = AttrId(0);
+                    match g.attrs(v).get(attr) {
+                        Some(AttrValue::Int(n)) => {
+                            Predicate::parse(&format!("{} = {n}", attrs[0]), g.schema()).unwrap()
+                        }
+                        _ => Predicate::always_true(),
+                    }
+                };
+                let mut pq = Pq::new();
+                let x = pq.add_node("x", sample(k));
+                let y = pq.add_node("y", sample(k + 1));
+                pq.add_edge(x, y, FRegex::parse(&re, g.alphabet()).unwrap());
+                Query::Pq(pq)
+            } else {
+                Query::Rq(Rq::new(from, to, FRegex::parse(&re, g.alphabet()).unwrap()))
+            }
         })
         .collect()
 }
