@@ -28,6 +28,9 @@ fn workload(g: &Arc<rpq_graph::Graph>, batch: usize) -> Vec<Query> {
 
 fn bench_engine(c: &mut Criterion) {
     let g = Arc::new(youtube_like(4000, 42));
+    // machine-readable report context (BENCH_engine.json via BENCH_JSON_DIR)
+    criterion::report_context("graph_nodes", g.node_count());
+    criterion::report_context("graph_edges", g.edge_count());
     let mut group = c.benchmark_group("engine_batch");
     group.sample_size(10);
     for &batch in &[16usize, 64] {

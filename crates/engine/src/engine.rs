@@ -10,7 +10,7 @@ use rpq_core::reach::{CachedReach, ProbeReach};
 use rpq_core::rq::RqResult;
 use rpq_core::split_match::SplitMatch;
 use rpq_graph::{DistanceMatrix, Graph};
-use rpq_index::{HopConfig, HopLabels};
+use rpq_index::{HopConfig, HopLabels, ShardedConfig, ShardedLabels};
 use rpq_regex::FRegex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -48,6 +48,31 @@ pub struct EngineConfig {
     /// treats it as "hop labels disabled" rather than serve inexact
     /// answers — it is a build-cost ceiling, not an approximation dial.
     pub hop_landmarks: usize,
+    /// Normalized pattern size (`|Vp| + |Ep|` post-dummy-rewrite) at and
+    /// above which a cyclic pattern on the matrix backend plans
+    /// `SplitMatch`. Defaults to the measured
+    /// [`SPLIT_CROSSOVER`](crate::planner::SPLIT_CROSSOVER); lifted into
+    /// the config so deployments and benches can tune the crossover
+    /// without patching source (`usize::MAX` disables split entirely).
+    pub split_crossover: usize,
+    /// Number of shards for the partitioned fallback backend; `< 2`
+    /// disables sharding. With `shards ≥ 2`, a graph over the matrix
+    /// limit whose single hop-label build **fails its budget** (or is
+    /// disabled) gets a sharded index instead: k per-shard label builds —
+    /// run in parallel, each under [`shard_memory_budget`](EngineConfig::shard_memory_budget)
+    /// — plus boundary-overlay labels, serving `Plan::RqSharded` /
+    /// `Plan::PqJoinSharded`. The single-index build stays preferred when
+    /// it fits: its probes don't pay the overlay stitch.
+    pub shards: usize,
+    /// Byte budget for **each** per-shard label build of the sharded
+    /// backend; `0` means unlimited (matching `HopConfig::budget_bytes`
+    /// and `ShardedConfig::shard_budget_bytes` — but note
+    /// [`hop_label_budget`](EngineConfig::hop_label_budget) is the odd
+    /// one out: `0` there *disables* hop labels entirely). Memory-capped
+    /// deployments set this explicitly — e.g. `hop_label_budget /
+    /// shards`, the reading "the same memory, but no single build ever
+    /// holds more than one shard's index".
+    pub shard_memory_budget: usize,
 }
 
 impl Default for EngineConfig {
@@ -58,6 +83,9 @@ impl Default for EngineConfig {
             reach_cache_capacity: 1 << 16,
             hop_label_budget: 256 << 20,
             hop_landmarks: 0,
+            split_crossover: planner::SPLIT_CROSSOVER,
+            shards: 1,
+            shard_memory_budget: 0,
         }
     }
 }
@@ -81,6 +109,12 @@ pub struct QueryEngine {
     /// when this engine's graph version is superseded: an in-flight
     /// background label build checks it between landmarks and aborts.
     retired: Arc<AtomicBool>,
+    /// The partitioned fallback index: built (in the background, or via
+    /// [`force_sharded_labels`](QueryEngine::force_sharded_labels)) once
+    /// the single hop-label build has failed its budget and
+    /// `config.shards ≥ 2`. `None` inside = that build failed too.
+    sharded: Arc<OnceLock<Option<Arc<ShardedLabels>>>>,
+    sharded_started: Arc<AtomicBool>,
 }
 
 impl QueryEngine {
@@ -98,6 +132,8 @@ impl QueryEngine {
             hop: Arc::new(OnceLock::new()),
             hop_started: Arc::new(AtomicBool::new(false)),
             retired: Arc::new(AtomicBool::new(false)),
+            sharded: Arc::new(OnceLock::new()),
+            sharded_started: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -264,6 +300,127 @@ impl QueryEngine {
         }
     }
 
+    /// Does policy allow the **sharded** fallback index? Only when a
+    /// single-machine index cannot serve: over the matrix limit, sharding
+    /// configured, and the single hop-label build either disabled by
+    /// policy or already failed its budget. While a single-index build is
+    /// still possible (or in flight), it stays preferred — its probes
+    /// don't pay the overlay stitch.
+    fn sharded_policy_allows(&self) -> bool {
+        self.graph.node_count() > self.config.matrix_node_limit
+            && self.config.shards >= 2
+            && (!self.hop_policy_allows() || matches!(self.hop.get(), Some(None)))
+    }
+
+    fn sharded_config(&self) -> ShardedConfig {
+        ShardedConfig {
+            shards: self.config.shards,
+            shard_budget_bytes: self.config.shard_memory_budget,
+            wildcard_layer: true,
+            build_workers: 0,
+        }
+    }
+
+    /// The sharded index, if its build has completed within the per-shard
+    /// budgets. Never blocks.
+    pub fn sharded_labels(&self) -> Option<Arc<ShardedLabels>> {
+        self.sharded.get().and_then(|o| o.clone())
+    }
+
+    /// True once the sharded index is built and usable for planning.
+    pub fn sharded_ready(&self) -> bool {
+        self.sharded.get().is_some_and(|o| o.is_some())
+    }
+
+    /// Build the sharded index *now*, on the calling thread (benches and
+    /// tests that need deterministic `RqSharded`/`PqJoinSharded` plans;
+    /// production traffic relies on the background build). `None` when
+    /// policy forbids it or a per-shard build exceeded its budget.
+    pub fn force_sharded_labels(&self) -> Option<Arc<ShardedLabels>> {
+        if !self.sharded_policy_allows() {
+            return self.sharded_labels();
+        }
+        loop {
+            if let Some(outcome) = self.sharded.get() {
+                return outcome.clone();
+            }
+            if !self.sharded_started.swap(true, Ordering::AcqRel) {
+                return self
+                    .sharded
+                    .get_or_init(|| {
+                        ShardedLabels::build_with(&self.graph, &self.sharded_config(), None)
+                            .ok()
+                            .map(Arc::new)
+                    })
+                    .clone();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Seed the sharded cell with an index built elsewhere (the
+    /// [`ShardedEngine`](crate::ShardedEngine) constructor, which owns
+    /// the build so it can surface build errors and stats). No-op if a
+    /// build already landed.
+    pub(crate) fn adopt_sharded_labels(&self, labels: Arc<ShardedLabels>) {
+        self.sharded_started.store(true, Ordering::Release);
+        let _ = self.sharded.set(Some(labels));
+    }
+
+    /// Kick off the background sharded build if the single-index path is
+    /// out (disabled or over budget) and nobody has yet.
+    fn ensure_sharded_build(&self) {
+        if !self.sharded_policy_allows()
+            || self.retired.load(Ordering::Relaxed)
+            || self.sharded.get().is_some()
+            || self.sharded_started.swap(true, Ordering::AcqRel)
+        {
+            return;
+        }
+        let graph = Arc::clone(&self.graph);
+        let cell = Arc::clone(&self.sharded);
+        let retired = Arc::clone(&self.retired);
+        let started = Arc::clone(&self.sharded_started);
+        let config = self.sharded_config();
+        std::thread::spawn(move || {
+            match ShardedLabels::build_with(&graph, &config, Some(&retired)) {
+                Ok(labels) => {
+                    let _ = cell.set(Some(Arc::new(labels)));
+                }
+                // over a per-shard budget: pin the failure — retrying the
+                // same partition under the same budget cannot succeed
+                Err(rpq_index::HopBuildError::OverBudget { .. }) => {
+                    let _ = cell.set(None);
+                }
+                // cancelled (version superseded): hand the role back
+                Err(rpq_index::HopBuildError::Cancelled) => {
+                    started.store(false, Ordering::Release);
+                }
+            }
+        });
+    }
+
+    /// Is the sharded index usable for this regex — built, and covering
+    /// every color it probes?
+    fn sharded_usable_for(&self, regex: &FRegex) -> bool {
+        match self.sharded.get() {
+            Some(Some(labels)) => regex.atoms().iter().all(|a| labels.has_layer(a.color)),
+            _ => false,
+        }
+    }
+
+    /// Is the sharded index usable for this whole pattern?
+    pub(crate) fn sharded_usable_for_pq(&self, pq: &Pq) -> bool {
+        match self.sharded.get() {
+            Some(Some(labels)) => pq
+                .edges()
+                .iter()
+                .flat_map(|e| e.regex.atoms())
+                .all(|a| labels.has_layer(a.color)),
+            _ => false,
+        }
+    }
+
     /// The plan the engine would pick for `query` outside any batch.
     pub fn plan_query(&self, query: &Query) -> Plan {
         match query {
@@ -271,11 +428,16 @@ impl QueryEngine {
                 &rq.regex,
                 self.matrix_available(),
                 self.hop_usable_for(&rq.regex),
+                self.sharded_usable_for(&rq.regex),
                 false,
             ),
-            Query::Pq(pq) => {
-                planner::plan_pq(pq, self.matrix_available(), self.hop_usable_for_pq(pq))
-            }
+            Query::Pq(pq) => planner::plan_pq(
+                pq,
+                self.matrix_available(),
+                self.hop_usable_for_pq(pq),
+                self.sharded_usable_for_pq(pq),
+                self.config.split_crossover,
+            ),
         }
     }
 
@@ -290,6 +452,9 @@ impl QueryEngine {
     pub fn run_query_with_memo(&self, query: &Query, memo: &ReachMemo) -> QueryOutput {
         if !self.matrix_available() {
             self.ensure_hop_build();
+            // no-op unless the single-index path is disabled or has
+            // already failed its budget — the sharded fallback regime
+            self.ensure_sharded_build();
         }
         let plan = self.plan_query(query);
         if plan_needs_matrix(plan) {
@@ -331,8 +496,11 @@ impl QueryEngine {
         if !matrix_available {
             // over the matrix limit: start the background label build off
             // this batch; *this* batch still plans against whatever is
-            // ready right now (fallback-while-stale)
+            // ready right now (fallback-while-stale). The sharded build
+            // only kicks once the single-index path is disabled or has
+            // failed its budget.
             self.ensure_hop_build();
+            self.ensure_sharded_build();
         }
         let plans: Vec<Plan> = queries
             .iter()
@@ -343,10 +511,17 @@ impl QueryEngine {
                         &rq.regex,
                         matrix_available,
                         self.hop_usable_for(&rq.regex),
+                        self.sharded_usable_for(&rq.regex),
                         shared,
                     )
                 }
-                Query::Pq(pq) => planner::plan_pq(pq, matrix_available, self.hop_usable_for_pq(pq)),
+                Query::Pq(pq) => planner::plan_pq(
+                    pq,
+                    matrix_available,
+                    self.hop_usable_for_pq(pq),
+                    self.sharded_usable_for_pq(pq),
+                    self.config.split_crossover,
+                ),
             })
             .collect();
 
@@ -434,6 +609,12 @@ impl QueryEngine {
                 let labels = self.hop_labels().expect("hop plan requires built labels");
                 QueryOutput::Rq(rq.eval_with_dist(g, labels.as_ref()))
             }
+            (Query::Rq(rq), Plan::RqSharded) => {
+                let labels = self
+                    .sharded_labels()
+                    .expect("sharded plan requires built labels");
+                QueryOutput::Rq(rq.eval_with_dist(g, labels.as_ref()))
+            }
             (Query::Rq(rq), Plan::RqBiBfs) => QueryOutput::Rq(rq.eval_bibfs(g)),
             (Query::Rq(rq), Plan::RqBfsMemo) => {
                 let pairs = memo.reach_pairs(g, &rq.from, &rq.regex);
@@ -461,6 +642,20 @@ impl QueryEngine {
             }
             (Query::Pq(pq), Plan::PqSplitHop) => {
                 let labels = self.hop_labels().expect("hop plan requires built labels");
+                let mut reach = ProbeReach::with_workers(labels.as_ref(), pq_workers);
+                QueryOutput::Pq(Arc::new(SplitMatch::eval(pq, g, &mut reach)))
+            }
+            (Query::Pq(pq), Plan::PqJoinSharded) => {
+                let labels = self
+                    .sharded_labels()
+                    .expect("sharded plan requires built labels");
+                let mut reach = ProbeReach::with_workers(labels.as_ref(), pq_workers);
+                QueryOutput::Pq(Arc::new(JoinMatch::eval(pq, g, &mut reach)))
+            }
+            (Query::Pq(pq), Plan::PqSplitSharded) => {
+                let labels = self
+                    .sharded_labels()
+                    .expect("sharded plan requires built labels");
                 let mut reach = ProbeReach::with_workers(labels.as_ref(), pq_workers);
                 QueryOutput::Pq(Arc::new(SplitMatch::eval(pq, g, &mut reach)))
             }
@@ -819,6 +1014,89 @@ mod tests {
         assert_eq!(
             engine.run_query(&Query::Rq(q.clone())).as_rq().unwrap(),
             &q.eval_bfs(&g)
+        );
+    }
+
+    #[test]
+    fn busted_hop_budget_flips_to_sharded_plans() {
+        let g = Arc::new(rpq_graph::gen::clustered(400, 1600, 4, 2, 3, 60, 7));
+        let engine = QueryEngine::with_config(
+            Arc::clone(&g),
+            EngineConfig {
+                matrix_node_limit: 0, // over-limit regime
+                hop_label_budget: 1,  // the single-index build cannot fit
+                shards: 4,
+                shard_memory_budget: 0, // unlimited per-shard builds
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        );
+        // while the hop build hasn't failed yet, sharding stays out of
+        // policy — the single index is still preferred
+        assert!(engine.force_sharded_labels().is_none());
+        assert!(engine.force_hop_labels().is_none(), "hop build over budget");
+        // now the flip: policy admits the sharded fallback
+        let labels = engine.force_sharded_labels().expect("sharded build fits");
+        assert_eq!(labels.sharded_graph().k(), 4);
+        assert!(engine.sharded_ready());
+
+        let q = rq(&g, "a0 <= 4", "a1 >= 6", "c0^2 c1");
+        assert_eq!(engine.plan_query(&Query::Rq(q.clone())), Plan::RqSharded);
+        let mut pq = Pq::new();
+        let a = pq.add_node("a", Predicate::parse("a0 <= 3", g.schema()).unwrap());
+        let b = pq.add_node("b", Predicate::parse("a1 >= 5", g.schema()).unwrap());
+        pq.add_edge(a, b, FRegex::parse("c0 c1", g.alphabet()).unwrap());
+        assert_eq!(
+            engine.plan_query(&Query::Pq(pq.clone())),
+            Plan::PqJoinSharded
+        );
+
+        let batch = engine.run_batch(&[Query::Rq(q.clone()), Query::Pq(pq.clone())]);
+        assert_eq!(batch.items()[0].plan, Plan::RqSharded);
+        assert_eq!(batch.items()[1].plan, Plan::PqJoinSharded);
+        assert_eq!(batch.items()[0].output.as_rq().unwrap(), &q.eval_bfs(&g));
+        assert_eq!(batch.items()[1].output.as_pq().unwrap(), &pq.eval_naive(&g));
+    }
+
+    #[test]
+    fn split_crossover_config_changes_plans() {
+        let g = Arc::new(essembly());
+        let mut ring_pq = Pq::new();
+        let ring: Vec<usize> = (0..4)
+            .map(|i| ring_pq.add_node(&format!("n{i}"), Predicate::always_true()))
+            .collect();
+        for i in 0..4 {
+            ring_pq.add_edge(
+                ring[i],
+                ring[(i + 1) % 4],
+                FRegex::parse("fa", g.alphabet()).unwrap(),
+            );
+        }
+        // normalized size 8: join under the default crossover of 16
+        let default_engine = QueryEngine::new(Arc::clone(&g));
+        assert_eq!(
+            default_engine.plan_query(&Query::Pq(ring_pq.clone())),
+            Plan::PqJoinMatrix
+        );
+        // a deployment lowering the crossover flips the same pattern
+        let tuned = QueryEngine::with_config(
+            Arc::clone(&g),
+            EngineConfig {
+                split_crossover: 8,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(
+            tuned.plan_query(&Query::Pq(ring_pq.clone())),
+            Plan::PqSplitMatrix
+        );
+        // and both answer identically
+        assert_eq!(
+            tuned
+                .run_query(&Query::Pq(ring_pq.clone()))
+                .as_pq()
+                .unwrap(),
+            &ring_pq.eval_naive(&g)
         );
     }
 

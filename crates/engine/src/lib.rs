@@ -8,9 +8,10 @@
 //!   (the per-color [`DistanceMatrix`](rpq_graph::DistanceMatrix) when the
 //!   graph is small enough to afford its O(|Σ|·|V|²) footprint);
 //! * a [`planner`] picks the evaluation strategy per query — **DM** matrix
-//!   probes, **hop** labels, **biBFS** meet-in-the-middle, or memoized
-//!   **BFS** for RQs; `JoinMatch`/`SplitMatch` over the matrix, hop-label
-//!   or cached backend for PQs (backend by index availability, algorithm
+//!   probes, **hop** labels, **sharded** labels, **biBFS**
+//!   meet-in-the-middle, or memoized **BFS** for RQs;
+//!   `JoinMatch`/`SplitMatch` over the matrix, hop-label, sharded or
+//!   cached backend for PQs (backend by index availability, algorithm
 //!   by pattern shape) — replacing the hard-picked strategy calls in
 //!   `rpq_core::rq`;
 //! * a concurrent [`memo`] table keyed on `(source predicate, regex)`
@@ -18,6 +19,12 @@
 //!   queries in a batch is computed exactly once;
 //! * [`BatchResult`] carries per-query outputs, chosen plans and timings
 //!   for the bench harness;
+//! * [`ShardedEngine`] serves graphs past any single-index budget: the
+//!   storage→index→engine stack re-founded on a shard topology (per-shard
+//!   label builds on a per-shard worker set, boundary-overlay stitching),
+//!   scatter-gathering batches with answers bit-identical to every other
+//!   backend; the [`QueryEngine`] reaches the same index as a background
+//!   fallback when its single hop-label build busts the budget;
 //! * [`UpdatableEngine`] serves a *mutating* graph (§7): writers apply
 //!   [`Update`](rpq_core::incremental::Update) batches and publish
 //!   immutable versioned [`Snapshot`]s via an `Arc` swap, readers query a
@@ -55,6 +62,7 @@ mod batch;
 mod engine;
 pub mod memo;
 pub mod planner;
+mod sharded;
 mod snapshot;
 mod updatable;
 
@@ -62,5 +70,6 @@ pub use batch::{BatchItem, BatchResult, Query, QueryOutput};
 pub use engine::{EngineConfig, QueryEngine};
 pub use memo::ReachMemo;
 pub use planner::Plan;
+pub use sharded::ShardedEngine;
 pub use snapshot::Snapshot;
 pub use updatable::{ApplyReport, StandingId, UpdatableEngine};

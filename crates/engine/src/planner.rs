@@ -18,9 +18,10 @@
 //!   (biBFS meets after half the atoms); single-atom expressions gain
 //!   nothing from bidirectionality, so they run the plain product BFS;
 //! * **pattern shape** (PQs) — both §5 algorithms run over whichever
-//!   reachability backend is available (matrix → hop labels → cached
-//!   search, in that order of preference); between them, large cyclic
-//!   patterns take `SplitMatch` and everything else `JoinMatch`, per the
+//!   reachability backend is available (matrix → hop labels → sharded
+//!   labels → cached search, in that order of preference); between them,
+//!   large cyclic patterns take `SplitMatch` and everything else
+//!   `JoinMatch`, per the configurable crossover defaulting to the
 //!   measured [`SPLIT_CROSSOVER`].
 
 use rpq_core::pq::Pq;
@@ -56,6 +57,18 @@ pub enum Plan {
     PqSplitHop,
     /// PQ via `SplitMatch` over the LRU-cached backend.
     PqSplitCached,
+    /// RQ via sharded label probes (`Rq::eval_with_dist` over
+    /// `rpq_index::ShardedLabels`) — the DM algorithm over a partitioned
+    /// graph, picked when no single-machine index fits.
+    RqSharded,
+    /// PQ via `JoinMatch` over the sharded backend (per-shard labels
+    /// stitched through the boundary overlay).
+    PqJoinSharded,
+    /// PQ via `SplitMatch` over the sharded backend. Servable (the parity
+    /// suite evaluates it) but never the planner's pick — like the other
+    /// label backends, bulk scans are cheap enough that `JoinMatch` stays
+    /// ahead on every shape.
+    PqSplitSharded,
     /// PQ answered from a registered standing query's incrementally
     /// maintained match sets — no evaluation at all (§7, live serving).
     PqStanding,
@@ -75,6 +88,9 @@ impl Plan {
             Plan::PqSplitMatrix => "SplitMatch/DM",
             Plan::PqSplitHop => "SplitMatch/hop",
             Plan::PqSplitCached => "SplitMatch/cache",
+            Plan::RqSharded => "sharded",
+            Plan::PqJoinSharded => "JoinMatch/sharded",
+            Plan::PqSplitSharded => "SplitMatch/sharded",
             Plan::PqStanding => "standing",
         }
     }
@@ -86,12 +102,17 @@ impl Plan {
 /// graph; `hop_usable` — the hop-label index is *built* and has a layer for
 /// every color this regex probes (a background build still in flight, or a
 /// wildcard layer dropped on budget, reads as `false` — the query falls
-/// back to search rather than wait); `shared_in_batch` — at least one other
+/// back to search rather than wait); `sharded_usable` — the partitioned
+/// index is built and covers every probed color (the regime where even one
+/// whole-graph label build busts the budget; label probes there stitch
+/// through the boundary overlay, costlier than one-index probes but still
+/// far ahead of per-query search); `shared_in_batch` — at least one other
 /// query in the batch has the same `(source predicate, regex)` key.
 pub fn plan_rq(
     regex: &FRegex,
     matrix_available: bool,
     hop_usable: bool,
+    sharded_usable: bool,
     shared_in_batch: bool,
 ) -> Plan {
     if matrix_available {
@@ -99,6 +120,9 @@ pub fn plan_rq(
     } else if hop_usable {
         // near-constant atom probes beat both the shared memo and search
         Plan::RqHop
+    } else if sharded_usable {
+        // stitched label probes still beat every per-query search
+        Plan::RqSharded
     } else if shared_in_batch {
         // the memo computes this reach set once for the whole batch
         Plan::RqBfsMemo
@@ -109,10 +133,11 @@ pub fn plan_rq(
     }
 }
 
-/// Normalized pattern size (`|Vp| + |Ep|` after the dummy-node rewrite —
-/// what the refinement loop actually iterates over) at and above which a
-/// **cyclic** pattern on the **matrix** backend plans `SplitMatch`
-/// instead of `JoinMatch`.
+/// Default of [`EngineConfig::split_crossover`](crate::EngineConfig::split_crossover):
+/// the normalized pattern size (`|Vp| + |Ep|` after the dummy-node
+/// rewrite — what the refinement loop actually iterates over) at and
+/// above which a **cyclic** pattern on the **matrix** backend plans
+/// `SplitMatch` instead of `JoinMatch`.
 ///
 /// Measured, not guessed — `cargo bench --bench pq` sweeps pattern size ×
 /// shape on both index backends and prints the per-shape join/split
@@ -147,22 +172,32 @@ fn pattern_shape(pq: &Pq) -> (usize, bool) {
 ///
 /// Backend: the matrix wins when available (O(1) probes); otherwise hop
 /// labels when built and covering every color the pattern probes
-/// (`hop_usable`); otherwise the LRU-cached product search. Shape: on the
-/// matrix backend, cyclic patterns of normalized size ≥
-/// [`SPLIT_CROSSOVER`] take `SplitMatch` (§5.2); every other combination
-/// measured `JoinMatch` ahead — see the crossover constant for the
-/// numbers. The split variants of the other backends
-/// ([`Plan::PqSplitHop`], [`Plan::PqSplitCached`]) stay servable (the
+/// (`hop_usable`); otherwise the sharded backend under the same coverage
+/// rule (`sharded_usable`); otherwise the LRU-cached product search.
+/// Shape: on the matrix backend, cyclic patterns of normalized size ≥
+/// `split_crossover` take `SplitMatch` (§5.2) — the threshold is an
+/// [`EngineConfig`](crate::EngineConfig) knob defaulting to the measured
+/// [`SPLIT_CROSSOVER`]; every other combination measured `JoinMatch`
+/// ahead — see the crossover constant for the numbers. The split
+/// variants of the other backends ([`Plan::PqSplitHop`],
+/// [`Plan::PqSplitCached`], [`Plan::PqSplitSharded`]) stay servable (the
 /// parity suite and benches evaluate them directly) but are never the
 /// planner's pick.
-pub fn plan_pq(pq: &Pq, matrix_available: bool, hop_usable: bool) -> Plan {
+pub fn plan_pq(
+    pq: &Pq,
+    matrix_available: bool,
+    hop_usable: bool,
+    sharded_usable: bool,
+    split_crossover: usize,
+) -> Plan {
     let (size, cyclic) = pattern_shape(pq);
-    let split = cyclic && size >= SPLIT_CROSSOVER;
-    match (matrix_available, hop_usable) {
-        (true, _) if split => Plan::PqSplitMatrix,
-        (true, _) => Plan::PqJoinMatrix,
-        (false, true) => Plan::PqJoinHop,
-        (false, false) => Plan::PqJoinCached,
+    let split = cyclic && size >= split_crossover;
+    match (matrix_available, hop_usable, sharded_usable) {
+        (true, _, _) if split => Plan::PqSplitMatrix,
+        (true, _, _) => Plan::PqJoinMatrix,
+        (false, true, _) => Plan::PqJoinHop,
+        (false, false, true) => Plan::PqJoinSharded,
+        (false, false, false) => Plan::PqJoinCached,
     }
 }
 
@@ -172,11 +207,24 @@ pub fn plan_pq(pq: &Pq, matrix_available: bool, hop_usable: bool) -> Plan {
 /// to [`plan_pq`] with the snapshot's index state (in particular, a live
 /// snapshot whose hop-label build has landed serves `PqJoinHop`/`PqSplitHop`,
 /// never the cached fallback).
-pub fn plan_pq_live(pq: &Pq, is_standing: bool, matrix_available: bool, hop_usable: bool) -> Plan {
+pub fn plan_pq_live(
+    pq: &Pq,
+    is_standing: bool,
+    matrix_available: bool,
+    hop_usable: bool,
+    sharded_usable: bool,
+    split_crossover: usize,
+) -> Plan {
     if is_standing {
         Plan::PqStanding
     } else {
-        plan_pq(pq, matrix_available, hop_usable)
+        plan_pq(
+            pq,
+            matrix_available,
+            hop_usable,
+            sharded_usable,
+            split_crossover,
+        )
     }
 }
 
@@ -224,12 +272,15 @@ mod tests {
         for atoms in 1..4 {
             for hop in [false, true] {
                 for shared in [false, true] {
-                    assert_eq!(plan_rq(&re(atoms), true, hop, shared), Plan::RqDm);
+                    assert_eq!(plan_rq(&re(atoms), true, hop, false, shared), Plan::RqDm);
                 }
             }
         }
         for hop in [false, true] {
-            assert_eq!(plan_pq(&chain(2), true, hop), Plan::PqJoinMatrix);
+            assert_eq!(
+                plan_pq(&chain(2), true, hop, false, SPLIT_CROSSOVER),
+                Plan::PqJoinMatrix
+            );
         }
     }
 
@@ -237,24 +288,86 @@ mod tests {
     fn hop_labels_beat_every_search() {
         for atoms in 1..4 {
             for shared in [false, true] {
-                assert_eq!(plan_rq(&re(atoms), false, true, shared), Plan::RqHop);
+                assert_eq!(plan_rq(&re(atoms), false, true, false, shared), Plan::RqHop);
             }
         }
         assert_eq!(Plan::RqHop.name(), "hop");
-        assert_eq!(plan_pq(&chain(2), false, true), Plan::PqJoinHop);
-        assert_eq!(plan_pq(&chain(2), false, false), Plan::PqJoinCached);
+        assert_eq!(
+            plan_pq(&chain(2), false, true, false, SPLIT_CROSSOVER),
+            Plan::PqJoinHop
+        );
+        assert_eq!(
+            plan_pq(&chain(2), false, false, false, SPLIT_CROSSOVER),
+            Plan::PqJoinCached
+        );
+    }
+
+    #[test]
+    fn sharded_backend_slots_between_hop_and_search() {
+        // sharded probes beat every search but lose to a single index
+        for atoms in 1..4 {
+            for shared in [false, true] {
+                assert_eq!(
+                    plan_rq(&re(atoms), false, false, true, shared),
+                    Plan::RqSharded
+                );
+                assert_eq!(plan_rq(&re(atoms), false, true, true, shared), Plan::RqHop);
+            }
+            assert_eq!(plan_rq(&re(atoms), true, false, true, false), Plan::RqDm);
+        }
+        assert_eq!(Plan::RqSharded.name(), "sharded");
+        assert_eq!(
+            plan_pq(&chain(2), false, false, true, SPLIT_CROSSOVER),
+            Plan::PqJoinSharded
+        );
+        assert_eq!(
+            plan_pq(&chain(2), false, true, true, SPLIT_CROSSOVER),
+            Plan::PqJoinHop
+        );
+        // like hop/cached, the sharded split variant is never the pick
+        let big_ring = ring(SPLIT_CROSSOVER);
+        assert_eq!(
+            plan_pq(&big_ring, false, false, true, SPLIT_CROSSOVER),
+            Plan::PqJoinSharded
+        );
+        assert_eq!(Plan::PqJoinSharded.name(), "JoinMatch/sharded");
+        assert_eq!(Plan::PqSplitSharded.name(), "SplitMatch/sharded");
+    }
+
+    #[test]
+    fn split_crossover_is_tunable() {
+        // the satellite lift: the crossover is a config value, not a
+        // baked-in constant — a deployment can move it and plans follow
+        let small_ring = ring(3); // normalized size 6
+        assert!(small_ring.has_cycle());
+        assert_eq!(
+            plan_pq(&small_ring, true, false, false, SPLIT_CROSSOVER),
+            Plan::PqJoinMatrix
+        );
+        assert_eq!(
+            plan_pq(&small_ring, true, false, false, 6),
+            Plan::PqSplitMatrix
+        );
+        assert_eq!(
+            plan_pq(&small_ring, true, false, false, usize::MAX),
+            Plan::PqJoinMatrix,
+            "usize::MAX disables split entirely"
+        );
     }
 
     #[test]
     fn sharing_prefers_memoized_bfs() {
-        assert_eq!(plan_rq(&re(3), false, false, true), Plan::RqBfsMemo);
+        assert_eq!(plan_rq(&re(3), false, false, false, true), Plan::RqBfsMemo);
     }
 
     #[test]
     fn unshared_multi_atom_takes_bibfs() {
-        assert_eq!(plan_rq(&re(2), false, false, false), Plan::RqBiBfs);
-        assert_eq!(plan_rq(&re(1), false, false, false), Plan::RqBfsMemo);
-        assert_eq!(plan_pq(&chain(1), false, false), Plan::PqJoinCached);
+        assert_eq!(plan_rq(&re(2), false, false, false, false), Plan::RqBiBfs);
+        assert_eq!(plan_rq(&re(1), false, false, false, false), Plan::RqBfsMemo);
+        assert_eq!(
+            plan_pq(&chain(1), false, false, false, SPLIT_CROSSOVER),
+            Plan::PqJoinCached
+        );
     }
 
     #[test]
@@ -263,43 +376,49 @@ mod tests {
         // matrix backend, where the two algorithms measured at parity
         let big_ring = ring(SPLIT_CROSSOVER); // normalized size = 2·edges
         assert!(big_ring.has_cycle());
-        assert_eq!(plan_pq(&big_ring, true, false), Plan::PqSplitMatrix);
+        let pp = |pq: &Pq, m: bool, h: bool| plan_pq(pq, m, h, false, SPLIT_CROSSOVER);
+        assert_eq!(pp(&big_ring, true, false), Plan::PqSplitMatrix);
         // hop and cached backends measured JoinMatch ahead on every
         // cyclic size — the planner never picks their split variants
-        assert_eq!(plan_pq(&big_ring, false, true), Plan::PqJoinHop);
-        assert_eq!(plan_pq(&big_ring, false, false), Plan::PqJoinCached);
+        assert_eq!(pp(&big_ring, false, true), Plan::PqJoinHop);
+        assert_eq!(pp(&big_ring, false, false), Plan::PqJoinCached);
         // a chain of the same size is acyclic: join keeps it
         let big_chain = chain(SPLIT_CROSSOVER);
-        assert_eq!(plan_pq(&big_chain, true, false), Plan::PqJoinMatrix);
-        assert_eq!(plan_pq(&big_chain, false, true), Plan::PqJoinHop);
+        assert_eq!(pp(&big_chain, true, false), Plan::PqJoinMatrix);
+        assert_eq!(pp(&big_chain, false, true), Plan::PqJoinHop);
         // a tiny cycle stays under the crossover: join again
         let small_ring = ring(2);
         assert!(small_ring.has_cycle());
-        assert_eq!(plan_pq(&small_ring, true, false), Plan::PqJoinMatrix);
+        assert_eq!(pp(&small_ring, true, false), Plan::PqJoinMatrix);
         // multi-atom regexes count toward normalized size: a ring whose
         // edges each expand to several atoms crosses over sooner
         let mut fat_ring = ring(2);
         let a = fat_ring.add_node("a", Predicate::always_true());
         fat_ring.add_edge(0, a, re(SPLIT_CROSSOVER));
-        assert_eq!(plan_pq(&fat_ring, true, false), Plan::PqSplitMatrix);
+        assert_eq!(pp(&fat_ring, true, false), Plan::PqSplitMatrix);
     }
 
     #[test]
     fn standing_answer_beats_everything() {
         let pq = ring(SPLIT_CROSSOVER);
+        let pl = |pq: &Pq, st: bool, m: bool, h: bool| {
+            plan_pq_live(pq, st, m, h, false, SPLIT_CROSSOVER)
+        };
         for m in [false, true] {
             for h in [false, true] {
-                assert_eq!(plan_pq_live(&pq, true, m, h), Plan::PqStanding);
+                assert_eq!(pl(&pq, true, m, h), Plan::PqStanding);
             }
         }
-        assert_eq!(plan_pq_live(&pq, false, true, false), Plan::PqSplitMatrix);
+        assert_eq!(pl(&pq, false, true, false), Plan::PqSplitMatrix);
         // the satellite fix: a live snapshot with a built index must plan
         // hop, never silently fall back to the cached plan
-        assert_eq!(plan_pq_live(&chain(2), false, false, true), Plan::PqJoinHop);
-        assert_eq!(plan_pq_live(&pq, false, false, true), Plan::PqJoinHop);
+        assert_eq!(pl(&chain(2), false, false, true), Plan::PqJoinHop);
+        assert_eq!(pl(&pq, false, false, true), Plan::PqJoinHop);
+        assert_eq!(pl(&chain(2), false, false, false), Plan::PqJoinCached);
         assert_eq!(
-            plan_pq_live(&chain(2), false, false, false),
-            Plan::PqJoinCached
+            plan_pq_live(&chain(2), false, false, false, true, SPLIT_CROSSOVER),
+            Plan::PqJoinSharded,
+            "a live snapshot with a sharded index never serves the cached fallback"
         );
         assert_eq!(Plan::PqStanding.name(), "standing");
     }

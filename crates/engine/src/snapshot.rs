@@ -159,6 +159,8 @@ impl Snapshot {
                 self.standing_match(pq).is_some(),
                 self.engine.matrix_available(),
                 self.engine.hop_usable_for_pq(pq),
+                self.engine.sharded_usable_for_pq(pq),
+                self.engine.config().split_crossover,
             ),
             Query::Rq(_) => self.engine.plan_query(query),
         }

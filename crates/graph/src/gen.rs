@@ -121,6 +121,85 @@ pub fn synthetic(n: usize, e: usize, n_attrs: usize, n_colors: usize, seed: u64)
     b.build()
 }
 
+/// Synthetic graph with **community structure**: `n` nodes in `clusters`
+/// equal contiguous blocks, about `e` edges of which roughly
+/// `inter_permille`/1000 cross clusters and the rest stay inside one —
+/// the regime real graphs are sharded in (social networks, web graphs and
+/// road networks all partition with small edge cuts). Schema mirrors
+/// [`synthetic`]: `n_attrs` integer attributes `a0..` uniform in `0..10`,
+/// `n_colors` colors `c0..`.
+///
+/// This is the workload generator for the partitioned backend: an
+/// edge-cut partitioner should recover the blocks and leave an edge-cut
+/// ratio close to `inter_permille`/1000. Deterministic in `seed`.
+pub fn clustered(
+    n: usize,
+    e: usize,
+    clusters: usize,
+    n_attrs: usize,
+    n_colors: usize,
+    inter_permille: u32,
+    seed: u64,
+) -> Graph {
+    assert!(n > 1, "need at least two nodes");
+    assert!(n_colors >= 1, "need at least one color");
+    assert!((1..=n).contains(&clusters), "need 1..=n clusters");
+    assert!(inter_permille <= 1000);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let attr_domain = 10i64;
+
+    let attr_ids: Vec<_> = (0..n_attrs).map(|i| b.attr(&format!("a{i}"))).collect();
+    let colors: Vec<_> = (0..n_colors).map(|i| b.color(&format!("c{i}"))).collect();
+    for i in 0..n {
+        let pairs: Vec<_> = attr_ids
+            .iter()
+            .map(|&id| (id, AttrValue::Int(rng.gen_range(0..attr_domain))))
+            .collect();
+        b.add_node(&format!("v{i}"), pairs);
+    }
+    // contiguous blocks of (almost) equal size
+    let block = n.div_ceil(clusters);
+    let bounds = |c: usize| (c * block, ((c + 1) * block).min(n));
+    let mut seen = std::collections::HashSet::with_capacity(e * 2);
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < e && attempts < e * 30 {
+        attempts += 1;
+        let (u, v) = if rng.gen_range(0..1000u32) < inter_permille {
+            // cross-cluster edge: endpoints from two distinct clusters
+            let cu = rng.gen_range(0..clusters);
+            let cv = (cu + rng.gen_range(1..clusters.max(2))) % clusters;
+            let (ul, uh) = bounds(cu);
+            let (vl, vh) = bounds(cv);
+            if cu == cv || ul >= uh || vl >= vh {
+                continue;
+            }
+            (rng.gen_range(ul..uh), rng.gen_range(vl..vh))
+        } else {
+            let c = rng.gen_range(0..clusters);
+            let (lo, hi) = bounds(c);
+            if hi - lo < 2 {
+                continue;
+            }
+            (rng.gen_range(lo..hi), rng.gen_range(lo..hi))
+        };
+        if u == v {
+            continue;
+        }
+        let c = colors[rng.gen_range(0..n_colors)];
+        let (un, vn) = (
+            crate::graph::NodeId(u as u32),
+            crate::graph::NodeId(v as u32),
+        );
+        if seen.insert((un, vn, c)) {
+            b.add_edge(un, vn, c);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
 const YT_CATEGORIES: [&str; 12] = [
     "Music",
     "Film & Animation",
@@ -368,6 +447,33 @@ mod tests {
         let g3 = synthetic(100, 300, 3, 4, 43);
         let e3: Vec<_> = g3.edges().collect();
         assert_ne!(e1, e3);
+    }
+
+    #[test]
+    fn clustered_shape_and_determinism() {
+        let g1 = clustered(200, 800, 4, 2, 3, 50, 9);
+        let g2 = clustered(200, 800, 4, 2, 3, 50, 9);
+        assert_eq!(g1.node_count(), 200);
+        assert!(
+            g1.edge_count() >= 700,
+            "density too low: {}",
+            g1.edge_count()
+        );
+        assert_eq!(g1.alphabet().len(), 3);
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2, "deterministic in seed");
+        // most edges stay within a 50-node block
+        let block = 50usize;
+        let inter = g1
+            .edges()
+            .filter(|&(u, v, _)| u.index() / block != v.index() / block)
+            .count();
+        assert!(
+            (inter as f64) < 0.15 * g1.edge_count() as f64,
+            "expected ~5% cross-cluster edges, got {inter}/{}",
+            g1.edge_count()
+        );
     }
 
     #[test]

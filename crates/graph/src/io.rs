@@ -243,9 +243,15 @@ pub const DEFAULT_EDGE_COLOR: &str = "e";
 /// datasets ship): one `FROM TO [COLOR]` line per edge, whitespace
 /// separated. Nodes are created on first appearance, keeping the token as
 /// their label (attribute tuples are empty); a missing third token uses
-/// color [`DEFAULT_EDGE_COLOR`]. Lines starting with `#` or `%` and blank
-/// lines are ignored. Self-loops are kept; exact duplicate edges are
-/// deduplicated by the builder.
+/// color [`DEFAULT_EDGE_COLOR`]. Self-loops are kept; exact duplicate
+/// edges are deduplicated by the builder.
+///
+/// Files found in the wild are tolerated as-is: lines starting with `#`
+/// or `%` and blank lines are ignored, CRLF (and stray `\r`) line endings
+/// are accepted, and a UTF-8 byte-order mark on the first line is
+/// stripped. Anything else malformed — a one-token line, trailing tokens,
+/// a color-alphabet overflow — is reported as a parse error carrying the
+/// **1-based line number**, never a panic or a generic failure.
 ///
 /// Note the format carries no isolated nodes and no attributes — use the
 /// richer [`read_graph`] format when either matters.
@@ -256,6 +262,14 @@ pub fn read_edge_list(r: &mut impl BufRead) -> Result<Graph, GraphIoError> {
     for (lineno, line) in r.lines().enumerate() {
         let line_no = lineno + 1;
         let line = line?;
+        // `BufRead::lines` strips `\n` and `\r\n`; a lone trailing `\r`
+        // (mixed line endings) and the BOM a Windows editor may prepend
+        // still reach us
+        let line = if line_no == 1 {
+            line.trim_start_matches('\u{feff}')
+        } else {
+            line.as_str()
+        };
         let stmt = line.trim();
         if stmt.is_empty() || stmt.starts_with('#') || stmt.starts_with('%') {
             continue;
@@ -444,6 +458,42 @@ mod tests {
         let e = g.alphabet().get(DEFAULT_EDGE_COLOR).unwrap();
         assert!(g.has_edge(n2, n0, e));
         assert!(g.has_edge(n2, n2, a));
+    }
+
+    #[test]
+    fn edge_list_tolerates_comments_blanks_crlf_and_bom() {
+        // CRLF endings, a BOM, '#' and '%' comments, blank and
+        // whitespace-only lines, and a lone '\r' on a mixed-endings line
+        let text = "\u{feff}# exported from a Windows tool\r\n\
+                    \r\n\
+                    % second comment style\r\n\
+                    a b knows\r\n\
+                    b c\r\
+                    \n   \t  \r\n\
+                    c a knows\r\n";
+        let g = Graph::from_edge_list(text).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        let a = g.node_by_label("a").expect("BOM stripped from first label");
+        let b = g.node_by_label("b").unwrap();
+        let knows = g.alphabet().get("knows").unwrap();
+        assert!(g.has_edge(a, b, knows));
+        // the bare edge got the default color, not a '\r'-polluted one
+        assert!(g.alphabet().get(DEFAULT_EDGE_COLOR).is_some());
+        assert_eq!(g.alphabet().len(), 2);
+    }
+
+    #[test]
+    fn edge_list_errors_carry_line_numbers() {
+        // the malformed line is pinpointed even after comments and blanks
+        let err = Graph::from_edge_list("# header\n\n1 2 c\nonly\n3 4 c\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 4"), "{msg}");
+        assert!(msg.contains("FROM TO"), "{msg}");
+        let err = Graph::from_edge_list("1 2 c\r\n1 2 c d e\r\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("trailing"), "{msg}");
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //! * the per-color shortest-distance matrix of §4 ([`distance`]),
 //! * a hand-rolled LRU cache used by the runtime (bi-directional BFS)
 //!   evaluation strategy ([`cache`]),
-//! * dataset generators standing in for the paper's real-life data ([`gen`]).
+//! * dataset generators standing in for the paper's real-life data ([`gen`]),
+//! * edge-cut partitioning and the sharded storage view ([`partition`]):
+//!   [`Partition`] assigns nodes to `k` balanced shards, [`ShardedGraph`]
+//!   materializes per-shard local graphs plus the cut-edge/boundary residue
+//!   that `rpq-index` builds its overlay labels over.
 
 pub mod algo;
 pub mod attr;
@@ -30,9 +34,11 @@ pub mod distance;
 pub mod gen;
 pub mod graph;
 pub mod io;
+pub mod partition;
 
 pub use attr::{AttrId, AttrValue, Attrs, Schema};
 pub use builder::GraphBuilder;
 pub use color::{Alphabet, Color, WILDCARD};
 pub use distance::{DistanceMatrix, INFINITY};
 pub use graph::{EdgeRef, Graph, NodeId};
+pub use partition::{Partition, ShardStats, ShardedGraph};

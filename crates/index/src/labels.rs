@@ -336,6 +336,232 @@ impl HopLabels {
             panic!("hop-label layer for {color:?} was not built (check has_layer first)")
         })
     }
+
+    /// Fold a **weighted set** of entry points into one per-hub minimum:
+    /// for every hub rank `h`,
+    /// `best[h] = min over (y, w) of dist(h → y) + w`, alongside the
+    /// minimizing `y` and the runner-up over a **different** `y` (what
+    /// makes diagonal exclusion in [`HopLabels::dist_into`] possible).
+    /// With all weights 0 this is the plain "distance into a target set"
+    /// aggregation of PQ refinement; with per-entry weights it is the
+    /// composition step of the sharded backend, where `w` carries the
+    /// distance already accumulated beyond this label space (overlay path
+    /// plus far-side tail). Entries must name distinct nodes for the
+    /// runner-up column to be meaningful.
+    ///
+    /// Cost: one pass over the entries' `Lin` labels — `O(Σ|Lin(y)|)`.
+    pub fn in_aggregate(&self, color: Color, items: &[(NodeId, u16)]) -> InSetAgg {
+        let layer = self.layer_or_panic(color);
+        const NO_Y: u32 = u32::MAX;
+        let mut agg = InSetAgg {
+            color,
+            best: vec![UNSET; self.landmarks],
+            best_y: vec![NO_Y; self.landmarks],
+            second: vec![UNSET; self.landmarks],
+        };
+        for &(y, w) in items {
+            let (ih, id) = layer.in_label(y.index());
+            for (&h, &d) in ih.iter().zip(id) {
+                let h = h as usize;
+                let d = (d as u32 + w as u32).min(DIST_CAP as u32) as u16;
+                if d < agg.best[h] {
+                    if agg.best_y[h] != y.0 {
+                        agg.second[h] = agg.best[h];
+                    }
+                    agg.best[h] = d;
+                    agg.best_y[h] = y.0;
+                } else if agg.best_y[h] != y.0 && d < agg.second[h] {
+                    agg.second[h] = d;
+                }
+            }
+        }
+        agg
+    }
+
+    /// Origin-tracked sibling of [`HopLabels::in_aggregate`]: every item
+    /// carries a whole [`Top2`] (accumulated downstream cost plus its
+    /// origin provenance), and the per-hub fold keeps top-2 over distinct
+    /// origins instead of a plain minimum.
+    pub(crate) fn in_aggregate2(&self, color: Color, items: &[(NodeId, Top2)]) -> InSetAgg2 {
+        let layer = self.layer_or_panic(color);
+        let mut hubs = vec![Top2::NONE; self.landmarks];
+        for (y, t2) in items {
+            let (ih, id) = layer.in_label(y.index());
+            for (&h, &d) in ih.iter().zip(id) {
+                hubs[h as usize].add_shifted(t2, d);
+            }
+        }
+        InSetAgg2 { color, hubs }
+    }
+
+    /// One `Lout` scan against an origin-tracked aggregation: the
+    /// [`Top2`] of `min over items of dist(from, y) + cost` — read `min`
+    /// or [`Top2::excluding`] off the result.
+    pub(crate) fn dist_into2(&self, from: NodeId, agg: &InSetAgg2) -> Top2 {
+        let layer = self.layer_or_panic(agg.color);
+        let (oh, od) = layer.out_label(from.index());
+        let mut out = Top2::NONE;
+        for (&h, &d1) in oh.iter().zip(od) {
+            out.add_shifted(&agg.hubs[h as usize], d1);
+        }
+        out
+    }
+
+    /// The minimum weighted distance from `from` into an aggregated set:
+    /// `min over (y, w) of dist(from, y) + w`, read off one `Lout` scan
+    /// against the per-hub table of [`HopLabels::in_aggregate`]. With
+    /// `exclude = Some(x)` entries whose minimum is owed to `x` fall back
+    /// to the runner-up, yielding `min over y ≠ x` — the diagonal case of
+    /// bulk refinement. Returns [`INFINITY`] when no entry is reachable;
+    /// finite results saturate at the BFS cap like every other probe.
+    pub fn dist_into(&self, from: NodeId, agg: &InSetAgg, exclude: Option<NodeId>) -> u16 {
+        let layer = self.layer_or_panic(agg.color);
+        let (oh, od) = layer.out_label(from.index());
+        let mut best = u32::MAX;
+        for (&h, &d1) in oh.iter().zip(od) {
+            let h = h as usize;
+            let d2 = match exclude {
+                Some(x) if agg.best_y[h] == x.0 => agg.second[h],
+                _ => agg.best[h],
+            };
+            if d2 != UNSET {
+                best = best.min(d1 as u32 + d2 as u32);
+            }
+        }
+        if best == u32::MAX {
+            INFINITY
+        } else {
+            best.min(DIST_CAP as u32) as u16
+        }
+    }
+}
+
+/// Per-hub minima over a weighted entry set — see
+/// [`HopLabels::in_aggregate`]. Opaque outside the crate; produced once
+/// per (set, color) and consumed by any number of
+/// [`HopLabels::dist_into`] scans.
+#[derive(Debug, Clone)]
+pub struct InSetAgg {
+    color: Color,
+    /// per hub rank: min over entries of `dist(h → y) + w` ([`UNSET`] = none).
+    best: Vec<u16>,
+    /// the node id of the entry achieving `best`.
+    best_y: Vec<u32>,
+    /// min over entries with a different node than `best_y`.
+    second: Vec<u16>,
+}
+
+/// A distance pair `(min, runner-up over a distinct origin)` where the
+/// *origin* is the target node a stitched path ultimately ends at.
+///
+/// This is the value the sharded backend's multi-level aggregation runs
+/// on: the single-level runner-up column of [`InSetAgg`] cannot survive
+/// composition (a per-hub minimum computed one level down has already
+/// forgotten which target produced it, so a source that is itself a
+/// target masks every witness behind its own zero-length path), but the
+/// top-2-over-distinct-keys semiring composes exactly: merging two pairs
+/// keeps the global minimum and the minimum over origins different from
+/// its origin, at every level. The final probe reads `min` for ordinary
+/// sources and [`Top2::excluding`] for diagonal ones.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Top2 {
+    best: u16,
+    best_o: u32,
+    second: u16,
+    second_o: u32,
+}
+
+impl Top2 {
+    pub(crate) const NONE: Top2 = Top2 {
+        best: UNSET,
+        best_o: u32::MAX,
+        second: UNSET,
+        second_o: u32::MAX,
+    };
+
+    /// A single candidate: distance `v` to origin `o`.
+    pub(crate) fn leaf(v: u16, o: u32) -> Top2 {
+        Top2 {
+            best: v,
+            best_o: o,
+            second: UNSET,
+            second_o: u32::MAX,
+        }
+    }
+
+    pub(crate) fn is_none(&self) -> bool {
+        self.best == UNSET
+    }
+
+    /// Insert one `(value, origin)` candidate.
+    fn add(&mut self, v: u16, o: u32) {
+        if o == self.best_o {
+            if v < self.best {
+                self.best = v;
+            }
+        } else if v < self.best {
+            self.second = self.best;
+            self.second_o = self.best_o;
+            self.best = v;
+            self.best_o = o;
+        } else if o == self.second_o {
+            if v < self.second {
+                self.second = v;
+            }
+        } else if v < self.second {
+            self.second = v;
+            self.second_o = o;
+        }
+    }
+
+    /// Merge `other` with every value shifted by `w` (saturating at the
+    /// BFS cap) — the "extend a stitched path by a segment of length `w`"
+    /// step.
+    pub(crate) fn add_shifted(&mut self, other: &Top2, w: u16) {
+        if other.best != UNSET {
+            self.add(
+                (other.best as u32 + w as u32).min(DIST_CAP as u32) as u16,
+                other.best_o,
+            );
+        }
+        if other.second != UNSET {
+            self.add(
+                (other.second as u32 + w as u32).min(DIST_CAP as u32) as u16,
+                other.second_o,
+            );
+        }
+    }
+
+    /// The minimum over all origins ([`INFINITY`]-valued `UNSET` = none).
+    pub(crate) fn min(&self) -> u16 {
+        if self.best == UNSET {
+            INFINITY
+        } else {
+            self.best
+        }
+    }
+
+    /// The minimum over origins other than `x`.
+    pub(crate) fn excluding(&self, x: u32) -> u16 {
+        let v = if self.best_o == x {
+            self.second
+        } else {
+            self.best
+        };
+        if v == UNSET {
+            INFINITY
+        } else {
+            v
+        }
+    }
+}
+
+/// Per-hub [`Top2`] aggregation — the origin-tracked sibling of
+/// [`InSetAgg`], used by the sharded backend's stitched bulk refinement.
+#[derive(Debug, Clone)]
+pub(crate) struct InSetAgg2 {
+    color: Color,
+    hubs: Vec<Top2>,
 }
 
 impl DistProbe for HopLabels {
@@ -416,63 +642,27 @@ impl DistProbe for HopLabels {
         color: Color,
         max_len: Option<u32>,
     ) -> Vec<bool> {
-        let layer = self.layer_or_panic(color);
         let budget = max_len.unwrap_or(u32::MAX);
-        const NO_Y: u32 = u32::MAX;
-        let mut best_in = vec![UNSET; self.landmarks];
-        let mut best_y = vec![NO_Y; self.landmarks];
-        let mut second_in = vec![UNSET; self.landmarks];
+        let items: Vec<(NodeId, u16)> = targets.iter().map(|&y| (y, 0)).collect();
+        let agg = self.in_aggregate(color, &items);
         let mut is_target = vec![false; self.n];
         for &y in targets {
             is_target[y.index()] = true;
-            let (ih, id) = layer.in_label(y.index());
-            for (&h, &d) in ih.iter().zip(id) {
-                let h = h as usize;
-                if d < best_in[h] {
-                    if best_y[h] != y.0 {
-                        second_in[h] = best_in[h];
-                    }
-                    best_in[h] = d;
-                    best_y[h] = y.0;
-                } else if best_y[h] != y.0 && d < second_in[h] {
-                    second_in[h] = d;
-                }
-            }
         }
         sources
             .iter()
             .map(|&x| {
-                let (oh, od) = layer.out_label(x.index());
                 if is_target[x.index()] {
                     // nonempty-path diagonal: a cycle back to x, or a
-                    // path to a target other than x (best_excl)
+                    // path to a target other than x
                     if self.has_cycle_within(g, x, color, max_len) {
                         return true;
                     }
-                    let mut best_excl = u32::MAX;
-                    for (&h, &d1) in oh.iter().zip(od) {
-                        let h = h as usize;
-                        let d2 = if best_y[h] == x.0 {
-                            second_in[h]
-                        } else {
-                            best_in[h]
-                        };
-                        if d2 != UNSET {
-                            best_excl = best_excl.min(d1 as u32 + d2 as u32);
-                        }
-                    }
-                    // saturate like `dist` does, so saturated distances
-                    // agree with the pairwise probes bit-for-bit
-                    best_excl != u32::MAX && best_excl.min(DIST_CAP as u32) <= budget
+                    let d = self.dist_into(x, &agg, Some(x));
+                    d != INFINITY && (d as u32) <= budget
                 } else {
-                    let mut best = u32::MAX;
-                    for (&h, &d1) in oh.iter().zip(od) {
-                        let d2 = best_in[h as usize];
-                        if d2 != UNSET {
-                            best = best.min(d1 as u32 + d2 as u32);
-                        }
-                    }
-                    best != u32::MAX && best.min(DIST_CAP as u32) <= budget
+                    let d = self.dist_into(x, &agg, None);
+                    d != INFINITY && (d as u32) <= budget
                 }
             })
             .collect()

@@ -29,6 +29,34 @@
 //! `Join`-step (every source against a target set) with one target-side
 //! hub aggregation plus one `Lout` scan per source.
 //!
+//! ## The sharded backend and its overlay
+//!
+//! One whole-graph labeling is still one build: its working set must fit
+//! one machine (or one budget). [`ShardedLabels`] removes that cap by
+//! re-founding the index on a shard topology
+//! ([`ShardedGraph`](rpq_graph::ShardedGraph)): one independent
+//! [`HopLabels`] **per shard** — built in parallel, each under the
+//! per-shard byte budget — plus exact 2-hop labels over the **boundary
+//! overlay**, the weighted digraph whose nodes are the endpoints of cut
+//! edges and whose edges are (a) the cut edges themselves at weight 1 and
+//! (b) a closure edge per intra-shard boundary pair, weighted by that
+//! shard's local distance, one layer per color and one for the wildcard.
+//!
+//! *Exactness.* A global path either stays inside one shard — then it
+//! appears verbatim in that shard's local graph — or it uses ≥ 1 cut
+//! edge, in which case it splits at the first cut edge's source `b₁` and
+//! the last cut edge's target `b₂`: the prefix and suffix are intra-shard
+//! (no cut edge), and the middle alternates cut edges with intra-shard
+//! boundary-to-boundary segments, each dominated by its closure edge. So
+//! `dist(u,v) = min(local(u,v) [same shard],
+//! min_{b₁,b₂} local(u,b₁) + overlay(b₁,b₂) + local(b₂,v))`, every term
+//! realizable by a real path — probes are bit-identical to a whole-graph
+//! index, which the parity suite asserts against both the matrix and
+//! unsharded labels. The stitched minimum is evaluated by hub
+//! aggregation, never pairwise, so bulk refinement stays label-linear;
+//! the diagonal (a source that is itself a target) survives the
+//! multi-level fold through an origin-tracked (min, runner-up) pair.
+//!
 //! ## Example
 //!
 //! ```
@@ -49,7 +77,10 @@
 //! ```
 
 mod labels;
+mod overlay;
 mod probe;
+mod sharded;
 
-pub use labels::{HopBuildError, HopConfig, HopLabels, HopStats};
+pub use labels::{HopBuildError, HopConfig, HopLabels, HopStats, InSetAgg};
 pub use probe::DistProbe;
+pub use sharded::{ShardedConfig, ShardedLabels, ShardedStats};

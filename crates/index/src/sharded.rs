@@ -1,0 +1,828 @@
+//! The sharded distance backend: per-shard [`HopLabels`] stitched through
+//! boundary [`OverlayLayer`](crate::overlay) labels — a [`DistProbe`]
+//! whose *build* never holds more than one shard's index in flight.
+//!
+//! # Construction
+//!
+//! [`ShardedLabels::build_with`] partitions the graph (or accepts a
+//! prebuilt [`ShardedGraph`]), then
+//!
+//! 1. builds one [`HopLabels`] **per shard, in parallel**, each over that
+//!    shard's local graph and each under the *per-shard* byte budget
+//!    ([`ShardedConfig::shard_budget_bytes`]) — this is the memory cap the
+//!    whole design exists for: no single build ever needs the footprint of
+//!    a whole-graph labeling;
+//! 2. derives the per-layer weighted **overlay** over boundary nodes (cut
+//!    edges at weight 1 + intra-shard boundary-to-boundary closures read
+//!    off the per-shard labels) and labels it with pruned Dijkstra.
+//!
+//! # Probing (the exactness argument)
+//!
+//! Every global path either stays inside one shard or uses ≥ 1 cut edge.
+//! In the second case it decomposes as
+//! `u ⇝ b₁ (intra-shard) · b₁ ⇝ b₂ (overlay) · b₂ ⇝ v (intra-shard)`
+//! where `b₁` is the source of the first cut edge and `b₂` the target of
+//! the last: the prefix and suffix use no cut edge, so they live in one
+//! shard each, and the middle alternates cut edges with intra-shard
+//! boundary segments — each dominated by its overlay closure edge.
+//! Hence
+//!
+//! ```text
+//! dist(u, v) = min( local(u, v) if shard(u) = shard(v),
+//!                   min over b₁ ∈ B(shard(u)), b₂ ∈ B(shard(v)) of
+//!                       local(u, b₁) + overlay(b₁, b₂) + local(b₂, v) )
+//! ```
+//!
+//! and every term of the stitched minimum is realized by a real path, so
+//! probes are **exact** — bit-identical to a whole-graph index (the parity
+//! suite in `tests/sharded.rs` pins this against both the matrix and
+//! unsharded hop labels). Note the same-shard case still takes the
+//! stitched minimum too: the shortest path between two nodes of one shard
+//! may leave the shard and return.
+//!
+//! The stitched minimum is never evaluated pairwise: the source side is
+//! folded over overlay hubs once ([`OverlayLayer::aggregate_out`]), the
+//! target side once, and bulk PQ refinement
+//! ([`DistProbe::sources_reaching_within`]) pushes the same aggregation
+//! through the per-shard labels ([`HopLabels::in_aggregate`]), so a whole
+//! `Join`-step costs label-linear work, exactly like the unsharded
+//! backend.
+
+use crate::labels::{HopBuildError, HopConfig, HopLabels, Top2};
+use crate::overlay::{OverlayEdge, OverlayLayer};
+use crate::probe::DistProbe;
+use rpq_graph::{Color, Graph, NodeId, ShardedGraph, INFINITY, WILDCARD};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+const DIST_CAP: u16 = u16::MAX - 1;
+
+/// Tuning knobs for [`ShardedLabels::build_with`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of shards to partition into (clamped to `1..=|V|`).
+    pub shards: usize,
+    /// Byte budget for **each** per-shard label build (`0` = unlimited).
+    /// A concrete color layer exceeding it fails the whole build
+    /// ([`HopBuildError::OverBudget`]); a wildcard layer exceeding it is
+    /// dropped shard-locally, which drops wildcard coverage of the whole
+    /// sharded index ([`ShardedLabels::has_layer`]).
+    pub shard_budget_bytes: usize,
+    /// Build the wildcard (`_`) layers (per shard and on the overlay).
+    pub wildcard_layer: bool,
+    /// Worker threads for the parallel per-shard builds; `0` means one
+    /// per shard.
+    pub build_workers: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            shard_budget_bytes: 0,
+            wildcard_layer: true,
+            build_workers: 0,
+        }
+    }
+}
+
+/// Build/shape statistics of a [`ShardedLabels`], for logs, benches and
+/// the budget assertions of the scale suite.
+#[derive(Debug, Clone)]
+pub struct ShardedStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// Nodes covered.
+    pub nodes: usize,
+    /// Boundary nodes (= overlay size).
+    pub boundary_nodes: usize,
+    /// Cross-shard edges.
+    pub cut_edges: usize,
+    /// Fraction of edges cut by the partition.
+    pub edge_cut_ratio: f64,
+    /// Estimated resident bytes of each shard's label index.
+    pub shard_bytes: Vec<usize>,
+    /// Estimated resident bytes of the overlay labels (all layers).
+    pub overlay_bytes: usize,
+    /// Whether wildcard probes are covered.
+    pub wildcard: bool,
+}
+
+impl ShardedStats {
+    /// The largest single-shard label footprint — the number the
+    /// per-shard budget caps.
+    pub fn max_shard_bytes(&self) -> usize {
+        self.shard_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total footprint: every shard plus the overlay.
+    pub fn total_bytes(&self) -> usize {
+        self.shard_bytes.iter().sum::<usize>() + self.overlay_bytes
+    }
+}
+
+impl std::fmt::Display for ShardedStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} shards / {} nodes: {} boundary, {} cut ({:.1}%), max shard {} KiB, overlay {} KiB{}",
+            self.shards,
+            self.nodes,
+            self.boundary_nodes,
+            self.cut_edges,
+            100.0 * self.edge_cut_ratio,
+            self.max_shard_bytes() / 1024,
+            self.overlay_bytes / 1024,
+            if self.wildcard { "" } else { ", no wildcard" }
+        )
+    }
+}
+
+/// Per-shard 2-hop labels plus boundary-overlay labels, composed into one
+/// exact global [`DistProbe`]. See the module docs for the construction
+/// and the exactness argument.
+#[derive(Debug)]
+pub struct ShardedLabels {
+    sharded: Arc<ShardedGraph>,
+    shard_labels: Vec<HopLabels>,
+    /// `overlay[c]` for concrete color `c`; `overlay[colors]` = wildcard.
+    /// `None` = layer uncoverable (a shard dropped its wildcard layer).
+    overlay: Vec<Option<OverlayLayer>>,
+    colors: usize,
+    n: usize,
+}
+
+impl ShardedLabels {
+    /// Partition `g` into `shards` pieces and build with no budget.
+    /// Cannot fail.
+    pub fn build(g: &Arc<Graph>, shards: usize) -> Self {
+        Self::build_with(
+            g,
+            &ShardedConfig {
+                shards,
+                ..ShardedConfig::default()
+            },
+            None,
+        )
+        .expect("unbudgeted, uncancelled build cannot fail")
+    }
+
+    /// Partition and build under `config`, checking `cancel` between
+    /// landmarks of every per-shard build.
+    pub fn build_with(
+        g: &Arc<Graph>,
+        config: &ShardedConfig,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Self, HopBuildError> {
+        let sharded = Arc::new(ShardedGraph::new(Arc::clone(g), config.shards));
+        Self::build_on(sharded, config, cancel)
+    }
+
+    /// Build over a prebuilt partition (custom partitioners, tests).
+    pub fn build_on(
+        sharded: Arc<ShardedGraph>,
+        config: &ShardedConfig,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Self, HopBuildError> {
+        let k = sharded.k();
+        let hop_config = HopConfig {
+            landmarks: 0, // exactness is non-negotiable here
+            budget_bytes: config.shard_budget_bytes,
+            wildcard_layer: config.wildcard_layer,
+        };
+
+        // scatter: per-shard label builds across the build worker set —
+        // each shard's build is independent and individually budgeted
+        let workers = if config.build_workers == 0 {
+            k.max(1)
+        } else {
+            config.build_workers.max(1)
+        };
+        let mut results: Vec<Option<Result<HopLabels, HopBuildError>>> =
+            (0..k).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let chunk = k.div_ceil(workers);
+            for (w, slot_chunk) in results.chunks_mut(chunk.max(1)).enumerate() {
+                let sharded = &sharded;
+                let hop_config = &hop_config;
+                s.spawn(move || {
+                    for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                        let shard = sharded.shard(w * chunk + i);
+                        *slot = Some(HopLabels::build_with(shard, hop_config, cancel));
+                    }
+                });
+            }
+        });
+        let mut shard_labels = Vec::with_capacity(k);
+        for r in results {
+            shard_labels.push(r.expect("every shard built")?);
+        }
+
+        let graph = sharded.graph();
+        let colors = graph.alphabet().len();
+        let b = sharded.boundary_globals().len();
+
+        // overlay id of each shard's boundary list, aligned by position
+        let boundary_ov: Vec<Vec<u32>> = (0..k)
+            .map(|s| {
+                sharded
+                    .boundary_locals(s)
+                    .iter()
+                    .map(|&l| {
+                        sharded
+                            .overlay_index(sharded.partition().to_global(s, l))
+                            .expect("boundary node has an overlay id")
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // gather: one overlay layer per color (+ wildcard), built in
+        // parallel — cut edges at weight 1 plus per-shard closures. The
+        // cancel flag is honored here too (between closure shards and
+        // before the layer labeling): on a poor partition the closure is
+        // the dominant build cost, and a superseded build must not burn
+        // it on an index nobody will read.
+        let wildcard_ok =
+            config.wildcard_layer && shard_labels.iter().all(|l| l.has_layer(WILDCARD));
+        let layer_colors: Vec<Option<Color>> = (0..colors)
+            .map(|c| Some(Color(c as u8)))
+            .chain(std::iter::once(wildcard_ok.then_some(WILDCARD)))
+            .collect();
+        let mut overlay: Vec<Option<OverlayLayer>> = (0..=colors).map(|_| None).collect();
+        let cancelled = |cancel: Option<&AtomicBool>| {
+            cancel.is_some_and(|f| f.load(std::sync::atomic::Ordering::Relaxed))
+        };
+        std::thread::scope(|s| {
+            for (slot, &layer_color) in overlay.iter_mut().zip(&layer_colors) {
+                let Some(color) = layer_color else { continue };
+                let sharded = &sharded;
+                let shard_labels = &shard_labels;
+                let boundary_ov = &boundary_ov;
+                s.spawn(move || {
+                    let mut edges: Vec<OverlayEdge> = Vec::new();
+                    for &(u, v, ec) in sharded.cut_edges() {
+                        if color.admits(ec) {
+                            let ou = sharded
+                                .overlay_index(u)
+                                .expect("cut endpoints are boundary");
+                            let ov = sharded
+                                .overlay_index(v)
+                                .expect("cut endpoints are boundary");
+                            edges.push((ou, ov, 1));
+                        }
+                    }
+                    for shard in 0..sharded.k() {
+                        if cancelled(cancel) {
+                            return;
+                        }
+                        let locals = sharded.boundary_locals(shard);
+                        let labels = &shard_labels[shard];
+                        for (i, &b1) in locals.iter().enumerate() {
+                            for (j, &b2) in locals.iter().enumerate() {
+                                if i == j {
+                                    continue;
+                                }
+                                let d = DistProbe::dist(labels, b1, b2, color);
+                                if d != INFINITY {
+                                    edges.push((boundary_ov[shard][i], boundary_ov[shard][j], d));
+                                }
+                            }
+                        }
+                    }
+                    if cancelled(cancel) {
+                        return;
+                    }
+                    *slot = Some(OverlayLayer::build(b, &edges));
+                });
+            }
+        });
+        if cancelled(cancel) {
+            return Err(HopBuildError::Cancelled);
+        }
+
+        Ok(ShardedLabels {
+            n: graph.node_count(),
+            colors,
+            sharded,
+            shard_labels,
+            overlay,
+        })
+    }
+
+    /// The partitioned storage this index serves.
+    pub fn sharded_graph(&self) -> &Arc<ShardedGraph> {
+        &self.sharded
+    }
+
+    /// The label index of shard `s`.
+    pub fn shard_labels(&self, s: usize) -> &HopLabels {
+        &self.shard_labels[s]
+    }
+
+    /// Is `color` (possibly wildcard) answerable? False only when a
+    /// shard's wildcard layer was dropped on budget.
+    pub fn has_layer(&self, color: Color) -> bool {
+        self.overlay_layer(color).is_some() && self.shard_labels.iter().all(|l| l.has_layer(color))
+    }
+
+    /// Build/shape statistics.
+    pub fn stats(&self) -> ShardedStats {
+        let sg_stats = self.sharded.stats();
+        ShardedStats {
+            shards: self.sharded.k(),
+            nodes: self.n,
+            boundary_nodes: sg_stats.boundary_nodes,
+            cut_edges: sg_stats.cut_edges,
+            edge_cut_ratio: sg_stats.edge_cut_ratio(),
+            shard_bytes: self.shard_labels.iter().map(HopLabels::bytes).collect(),
+            overlay_bytes: self.overlay.iter().flatten().map(OverlayLayer::bytes).sum(),
+            wildcard: self.has_layer(WILDCARD),
+        }
+    }
+
+    fn overlay_layer(&self, color: Color) -> Option<&OverlayLayer> {
+        let idx = if color.is_wildcard() {
+            self.colors
+        } else {
+            debug_assert!((color.0 as usize) < self.colors, "color outside alphabet");
+            color.0 as usize
+        };
+        self.overlay[idx].as_ref()
+    }
+
+    fn overlay_or_panic(&self, color: Color) -> &OverlayLayer {
+        self.overlay_layer(color).unwrap_or_else(|| {
+            panic!("sharded layer for {color:?} was not built (check has_layer first)")
+        })
+    }
+
+    /// `(shard, local)` of a global node.
+    #[inline]
+    fn to_local(&self, v: NodeId) -> (usize, NodeId) {
+        self.sharded.partition().to_local(v)
+    }
+
+    /// Distances from `v` to every boundary node of its own shard, as
+    /// overlay-id seeds for [`OverlayLayer::aggregate_out`]. Empty when
+    /// the shard touches no cut edge.
+    fn exits_of(&self, shard: usize, local: NodeId, color: Color) -> Vec<(u32, u16)> {
+        let labels = &self.shard_labels[shard];
+        self.sharded
+            .boundary_locals(shard)
+            .iter()
+            .filter_map(|&b| {
+                let d = DistProbe::dist(labels, local, b, color);
+                (d != INFINITY).then(|| {
+                    let g = self.sharded.partition().to_global(shard, b);
+                    (self.sharded.overlay_index(g).expect("boundary"), d)
+                })
+            })
+            .collect()
+    }
+
+    /// Mirror of [`exits_of`](ShardedLabels::exits_of): distances from
+    /// every boundary node of `v`'s shard to `v`.
+    fn entries_of(&self, shard: usize, local: NodeId, color: Color) -> Vec<(u32, u16)> {
+        let labels = &self.shard_labels[shard];
+        self.sharded
+            .boundary_locals(shard)
+            .iter()
+            .filter_map(|&b| {
+                let d = DistProbe::dist(labels, b, local, color);
+                (d != INFINITY).then(|| {
+                    let g = self.sharded.partition().to_global(shard, b);
+                    (self.sharded.overlay_index(g).expect("boundary"), d)
+                })
+            })
+            .collect()
+    }
+}
+
+impl DistProbe for ShardedLabels {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn dist(&self, from: NodeId, to: NodeId, color: Color) -> u16 {
+        if from == to {
+            return 0;
+        }
+        let (sf, lf) = self.to_local(from);
+        let (st, lt) = self.to_local(to);
+        let mut best = if sf == st {
+            let d = DistProbe::dist(&self.shard_labels[sf], lf, lt, color);
+            if d == INFINITY {
+                u32::MAX
+            } else {
+                d as u32
+            }
+        } else {
+            u32::MAX
+        };
+        // the stitched path: u ⇝ boundary(sf) ⇝ overlay ⇝ boundary(st) ⇝ v
+        let layer = self.overlay_or_panic(color);
+        if layer.hubs() > 0 {
+            let exits = self.exits_of(sf, lf, color);
+            if !exits.is_empty() {
+                let entries = self.entries_of(st, lt, color);
+                if !entries.is_empty() {
+                    let mut agg_out = Vec::new();
+                    let mut agg_in = Vec::new();
+                    layer.aggregate_out(&exits, &mut agg_out);
+                    layer.aggregate_in(&entries, &mut agg_in);
+                    best = best.min(OverlayLayer::combine(&agg_out, &agg_in));
+                }
+            }
+        }
+        if best == u32::MAX {
+            INFINITY
+        } else {
+            best.min(DIST_CAP as u32) as u16
+        }
+    }
+
+    fn for_each_within(&self, from: NodeId, color: Color, max: u16, f: &mut dyn FnMut(NodeId)) {
+        let (sf, lf) = self.to_local(from);
+        let part = self.sharded.partition();
+        // local part: everything reachable without leaving the shard
+        self.shard_labels[sf].for_each_within(lf, color, max, &mut |z| {
+            f(part.to_global(sf, z));
+        });
+        // stitched part: out through the boundary, across the overlay,
+        // down into every shard (including sf again — a globally shorter
+        // leave-and-return path may beat the local one; the callback
+        // contract tolerates the duplicates)
+        let layer = self.overlay_or_panic(color);
+        if layer.hubs() == 0 || max == 0 {
+            return;
+        }
+        let exits: Vec<(u32, u16)> = self
+            .exits_of(sf, lf, color)
+            .into_iter()
+            .filter(|&(_, d)| d <= max)
+            .collect();
+        if exits.is_empty() {
+            return;
+        }
+        let mut agg_out = Vec::new();
+        layer.aggregate_out(&exits, &mut agg_out);
+        for (oi, &bg) in self.sharded.boundary_globals().iter().enumerate() {
+            let a = layer.dist_to(&agg_out, oi as u32);
+            // a == 0 only for `from` itself (every segment would be empty)
+            if a == 0 || a > max as u32 {
+                continue;
+            }
+            if bg != from {
+                f(bg);
+            }
+            let rem = max - a as u16;
+            if rem == 0 {
+                continue;
+            }
+            let (sb, lb) = self.to_local(bg);
+            self.shard_labels[sb].for_each_within(lb, color, rem, &mut |z| {
+                let zg = part.to_global(sb, z);
+                if zg != from {
+                    f(zg);
+                }
+            });
+        }
+    }
+
+    /// Bulk refinement without pairwise stitches: per-shard target
+    /// aggregation, folded over the overlay once, then pushed back
+    /// through each source shard's labels as a weighted boundary set —
+    /// label-linear end to end, like the unsharded [`HopLabels`]
+    /// override. The stitched pipeline runs on origin-tracked `Top2`
+    /// values: a plain per-hub minimum forgets *which* target produced
+    /// it, so a boundary source that is itself a target would mask every
+    /// other witness behind its own zero-length path — the runner-up
+    /// over a distinct origin survives all three aggregation levels and
+    /// restores the diagonal-excluded answer at the end.
+    fn sources_reaching_within(
+        &self,
+        g: &Graph,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        color: Color,
+        max_len: Option<u32>,
+    ) -> Vec<bool> {
+        let budget = max_len.unwrap_or(u32::MAX);
+        if budget == 0 || targets.is_empty() {
+            return vec![false; sources.len()];
+        }
+        let k = self.sharded.k();
+        let part = self.sharded.partition();
+        let layer = self.overlay_or_panic(color);
+
+        let mut is_target = vec![false; self.n];
+        let mut targets_local2: Vec<Vec<(NodeId, Top2)>> = vec![Vec::new(); k];
+        for &y in targets {
+            is_target[y.index()] = true;
+            let (s, l) = part.to_local(y);
+            targets_local2[s].push((l, Top2::leaf(0, y.0)));
+        }
+        // per-shard "distance into the local target set" aggregation —
+        // origin-tracked, serving both the pure-local witness (min /
+        // excluding for the diagonal) and the stitched pipeline
+        let target_agg2: Vec<Option<crate::labels::InSetAgg2>> = (0..k)
+            .map(|s| {
+                (!targets_local2[s].is_empty())
+                    .then(|| self.shard_labels[s].in_aggregate2(color, &targets_local2[s]))
+            })
+            .collect();
+
+        // overlay fold of the target side: for each boundary node b₂ of a
+        // target-bearing shard, its local cost into the target set
+        let mut entry_seeds: Vec<(u32, Top2)> = Vec::new();
+        for (s, slot) in target_agg2.iter().enumerate() {
+            let Some(agg2) = slot else {
+                continue;
+            };
+            for &b in self.sharded.boundary_locals(s) {
+                let t2 = self.shard_labels[s].dist_into2(b, agg2);
+                if !t2.is_none() {
+                    let bg = part.to_global(s, b);
+                    entry_seeds.push((self.sharded.overlay_index(bg).expect("boundary"), t2));
+                }
+            }
+        }
+        // per-source-shard: fold "boundary exit → overlay → target" costs
+        // back into that shard's label space as a weighted boundary set
+        let stitch_agg: Vec<Option<crate::labels::InSetAgg2>> = if layer.hubs() == 0
+            || entry_seeds.is_empty()
+        {
+            (0..k).map(|_| None).collect()
+        } else {
+            let mut agg_in = Vec::new();
+            layer.aggregate_in2(&entry_seeds, &mut agg_in);
+            (0..k)
+                .map(|s| {
+                    let seeds: Vec<(NodeId, Top2)> = self
+                        .sharded
+                        .boundary_locals(s)
+                        .iter()
+                        .filter_map(|&b| {
+                            let bg = part.to_global(s, b);
+                            let oi = self.sharded.overlay_index(bg).expect("boundary");
+                            let cost = layer.dist_from2(oi, &agg_in);
+                            (!cost.is_none()).then_some((b, cost))
+                        })
+                        .collect();
+                    (!seeds.is_empty()).then(|| self.shard_labels[s].in_aggregate2(color, &seeds))
+                })
+                .collect()
+        };
+
+        sources
+            .iter()
+            .map(|&x| {
+                let (s, l) = part.to_local(x);
+                let diagonal = is_target[x.index()];
+                // purely local witness (diagonal-safe via the tracked
+                // runner-up origin)
+                if let Some(agg) = &target_agg2[s] {
+                    let t2 = self.shard_labels[s].dist_into2(l, agg);
+                    let d = if diagonal {
+                        t2.excluding(x.0)
+                    } else {
+                        t2.min()
+                    };
+                    if d != INFINITY && (d as u32) <= budget {
+                        return true;
+                    }
+                }
+                // stitched witness to a target other than x — paths back
+                // to x itself (the diagonal) are the cycle check's job
+                if let Some(agg) = &stitch_agg[s] {
+                    let t2 = self.shard_labels[s].dist_into2(l, agg);
+                    let d = if diagonal {
+                        t2.excluding(x.0)
+                    } else {
+                        t2.min()
+                    };
+                    if d != INFINITY && (d as u32) <= budget {
+                        return true;
+                    }
+                }
+                // nonempty-path diagonal: x ∈ targets answered by a cycle
+                diagonal && self.has_cycle_within(g, x, color, max_len)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::gen::{clustered, essembly, synthetic};
+    use rpq_graph::{DistanceMatrix, GraphBuilder, Partition};
+
+    fn all_colors(g: &Graph) -> Vec<Color> {
+        let mut cs: Vec<Color> = g.alphabet().colors().collect();
+        cs.push(WILDCARD);
+        cs
+    }
+
+    fn assert_probe_parity(g: &Arc<Graph>, labels: &ShardedLabels) {
+        let m = DistanceMatrix::build(g);
+        for c in all_colors(g) {
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(
+                        DistProbe::dist(labels, u, v, c),
+                        m.dist(u, v, c),
+                        "dist({u:?},{v:?},{c:?})"
+                    );
+                }
+                for max in [0u16, 1, 2, 5, DIST_CAP] {
+                    let mut want = vec![false; g.node_count()];
+                    DistProbe::for_each_within(&m, u, c, max, &mut |z| want[z.index()] = true);
+                    let mut got = vec![false; g.node_count()];
+                    labels.for_each_within(u, c, max, &mut |z| got[z.index()] = true);
+                    assert_eq!(got, want, "scan from {u:?} color {c:?} max {max}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_on_synthetic_graphs() {
+        for (seed, k) in [(5u64, 2usize), (9, 3), (23, 4)] {
+            let g = Arc::new(synthetic(40, 150, 2, 3, seed));
+            let labels = ShardedLabels::build(&g, k);
+            assert_eq!(labels.sharded_graph().k(), k);
+            assert_probe_parity(&g, &labels);
+        }
+    }
+
+    #[test]
+    fn parity_on_clustered_and_essembly() {
+        let g = Arc::new(clustered(80, 320, 4, 2, 3, 80, 3));
+        assert_probe_parity(&g, &ShardedLabels::build(&g, 4));
+        let e = Arc::new(essembly());
+        assert_probe_parity(&e, &ShardedLabels::build(&e, 3));
+    }
+
+    #[test]
+    fn parity_with_every_edge_cut() {
+        // even/odd partition of a two-color ring with chords: the local
+        // graphs are edgeless, the overlay carries everything
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<NodeId> = (0..12).map(|i| b.add_node(&format!("n{i}"), [])).collect();
+        let r = b.color("r");
+        let s = b.color("s");
+        for i in 0..12 {
+            b.add_edge(
+                nodes[i],
+                nodes[(i + 1) % 12],
+                if i % 2 == 0 { r } else { s },
+            );
+            b.add_edge(nodes[i], nodes[(i + 5) % 12], r);
+        }
+        let g = Arc::new(b.build());
+        let shard_of: Vec<u32> = (0..12).map(|v| (v % 2) as u32).collect();
+        let sg = Arc::new(ShardedGraph::with_partition(
+            Arc::clone(&g),
+            Partition::from_shard_of(shard_of, 2),
+        ));
+        assert_eq!(sg.cut_edges().len(), g.edge_count(), "degenerate cut");
+        let labels =
+            ShardedLabels::build_on(Arc::clone(&sg), &ShardedConfig::default(), None).unwrap();
+        assert_probe_parity(&g, &labels);
+    }
+
+    #[test]
+    fn bulk_matches_pairwise_and_matrix() {
+        for (seed, k) in [(11u64, 2usize), (29, 3), (77, 4)] {
+            let g = Arc::new(synthetic(50, 200, 2, 3, seed));
+            let m = DistanceMatrix::build(&g);
+            let labels = ShardedLabels::build(&g, k);
+            let nodes: Vec<NodeId> = g.nodes().collect();
+            let every_3rd: Vec<NodeId> = nodes.iter().copied().step_by(3).collect();
+            let subsets: [(&[NodeId], &[NodeId]); 5] = [
+                (&nodes[0..20], &nodes[25..45]),
+                (&nodes[10..35], &nodes[20..30]),
+                (&nodes[0..50], &nodes[0..50]),
+                (&nodes[7..8], &nodes[7..8]),
+                (&nodes[0..50], &every_3rd),
+            ];
+            for c in all_colors(&g) {
+                for (sources, targets) in subsets {
+                    for max in [None, Some(0u32), Some(1), Some(2), Some(7)] {
+                        let got = labels.sources_reaching_within(&g, sources, targets, c, max);
+                        let want = m.sources_reaching_within(&g, sources, targets, c, max);
+                        assert_eq!(got, want, "bulk({c:?}, within {max:?}, seed {seed}, k {k})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reaches_and_cycles_agree_with_matrix() {
+        let g = Arc::new(synthetic(36, 140, 2, 2, 13));
+        let m = DistanceMatrix::build(&g);
+        let labels = ShardedLabels::build(&g, 3);
+        for c in all_colors(&g) {
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    for max in [None, Some(0u32), Some(1), Some(3)] {
+                        assert_eq!(
+                            labels.reaches_within(&g, u, v, c, max),
+                            m.reaches_within(&g, u, v, c, max),
+                            "reaches {u:?}->{v:?} {c:?} within {max:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_shard_budget_is_enforced() {
+        let g = Arc::new(synthetic(120, 480, 2, 3, 8));
+        let tiny = ShardedConfig {
+            shards: 3,
+            shard_budget_bytes: 1,
+            ..ShardedConfig::default()
+        };
+        assert!(matches!(
+            ShardedLabels::build_with(&g, &tiny, None),
+            Err(HopBuildError::OverBudget { budget: 1, .. })
+        ));
+        // a budget fitting the concrete layers but not the per-shard
+        // wildcard layer drops wildcard coverage of the whole index
+        let full = ShardedLabels::build(&g, 3);
+        let concrete_max = (0..3)
+            .map(|s| {
+                let cfg = HopConfig {
+                    wildcard_layer: false,
+                    ..HopConfig::default()
+                };
+                HopLabels::build_with(full.sharded_graph().shard(s), &cfg, None)
+                    .unwrap()
+                    .bytes()
+            })
+            .max()
+            .unwrap();
+        let mid = ShardedConfig {
+            shards: 3,
+            shard_budget_bytes: concrete_max + 64,
+            ..ShardedConfig::default()
+        };
+        let labels = ShardedLabels::build_with(&g, &mid, None).expect("concrete layers fit");
+        assert!(!labels.has_layer(WILDCARD));
+        assert!(!labels.stats().wildcard);
+        for c in g.alphabet().colors() {
+            assert!(labels.has_layer(c));
+        }
+        let stats = labels.stats();
+        for &bytes in &stats.shard_bytes {
+            assert!(
+                bytes <= mid.shard_budget_bytes,
+                "{bytes} over per-shard budget"
+            );
+        }
+        // concrete probes stay exact
+        let m = DistanceMatrix::build(&g);
+        for u in g.nodes().take(30) {
+            for v in g.nodes().take(30) {
+                assert_eq!(
+                    DistProbe::dist(&labels, u, v, Color(0)),
+                    m.dist(u, v, Color(0))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_aborts() {
+        let g = Arc::new(synthetic(80, 240, 1, 2, 4));
+        let flag = AtomicBool::new(true);
+        assert!(matches!(
+            ShardedLabels::build_with(&g, &ShardedConfig::default(), Some(&flag)),
+            Err(HopBuildError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn single_shard_and_stats() {
+        let g = Arc::new(synthetic(30, 90, 1, 2, 2));
+        let labels = ShardedLabels::build(&g, 1);
+        assert_probe_parity(&g, &labels);
+        let stats = labels.stats();
+        assert_eq!(stats.shards, 1);
+        assert_eq!(stats.cut_edges, 0);
+        assert_eq!(stats.boundary_nodes, 0);
+        assert_eq!(
+            stats.overlay_bytes + stats.shard_bytes[0],
+            stats.total_bytes()
+        );
+        assert!(stats.wildcard);
+        let line = labels.stats().to_string();
+        assert!(line.contains("1 shards"), "{line}");
+        assert!(labels.shard_labels(0).is_exact());
+    }
+}

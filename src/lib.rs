@@ -21,10 +21,15 @@
 //!   [`QueryEngine`](prelude::QueryEngine) that owns a shared graph,
 //!   plans a strategy per query, and evaluates
 //!   batches of mixed RQs/PQs on scoped worker threads with batch-wide
-//!   reach-set memoization; plus an
+//!   reach-set memoization; an
 //!   [`UpdatableEngine`](prelude::UpdatableEngine) serving a *mutating*
 //!   graph through versioned snapshots and incrementally maintained
-//!   standing queries.
+//!   standing queries; and a [`ShardedEngine`](prelude::ShardedEngine)
+//!   serving graphs past any single-index memory budget from a
+//!   partitioned [`ShardedGraph`](prelude::ShardedGraph) — per-shard
+//!   label indices stitched through boundary-overlay labels
+//!   ([`ShardedLabels`](prelude::ShardedLabels)), answers bit-identical
+//!   to every other backend.
 //!
 //! ## Quickstart
 //!
@@ -139,12 +144,14 @@ pub mod prelude {
     pub use rpq_core::split_match::SplitMatch;
     pub use rpq_engine::{
         ApplyReport, BatchItem, BatchResult, EngineConfig, Plan, Query, QueryEngine, QueryOutput,
-        ReachMemo, Snapshot, StandingId, UpdatableEngine,
+        ReachMemo, ShardedEngine, Snapshot, StandingId, UpdatableEngine,
     };
     pub use rpq_graph::{
         Alphabet, AttrId, AttrValue, Attrs, Color, DistanceMatrix, Graph, GraphBuilder, NodeId,
-        Schema, WILDCARD,
+        Partition, Schema, ShardStats, ShardedGraph, WILDCARD,
     };
-    pub use rpq_index::{DistProbe, HopConfig, HopLabels, HopStats};
+    pub use rpq_index::{
+        DistProbe, HopConfig, HopLabels, HopStats, ShardedConfig, ShardedLabels, ShardedStats,
+    };
     pub use rpq_regex::{FRegex, GRegex};
 }

@@ -117,7 +117,16 @@ fn mixed_batch_on_small_graph_matches_sequential() {
             matches!(plan, Plan::PqJoinMatrix | Plan::PqSplitMatrix),
             "PQ {i} must run a matrix-backed plan, got {plan:?}"
         );
-        assert_eq!(plan, rpq::engine::planner::plan_pq(pq, true, false));
+        assert_eq!(
+            plan,
+            rpq::engine::planner::plan_pq(
+                pq,
+                true,
+                false,
+                false,
+                rpq::engine::planner::SPLIT_CROSSOVER
+            )
+        );
     }
 }
 
