@@ -54,16 +54,16 @@ fn bench_engine(c: &mut Criterion) {
         for &workers in &[1usize, 4] {
             let engine = QueryEngine::with_config(
                 Arc::clone(&g),
-                EngineConfig {
-                    workers,
+                EngineConfig::builder()
+                    .workers(workers)
                     // youtube_like(4000) is over the default limit anyway;
                     // pin it — and disable the hop-label index — so the
                     // comparison stays index-free (benches/index.rs covers
                     // the indexed regimes)
-                    matrix_node_limit: 0,
-                    hop_label_budget: 0,
-                    ..EngineConfig::default()
-                },
+                    .matrix_node_limit(0)
+                    .hop_label_budget(0)
+                    .build()
+                    .unwrap(),
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("engine_w{workers}"), batch),

@@ -84,11 +84,11 @@ fn workload(g: &Graph, batch: usize) -> Vec<Query> {
 fn engine(g: &Arc<Graph>, matrix_limit: usize, hop_budget: usize) -> QueryEngine {
     QueryEngine::with_config(
         Arc::clone(g),
-        EngineConfig {
-            matrix_node_limit: matrix_limit,
-            hop_label_budget: hop_budget,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .matrix_node_limit(matrix_limit)
+            .hop_label_budget(hop_budget)
+            .build()
+            .unwrap(),
     )
 }
 

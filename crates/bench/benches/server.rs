@@ -1,0 +1,68 @@
+//! Benchmark: the serving stack end-to-end — an in-process `rpq-server`
+//! on a loopback port, driven by the closed-loop load generator, plus a
+//! single-connection round-trip timing. With `BENCH_JSON_DIR` set, the
+//! medians and the load report land in `BENCH_server.json`, which CI
+//! uploads alongside the other bench artifacts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpq_bench::loadgen::{run_load, LoadConfig};
+use rpq_bench::querygen::generate_rq;
+use rpq_engine::{Query, UpdatableEngine};
+use rpq_graph::gen::youtube_like;
+use rpq_server::{Client, Server, ServerConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const NODES: usize = 2_000;
+const SEED: u64 = 42;
+
+fn bench_server(c: &mut Criterion) {
+    let engine = Arc::new(UpdatableEngine::new(youtube_like(NODES, SEED)));
+    let graph = Arc::clone(engine.snapshot().graph());
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServerConfig {
+            queue_capacity: 256,
+            coalesce_window: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+
+    criterion::report_context("graph_nodes", NODES);
+
+    // one warm load burst so the JSON report carries throughput numbers,
+    // not just a single-connection round-trip
+    let cfg = LoadConfig {
+        connections: 16,
+        requests_per_connection: 4,
+        write_pct: 20,
+        batch: 2,
+        updates_per_write: 2,
+        seed: SEED,
+    };
+    let report = run_load(&addr, &graph, &cfg);
+    assert_eq!(report.errors, 0, "load burst saw errors");
+    criterion::report_context("load_qps", format!("{:.0}", report.qps));
+    criterion::report_context("load_p50_us", report.p50_us);
+    criterion::report_context("load_p99_us", report.p99_us);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let queries: Vec<Query> = (0..4)
+        .map(|i| Query::Rq(generate_rq(&graph, 2, 3, 2, 7_000 + i)))
+        .collect();
+    c.bench_function("round_trip_batch4", |b| {
+        b.iter(|| {
+            let resp = client.query(black_box(&queries), &graph).expect("query");
+            assert_eq!(resp.status, 200);
+            black_box(resp.body.len())
+        })
+    });
+
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rpq_core::predicate::Predicate;
 use rpq_core::rq::Rq;
-use rpq_engine::{EngineConfig, Query, QueryEngine, ShardedEngine};
+use rpq_engine::{EngineConfig, Query, QueryEngine, QueryService, ShardedEngine};
 use rpq_graph::gen::clustered;
 use rpq_graph::Graph;
 use rpq_index::ShardedLabels;
@@ -59,24 +59,24 @@ fn bench_sharded(c: &mut Criterion) {
     // reference: the single hop-label index
     let hop_engine = QueryEngine::with_config(
         Arc::clone(&g),
-        EngineConfig {
-            matrix_node_limit: 0,
+        EngineConfig::builder()
+            .matrix_node_limit(0)
             // concrete layers fit easily; the wildcard attempt aborts at
             // the cap instead of burning minutes of build time
-            hop_label_budget: 64 << 20,
-            ..EngineConfig::default()
-        },
+            .hop_label_budget(64 << 20)
+            .build()
+            .unwrap(),
     );
     let hop = hop_engine.force_hop_labels().expect("fits default budget");
 
     // the sharded stack, with its build/shape numbers printed once
     let sharded_engine = ShardedEngine::build(
         Arc::clone(&g),
-        EngineConfig {
-            shards: SHARDS,
-            shard_memory_budget: 64 << 20,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .shards(SHARDS)
+            .shard_memory_budget(64 << 20)
+            .build()
+            .unwrap(),
     )
     .expect("concrete layers fit the per-shard budget");
     let stats = sharded_engine.stats();

@@ -7,8 +7,12 @@
 //! * [`measure`] — F-measure (precision/recall against PQ ground truth),
 //!   the Exp-1 effectiveness metric,
 //! * [`harness`] — timing and table-printing helpers shared by the
-//!   `experiments` binary and the Criterion benches.
+//!   `experiments` binary and the Criterion benches,
+//! * [`loadgen`] — the closed-loop load generator driving `rpq-server`
+//!   over its wire protocol (the `rpq-load` binary and the server
+//!   acceptance test are built on it).
 
 pub mod harness;
+pub mod loadgen;
 pub mod measure;
 pub mod querygen;

@@ -274,6 +274,16 @@ impl PqResult {
         }
     }
 
+    /// Number of query nodes this result covers.
+    pub fn node_count(&self) -> usize {
+        self.node_matches.len()
+    }
+
+    /// Number of query edges this result covers.
+    pub fn edge_count(&self) -> usize {
+        self.edge_matches.len()
+    }
+
     /// Matches of query node `u`, sorted.
     pub fn node_matches(&self, u: usize) -> &[NodeId] {
         &self.node_matches[u]

@@ -1,8 +1,13 @@
 //! Batch inputs and outputs: [`Query`], [`QueryOutput`], [`BatchResult`].
 
+use crate::error::EngineError;
 use crate::planner::Plan;
+use rpq_core::lang::LangError;
 use rpq_core::pq::{Pq, PqResult};
+use rpq_core::predicate::Predicate;
 use rpq_core::rq::{Rq, RqResult};
+use rpq_graph::Graph;
+use rpq_regex::FRegex;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -13,6 +18,84 @@ pub enum Query {
     Rq(Rq),
     /// A graph pattern query (§2, §5).
     Pq(Pq),
+}
+
+impl Query {
+    /// Parse an RQ from its three textual fields against `graph`'s
+    /// vocabulary: source predicate, target predicate (empty string =
+    /// trivially true) and an F-regex. This is the boundary the server's
+    /// wire codec lands on — parse failures are typed
+    /// [`EngineError::BadQuery`] values, never panics.
+    ///
+    /// ```
+    /// use rpq_engine::Query;
+    /// use rpq_graph::gen::essembly;
+    /// let g = essembly();
+    /// let q = Query::parse_rq("job = \"biologist\"", "", "fa^2 fn", &g).unwrap();
+    /// assert!(matches!(q, Query::Rq(_)));
+    /// assert!(Query::parse_rq("job = \"x\"", "", "no_such_color", &g).is_err());
+    /// ```
+    pub fn parse_rq(
+        from: &str,
+        to: &str,
+        regex: &str,
+        graph: &Graph,
+    ) -> Result<Query, EngineError> {
+        let from = Predicate::parse(from, graph.schema()).map_err(|e| EngineError::BadQuery {
+            line: 0,
+            msg: format!("source predicate: {e}"),
+        })?;
+        let to = Predicate::parse(to, graph.schema()).map_err(|e| EngineError::BadQuery {
+            line: 0,
+            msg: format!("target predicate: {e}"),
+        })?;
+        let regex = FRegex::parse(regex, graph.alphabet()).map_err(|e| EngineError::BadQuery {
+            line: 0,
+            msg: format!("regex: {e}"),
+        })?;
+        Ok(Query::Rq(Rq::new(from, to, regex)))
+    }
+
+    /// Parse a PQ from its [`rpq_core::lang`] text (`node …; edge a -> b:
+    /// regex` statements) against `graph`'s vocabulary. Failures carry the
+    /// 1-based line of the offending statement in
+    /// [`EngineError::BadQuery`].
+    ///
+    /// ```
+    /// use rpq_engine::{EngineError, Query};
+    /// use rpq_graph::gen::essembly;
+    /// let g = essembly();
+    /// let q = Query::parse_pq("node a: job = \"doctor\"; node b; edge a -> b: fn+", &g);
+    /// assert!(matches!(q, Ok(Query::Pq(_))));
+    /// let err = Query::parse_pq("node a\nedge a -> ghost: fn", &g).unwrap_err();
+    /// assert!(matches!(err, EngineError::BadQuery { line: 2, .. }));
+    /// ```
+    pub fn parse_pq(text: &str, graph: &Graph) -> Result<Query, EngineError> {
+        rpq_core::lang::parse_pq(text, graph.schema(), graph.alphabet())
+            .map(Query::Pq)
+            .map_err(lang_error)
+    }
+}
+
+/// Lift a [`LangError`] (which formats as `line {l}: {msg}`) into
+/// [`EngineError::BadQuery`] with the line split out, so the server can
+/// report it as a structured field without double-prefixing.
+fn lang_error(e: LangError) -> EngineError {
+    let line = match &e {
+        LangError::BadStatement(l, _)
+        | LangError::DuplicateNode(l, _)
+        | LangError::UnknownNode(l, _)
+        | LangError::BadPredicate(l, _)
+        | LangError::BadRegex(l, _)
+        | LangError::MissingArrow(l, _)
+        | LangError::MissingConstraint(l, _) => *l,
+    };
+    let full = e.to_string();
+    let msg = full
+        .strip_prefix(&format!("line {line}: "))
+        .unwrap_or(&full)
+        .to_owned();
+    EngineError::BadQuery { line, msg }
 }
 
 impl From<Rq> for Query {

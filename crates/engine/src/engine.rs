@@ -2,6 +2,7 @@
 //! and scoped-thread batch evaluation.
 
 use crate::batch::{BatchItem, BatchResult, Query, QueryOutput};
+use crate::error::ConfigError;
 use crate::memo::ReachMemo;
 use crate::planner::{self, Plan};
 use rpq_core::join_match::JoinMatch;
@@ -18,7 +19,24 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Engine tuning knobs.
-#[derive(Debug, Clone)]
+///
+/// Construct via [`EngineConfig::default`] or the validating
+/// [`EngineConfig::builder`]. The struct is `#[non_exhaustive]` so the
+/// serving/config surface can grow fields without breaking callers —
+/// which also means struct-literal construction is crate-private; outside
+/// this crate go through the builder:
+///
+/// ```
+/// use rpq_engine::EngineConfig;
+/// let config = EngineConfig::builder()
+///     .workers(4)
+///     .matrix_node_limit(0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.workers, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Worker threads per batch; `0` means one per available core.
     pub workers: usize,
@@ -87,6 +105,105 @@ impl Default for EngineConfig {
             shards: 1,
             shard_memory_budget: 0,
         }
+    }
+}
+
+impl EngineConfig {
+    /// A validating builder seeded with the defaults. Setters mirror the
+    /// field docs; [`EngineConfigBuilder::build`] rejects values the
+    /// engine cannot serve with (`Err(ConfigError)`) instead of letting
+    /// them panic deep inside a batch.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`EngineConfig`] — see [`EngineConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sanity cap on [`workers`](EngineConfigBuilder::workers): the engine
+    /// spawns this many scoped threads per batch, so a typo'd huge value
+    /// is a config error, not a fork bomb.
+    pub const MAX_WORKERS: usize = 4096;
+
+    /// Worker threads per batch; `0` (default) means one per core.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Largest node count that still gets the per-color distance matrix
+    /// (`0` disables the matrix regime entirely).
+    pub fn matrix_node_limit(mut self, limit: usize) -> Self {
+        self.config.matrix_node_limit = limit;
+        self
+    }
+
+    /// Per-worker LRU reachability-cache capacity (entries, must be ≥ 1).
+    pub fn reach_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.reach_cache_capacity = capacity;
+        self
+    }
+
+    /// Byte budget for the pruned 2-hop label index (`0` disables hop
+    /// labels).
+    pub fn hop_label_budget(mut self, bytes: usize) -> Self {
+        self.config.hop_label_budget = bytes;
+        self
+    }
+
+    /// Landmarks per hop-label layer; `0` (default) = all nodes (exact).
+    pub fn hop_landmarks(mut self, landmarks: usize) -> Self {
+        self.config.hop_landmarks = landmarks;
+        self
+    }
+
+    /// Normalized pattern size at which cyclic patterns switch to
+    /// `SplitMatch` on the matrix backend (`usize::MAX` disables split;
+    /// must be ≥ 1).
+    pub fn split_crossover(mut self, crossover: usize) -> Self {
+        self.config.split_crossover = crossover;
+        self
+    }
+
+    /// Shard count for the partitioned fallback backend (`1` disables
+    /// sharding; must be ≥ 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Byte budget for **each** per-shard label build (`0` = unlimited).
+    pub fn shard_memory_budget(mut self, bytes: usize) -> Self {
+        self.config.shard_memory_budget = bytes;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<EngineConfig, ConfigError> {
+        let c = &self.config;
+        if c.reach_cache_capacity == 0 {
+            return Err(ConfigError::ZeroReachCache);
+        }
+        if c.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if c.split_crossover == 0 {
+            return Err(ConfigError::ZeroSplitCrossover);
+        }
+        if c.workers > Self::MAX_WORKERS {
+            return Err(ConfigError::TooManyWorkers {
+                workers: c.workers,
+                max: Self::MAX_WORKERS,
+            });
+        }
+        Ok(self.config)
     }
 }
 
@@ -1098,6 +1215,41 @@ mod tests {
                 .unwrap(),
             &ring_pq.eval_naive(&g)
         );
+    }
+
+    #[test]
+    fn builder_validates() {
+        let built = EngineConfig::builder()
+            .workers(2)
+            .shards(4)
+            .shard_memory_budget(1 << 20)
+            .build()
+            .unwrap();
+        assert_eq!(built.workers, 2);
+        assert_eq!(built.shards, 4);
+        assert_eq!(built.shard_memory_budget, 1 << 20);
+        // untouched fields keep their defaults
+        assert_eq!(
+            built.matrix_node_limit,
+            EngineConfig::default().matrix_node_limit
+        );
+
+        assert_eq!(
+            EngineConfig::builder().reach_cache_capacity(0).build(),
+            Err(ConfigError::ZeroReachCache)
+        );
+        assert_eq!(
+            EngineConfig::builder().shards(0).build(),
+            Err(ConfigError::ZeroShards)
+        );
+        assert_eq!(
+            EngineConfig::builder().split_crossover(0).build(),
+            Err(ConfigError::ZeroSplitCrossover)
+        );
+        assert!(matches!(
+            EngineConfig::builder().workers(usize::MAX).build(),
+            Err(ConfigError::TooManyWorkers { .. })
+        ));
     }
 
     #[test]

@@ -31,7 +31,11 @@
 //!   pinned snapshot without ever blocking on writers, indices are
 //!   versioned per snapshot, and registered standing PQs are maintained
 //!   incrementally and served from their standing answers
-//!   ([`Plan::PqStanding`]) instead of being re-evaluated.
+//!   ([`Plan::PqStanding`]) instead of being re-evaluated;
+//! * [`QueryService`] unifies the four engine types behind one
+//!   object-safe trait — the boundary the `rpq-server` front-end and the
+//!   bench harness program against — with boundary failures surfaced as
+//!   typed [`EngineError`] values instead of panics.
 //!
 //! Workers are plain `std::thread::scope` scoped threads pulling query
 //! indices off an atomic counter — no external dependencies.
@@ -60,16 +64,20 @@
 
 mod batch;
 mod engine;
+mod error;
 pub mod memo;
 pub mod planner;
+mod service;
 mod sharded;
 mod snapshot;
 mod updatable;
 
 pub use batch::{BatchItem, BatchResult, Query, QueryOutput};
-pub use engine::{EngineConfig, QueryEngine};
+pub use engine::{EngineConfig, EngineConfigBuilder, QueryEngine};
+pub use error::{ConfigError, EngineError};
 pub use memo::ReachMemo;
 pub use planner::Plan;
+pub use service::QueryService;
 pub use sharded::ShardedEngine;
 pub use snapshot::Snapshot;
 pub use updatable::{ApplyReport, StandingId, UpdatableEngine};

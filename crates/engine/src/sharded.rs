@@ -26,11 +26,10 @@
 //! RQ/PQ evaluation algorithms run unchanged over the stitched
 //! [`DistProbe`](rpq_index::DistProbe); only the probe changes.
 
-use crate::batch::{BatchResult, Query, QueryOutput};
 use crate::engine::{EngineConfig, QueryEngine};
-use crate::planner::Plan;
+use crate::error::EngineError;
 use rpq_graph::{Graph, ShardedGraph};
-use rpq_index::{HopBuildError, ShardedConfig, ShardedLabels, ShardedStats};
+use rpq_index::{ShardedConfig, ShardedLabels, ShardedStats};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -54,7 +53,7 @@ impl ShardedEngine {
     /// partitioner): `shards: 1` yields a single-shard topology — no cut
     /// edges, no overlay stitch cost — which is occasionally useful as a
     /// baseline but serves no scaling purpose.
-    pub fn build(graph: Arc<Graph>, config: EngineConfig) -> Result<Self, HopBuildError> {
+    pub fn build(graph: Arc<Graph>, config: EngineConfig) -> Result<Self, EngineError> {
         let sharded_config = ShardedConfig {
             shards: config.shards.max(1),
             shard_budget_bytes: config.shard_memory_budget,
@@ -68,10 +67,7 @@ impl ShardedEngine {
 
     /// Build over a caller-partitioned [`ShardedGraph`] (external
     /// partitioners, benches pinning a specific cut).
-    pub fn build_on(
-        sharded: Arc<ShardedGraph>,
-        config: EngineConfig,
-    ) -> Result<Self, HopBuildError> {
+    pub fn build_on(sharded: Arc<ShardedGraph>, config: EngineConfig) -> Result<Self, EngineError> {
         let sharded_config = ShardedConfig {
             shards: sharded.k(),
             shard_budget_bytes: config.shard_memory_budget,
@@ -135,29 +131,23 @@ impl ShardedEngine {
         self.build_time
     }
 
-    /// The plan this engine picks for `query` — [`Plan::RqSharded`] /
-    /// [`Plan::PqJoinSharded`] whenever the index covers the probed
-    /// colors, search fallbacks otherwise (a dropped wildcard layer).
-    pub fn plan_query(&self, query: &Query) -> Plan {
-        self.inner.plan_query(query)
-    }
-
-    /// Evaluate one query on the calling thread.
-    pub fn run_query(&self, query: &Query) -> QueryOutput {
-        self.inner.run_query(query)
-    }
-
-    /// Scatter a batch across the worker set and gather outputs in
-    /// submission order — identical answers to sequential evaluation on
-    /// any backend, per-query plans and timings in the result.
-    pub fn run_batch(&self, queries: &[Query]) -> BatchResult {
-        self.inner.run_batch(queries)
+    /// The inner batch engine, pinned to the sharded regime. Querying goes
+    /// through [`QueryService`](crate::QueryService) — plans come out as
+    /// [`Plan::RqSharded`](crate::Plan::RqSharded) /
+    /// [`Plan::PqJoinSharded`](crate::Plan::PqJoinSharded) whenever the
+    /// index covers the probed colors, search fallbacks otherwise (a
+    /// dropped wildcard layer).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.inner
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::Query;
+    use crate::planner::Plan;
+    use crate::service::QueryService;
     use rpq_core::pq::Pq;
     use rpq_core::predicate::Predicate;
     use rpq_core::rq::Rq;
@@ -218,6 +208,6 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        assert!(matches!(err, Err(HopBuildError::OverBudget { .. })));
+        assert!(matches!(err, Err(EngineError::IndexOverBudget { .. })));
     }
 }

@@ -26,6 +26,7 @@
 //! [`Plan::PqStanding`](crate::Plan::PqStanding).
 
 use crate::engine::{EngineConfig, QueryEngine};
+use crate::error::EngineError;
 use crate::memo::ReachMemo;
 use crate::snapshot::{Snapshot, StandingEntry};
 use rpq_core::incremental::{DynamicGraph, IncrementalMatcher, Update};
@@ -90,7 +91,7 @@ struct WriterState {
 /// let c1 = g.node_by_label("C1").unwrap();
 /// let b1 = g.node_by_label("B1").unwrap();
 /// let fnc = g.alphabet().get("fn").unwrap();
-/// let report = engine.apply(&[Update::Insert(c1, b1, fnc)]);
+/// let report = engine.apply(&[Update::Insert(c1, b1, fnc)]).unwrap();
 /// assert_eq!(report.applied, 1);
 /// assert!(report.snapshot.version() > before.version());
 ///
@@ -189,16 +190,43 @@ impl UpdatableEngine {
     /// and the new snapshot (fresh per-version indices, refreshed standing
     /// answers) replaces the current one with a single `Arc` swap. A batch
     /// that changes nothing publishes nothing.
-    pub fn apply(&self, updates: &[Update]) -> ApplyReport {
+    ///
+    /// # Errors
+    ///
+    /// The whole batch is validated before any of it is applied — an
+    /// update naming a node the graph does not have
+    /// ([`EngineError::NodeOutOfRange`]) or a wildcard edge color
+    /// ([`EngineError::WildcardEdge`]) rejects the batch atomically, with
+    /// the graph unchanged and no snapshot published. (The seed panicked
+    /// inside the graph builder instead; a serving front-end needs the
+    /// `Err`.)
+    pub fn apply(&self, updates: &[Update]) -> Result<ApplyReport, EngineError> {
         let mut writer = self.writer.lock().expect("writer lock poisoned");
         let state = &mut *writer;
+        let node_count = state.dynamic.graph_arc().node_count();
+        for update in updates {
+            let (u, v, color) = match *update {
+                Update::Insert(u, v, c) | Update::Delete(u, v, c) => (u, v, c),
+            };
+            for node in [u, v] {
+                if node.index() >= node_count {
+                    return Err(EngineError::NodeOutOfRange {
+                        node: node.0,
+                        node_count,
+                    });
+                }
+            }
+            if color.is_wildcard() {
+                return Err(EngineError::WildcardEdge);
+            }
+        }
         let effective = state.dynamic.apply(updates);
         if effective.is_empty() {
-            return ApplyReport {
+            return Ok(ApplyReport {
                 version: state.dynamic.version(),
                 applied: 0,
                 snapshot: self.snapshot(),
-            };
+            });
         }
         for matcher in &mut state.matchers {
             matcher.on_update(&state.dynamic, &effective);
@@ -228,29 +256,17 @@ impl UpdatableEngine {
         // keep their (correct) search fallback, new readers get the new
         // version, so abort the stale build instead of finishing it
         superseded.engine().retire_index_builds();
-        ApplyReport {
+        Ok(ApplyReport {
             version: snapshot.version(),
             applied: effective.len(),
             snapshot,
-        }
+        })
     }
 
     /// The maintained answer of standing query `id` in the current
     /// snapshot.
     pub fn standing_result(&self, id: StandingId) -> Option<Arc<PqResult>> {
         self.snapshot().standing_result(id)
-    }
-
-    /// Convenience: run a batch against the current snapshot (equivalent to
-    /// `self.snapshot().run_batch(queries)`; hold a [`Snapshot`] instead if
-    /// several batches must see the same version).
-    pub fn run_batch(&self, queries: &[crate::Query]) -> crate::BatchResult {
-        self.snapshot().run_batch(queries)
-    }
-
-    /// Convenience: run one query against the current snapshot.
-    pub fn run_query(&self, query: &crate::Query) -> crate::QueryOutput {
-        self.snapshot().run_query(query)
     }
 }
 
@@ -291,7 +307,9 @@ mod tests {
         let b1 = g.node_by_label("B1").unwrap();
         let b2 = g.node_by_label("B2").unwrap();
         let fnc = g.alphabet().get("fn").unwrap();
-        let report = engine.apply(&[Update::Delete(c3, b1, fnc), Update::Delete(c3, b2, fnc)]);
+        let report = engine
+            .apply(&[Update::Delete(c3, b1, fnc), Update::Delete(c3, b2, fnc)])
+            .unwrap();
         assert_eq!(report.applied, 2);
         assert_eq!(report.version, 1);
 
@@ -351,7 +369,7 @@ mod tests {
             .map(|e| Update::Delete(b1, e.node, fnc))
             .collect();
         assert!(!cuts.is_empty());
-        let report = engine.apply(&cuts);
+        let report = engine.apply(&cuts).unwrap();
         let maintained = report.snapshot.standing_result(id).unwrap();
 
         // reference: full evaluation on the new graph
@@ -373,10 +391,43 @@ mod tests {
         let fnc = g.alphabet().get("fn").unwrap();
         assert!(!g.has_edge(c1, b1, fnc));
         let before = engine.snapshot();
-        let report = engine.apply(&[Update::Delete(c1, b1, fnc)]);
+        let report = engine.apply(&[Update::Delete(c1, b1, fnc)]).unwrap();
         assert_eq!(report.applied, 0);
         assert_eq!(report.version, 0);
         assert!(Arc::ptr_eq(&before, &engine.snapshot()), "no new snapshot");
+    }
+
+    #[test]
+    fn bad_updates_are_rejected_atomically() {
+        let engine = UpdatableEngine::new(essembly());
+        let g = engine.snapshot().graph().clone();
+        let c1 = g.node_by_label("C1").unwrap();
+        let b1 = g.node_by_label("B1").unwrap();
+        let fnc = g.alphabet().get("fn").unwrap();
+        let n = g.node_count();
+        let ghost = rpq_graph::NodeId(n as u32);
+        let before = engine.snapshot();
+
+        // a good update followed by a bad one: nothing may apply
+        let err = engine
+            .apply(&[Update::Insert(c1, b1, fnc), Update::Insert(c1, ghost, fnc)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::EngineError::NodeOutOfRange {
+                node: n as u32,
+                node_count: n
+            }
+        );
+        assert_eq!(
+            engine
+                .apply(&[Update::Insert(c1, b1, rpq_graph::WILDCARD)])
+                .unwrap_err(),
+            crate::EngineError::WildcardEdge
+        );
+        // graph unchanged, no snapshot published
+        assert!(Arc::ptr_eq(&before, &engine.snapshot()));
+        assert!(!engine.snapshot().graph().has_edge(c1, b1, fnc));
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! A deliberately small HTTP/1.1 codec over `std::net`.
+//!
+//! The build environment has no crates.io access, so the server speaks
+//! just enough HTTP for its own wire format: request line + headers +
+//! `Content-Length` bodies, keep-alive by default (1.1 semantics),
+//! `Connection: close` honored, hard limits on header and body sizes.
+//! No chunked encoding, no TLS, no pipelining guarantees beyond
+//! request/response alternation — clients that need more belong behind a
+//! reverse proxy.
+
+use std::io::{self, BufRead, Write};
+
+/// Cap on the request line plus all headers (a malformed peer cannot make
+/// the server buffer unboundedly).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Did the client ask to drop the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Body as UTF-8, or `None` if it is not valid UTF-8.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Head or body exceeded the configured limit.
+    TooLarge,
+    /// Syntactically broken request.
+    Malformed(&'static str),
+    /// Transport failure (includes read timeouts on idle keep-alives).
+    Io(io::Error),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Read one request. `Ok(None)` means the peer closed cleanly before
+/// sending anything (the normal end of a keep-alive connection).
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Option<Request>, HttpError> {
+    let mut head_bytes = 0usize;
+    let mut line = String::new();
+    // tolerate a stray blank line between pipelined requests
+    loop {
+        line.clear();
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        head_bytes += n;
+        if !line.trim_end_matches(['\r', '\n']).is_empty() {
+            break;
+        }
+    }
+    let request_line = line.trim_end_matches(['\r', '\n']).to_owned();
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line without a path"))?
+        .to_owned();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line without a version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("not an HTTP/1.x request"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("eof inside headers"));
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let (name, value) = trimmed
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without ':'"))?;
+        headers.push((name.trim().to_owned(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed("bad content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// One response about to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON-bodied response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into(),
+        }
+    }
+
+    /// The standard error shape: `{"error": "<msg>"}`.
+    pub fn error(status: u16, msg: &str) -> Self {
+        Response::json(
+            status,
+            format!("{{\"error\": \"{}\"}}\n", crate::json::escape(msg)),
+        )
+    }
+
+    pub fn with_header(mut self, name: &str, value: impl ToString) -> Self {
+        self.headers.push((name.into(), value.to_string()));
+        self
+    }
+
+    /// Serialize onto the stream. `keep_alive` controls the `Connection`
+    /// header; the caller must actually honor it afterwards.
+    pub fn write(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, status_text(self.status));
+        for (k, v) in &self.headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n"
+        } else {
+            "Connection: close\r\n"
+        });
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the handful of codes the server emits.
+pub fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A decoded response: status, headers, body.
+pub type RawResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// Client side: read one response (status, headers, body).
+pub fn read_response(r: &mut impl BufRead) -> Result<RawResponse, HttpError> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(HttpError::Malformed("connection closed before response"));
+    }
+    let mut parts = line.trim_end_matches(['\r', '\n']).splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("not an HTTP/1.x response"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(HttpError::Malformed("bad status code"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(HttpError::Malformed("eof inside response headers"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.push((name.trim().to_owned(), value.trim().to_owned()));
+        }
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok((status, headers, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_a_request_with_body() {
+        let raw = b"POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut BufReader::new(&raw[..]), 1024)
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/query");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body_str(), Some("hello"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_garbage_is_malformed() {
+        assert!(matches!(
+            read_request(&mut BufReader::new(&b""[..]), 1024),
+            Ok(None)
+        ));
+        assert!(matches!(
+            read_request(&mut BufReader::new(&b"NOT-HTTP\r\n\r\n"[..]), 1024),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_up_front() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut BufReader::new(&raw[..]), 10),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut buf = Vec::new();
+        Response::json(200, "{\"ok\": true}")
+            .with_header("X-Rpq-Version", 7)
+            .write(&mut buf, true)
+            .unwrap();
+        let (status, headers, body) = read_response(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"{\"ok\": true}");
+        assert!(headers
+            .iter()
+            .any(|(k, v)| k == "X-Rpq-Version" && v == "7"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Lock-free serving metrics: counters plus a log-bucketed latency
+//! histogram, rendered as the `/metrics` JSON document.
+//!
+//! Every hot-path touch is a relaxed atomic increment; percentile math
+//! happens only at scrape time. The histogram is log₂-bucketed with four
+//! sub-buckets per octave (≤ ~19% quantile error), which is plenty for
+//! p50/p99 serving dashboards and needs no allocation and no locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const LINEAR_CUTOFF: u64 = 16;
+const SUBBUCKETS: usize = 4;
+const BUCKETS: usize = LINEAR_CUTOFF as usize + (64 - 4) * SUBBUCKETS;
+
+/// Fixed-size histogram of microsecond latencies.
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>, // BUCKETS entries
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(us: u64) -> usize {
+    if us < LINEAR_CUTOFF {
+        return us as usize;
+    }
+    let octave = 63 - us.leading_zeros() as usize; // >= 4
+    let sub = ((us >> (octave - 2)) & 0b11) as usize;
+    LINEAR_CUTOFF as usize + (octave - 4) * SUBBUCKETS + sub
+}
+
+/// Representative (upper-bound) value of a bucket, in µs.
+fn bucket_value(idx: usize) -> u64 {
+    if idx < LINEAR_CUTOFF as usize {
+        return idx as u64;
+    }
+    let rest = idx - LINEAR_CUTOFF as usize;
+    let octave = rest / SUBBUCKETS + 4;
+    let sub = (rest % SUBBUCKETS) as u128;
+    // low edge of the sub-bucket plus half a sub-bucket width; u128
+    // intermediate because the top octave's upper edge is 2^64
+    let v = (1u128 << octave) + (sub + 1) * (1u128 << (octave - 2)) - (1u128 << (octave - 3));
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+impl LatencyHistogram {
+    pub fn record(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` ∈ [0, 1], or 0 with no samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_value(i);
+            }
+        }
+        bucket_value(BUCKETS - 1)
+    }
+}
+
+/// The server's metrics registry. One instance per [`Server`], shared by
+/// every connection thread.
+///
+/// [`Server`]: crate::Server
+pub struct Metrics {
+    started: Instant,
+    /// Individual queries answered (batch of 8 counts 8).
+    pub queries: AtomicU64,
+    /// Query requests answered (batch of 8 counts 1).
+    pub query_requests: AtomicU64,
+    /// Updates applied.
+    pub updates: AtomicU64,
+    /// Update requests answered.
+    pub update_requests: AtomicU64,
+    /// Requests refused with 429 because the admission queue was full.
+    pub rejected: AtomicU64,
+    /// Requests answered with a 4xx/5xx other than 429.
+    pub errors: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Request latency (admission to response ready), µs.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            queries: AtomicU64::new(0),
+            query_requests: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            update_requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+        }
+    }
+
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64().max(1e-9)
+    }
+
+    /// Queries per second over the server's lifetime.
+    pub fn qps(&self) -> f64 {
+        self.queries.load(Ordering::Relaxed) as f64 / self.uptime_secs()
+    }
+
+    /// Render the `/metrics` document. The engine-side gauges (queue
+    /// depth, snapshot version, index bytes) are sampled by the caller at
+    /// scrape time.
+    pub fn render(&self, queue_depth: usize, snapshot_version: u64, index_bytes: u64) -> String {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        format!(
+            concat!(
+                "{{\"qps\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, ",
+                "\"queries\": {}, \"query_requests\": {}, ",
+                "\"updates\": {}, \"update_requests\": {}, ",
+                "\"rejected\": {}, \"errors\": {}, \"connections\": {}, ",
+                "\"queue_depth\": {}, \"snapshot_version\": {}, ",
+                "\"index_bytes\": {}, \"uptime_s\": {:.3}}}\n"
+            ),
+            self.qps(),
+            self.latency.quantile(0.50),
+            self.latency.quantile(0.99),
+            g(&self.queries),
+            g(&self.query_requests),
+            g(&self.updates),
+            g(&self.update_requests),
+            g(&self.rejected),
+            g(&self.errors),
+            g(&self.connections),
+            queue_depth,
+            snapshot_version,
+            index_bytes,
+            self.uptime_secs(),
+        )
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut last = 0;
+        for us in [0u64, 1, 15, 16, 17, 100, 1000, 65_536, u64::MAX / 2] {
+            let b = bucket_of(us);
+            assert!(b >= last, "bucket order broke at {us}");
+            last = b;
+            assert!(b < BUCKETS);
+        }
+        // a bucket's representative value maps back into that bucket
+        for idx in [0usize, 5, 16, 17, 40, 100, BUCKETS - 1] {
+            assert_eq!(bucket_of(bucket_value(idx)), idx, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_recorded_values() {
+        let h = LatencyHistogram::default();
+        for us in 1..=1000u64 {
+            h.record(us);
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // log-bucket resolution: within ~20% of the exact rank values
+        assert!((400..=650).contains(&p50), "p50 = {p50}");
+        assert!((800..=1300).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn render_is_valid_json() {
+        let m = Metrics::new();
+        m.latency.record(120);
+        m.queries.fetch_add(7, Ordering::Relaxed);
+        let doc = crate::json::Json::parse(&m.render(3, 9, 4096)).unwrap();
+        assert_eq!(doc.get("queries").unwrap().as_u64(), Some(7));
+        assert_eq!(doc.get("queue_depth").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("snapshot_version").unwrap().as_u64(), Some(9));
+        assert!(doc.get("qps").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,559 @@
+//! The threaded serving core: listener, connection threads, a bounded
+//! admission queue, and a coalescing executor that feeds client batches
+//! into the scatter-gather engine.
+//!
+//! ## Threading model
+//!
+//! * **accept thread** — owns the [`TcpListener`]; spawns one small-stack
+//!   thread per connection. Stops on shutdown.
+//! * **connection threads** — parse HTTP requests, run the wire codec,
+//!   and *submit* query batches to the admission queue; they never touch
+//!   the engine for reads. Updates go straight to
+//!   [`UpdatableEngine::apply`] (the engine serializes writers
+//!   internally), gated by a concurrent-writer cap.
+//! * **coalescer thread** — drains the admission queue, concatenates the
+//!   pending submissions into one batch, runs it through the engine as a
+//!   [`QueryService`] against one snapshot, and hands each submission its
+//!   slice of the answers. Cross-connection coalescing is what lets the
+//!   engine's batch-wide reach-set memoization work across clients.
+//!
+//! ## Admission control
+//!
+//! The queue is bounded ([`ServerConfig::queue_capacity`]). A submission
+//! that finds it full is refused immediately with **429** and a
+//! `Retry-After` header — backpressure instead of unbounded buffering.
+//! [`ServerConfig::coalesce_window`] optionally holds the coalescer for a
+//! beat after work arrives so concurrent clients land in one engine
+//! batch; it is also what makes backpressure deterministic to test.
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::metrics::Metrics;
+use crate::wire;
+use rpq_engine::{Query, QueryService, Snapshot, UpdatableEngine};
+use rpq_graph::AttrId;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Admission-queue capacity in *requests*; a full queue answers 429.
+    pub queue_capacity: usize,
+    /// Max submissions coalesced into one engine batch.
+    pub coalesce_max: usize,
+    /// How long the coalescer waits after work arrives before draining,
+    /// letting concurrent submissions pile into one batch. Zero (the
+    /// default) serves lowest-latency; a few ms trades latency for
+    /// batch-wide memoization.
+    pub coalesce_window: Duration,
+    /// Concurrent update requests admitted before writers get 429.
+    pub max_pending_updates: usize,
+    /// Per-connection read timeout (bounds idle keep-alives).
+    pub read_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_capacity: 128,
+            coalesce_max: 64,
+            coalesce_window: Duration::ZERO,
+            max_pending_updates: 32,
+            read_timeout: Duration::from_secs(30),
+            max_body_bytes: 8 << 20,
+        }
+    }
+}
+
+/// `Retry-After` seconds sent with 429 responses.
+const RETRY_AFTER_SECS: u32 = 1;
+
+/// One admitted query submission waiting for the coalescer.
+struct Pending {
+    queries: Vec<Query>,
+    reply: mpsc::SyncSender<Answer>,
+}
+
+struct Answer {
+    body: String,
+    version: u64,
+}
+
+#[derive(Default)]
+struct QueueState {
+    items: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// Bounded multi-producer queue with a single coalescing consumer.
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl WorkQueue {
+    fn new(capacity: usize) -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState::default()),
+            cond: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admit a submission, or refuse immediately when full/closed.
+    fn try_push(&self, p: Pending) -> Result<(), ()> {
+        let mut s = self.state.lock().expect("queue lock");
+        if s.closed || s.items.len() >= self.capacity {
+            return Err(());
+        }
+        s.items.push_back(p);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Block until work arrives (or the queue closes empty), then drain
+    /// up to `max` submissions. `window` holds the drain after the first
+    /// arrival so concurrent submissions coalesce.
+    fn pop_coalesced(&self, max: usize, window: Duration) -> Option<Vec<Pending>> {
+        let mut s = self.state.lock().expect("queue lock");
+        while s.items.is_empty() {
+            if s.closed {
+                return None;
+            }
+            s = self.cond.wait(s).expect("queue lock");
+        }
+        if !window.is_zero() {
+            drop(s);
+            thread::sleep(window);
+            s = self.state.lock().expect("queue lock");
+        }
+        let n = s.items.len().min(max);
+        Some(s.items.drain(..n).collect())
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.cond.notify_all();
+    }
+}
+
+struct Shared {
+    engine: Arc<UpdatableEngine>,
+    metrics: Arc<Metrics>,
+    queue: WorkQueue,
+    config: ServerConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    pending_updates: AtomicUsize,
+    /// Read halves of live connections, so shutdown can unblock idle
+    /// keep-alive reads instead of waiting out their timeout.
+    conn_streams: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// leaves the threads running for the rest of the process.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+    coalescer: Option<thread::JoinHandle<()>>,
+}
+
+/// A cheap clonable handle for signalling shutdown from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Ask the server to stop accepting and drain. Idempotent.
+    pub fn shutdown(&self) {
+        signal_shutdown(&self.shared);
+    }
+}
+
+impl Server {
+    /// Bind, spawn the accept and coalescer threads, return immediately.
+    pub fn start(engine: Arc<UpdatableEngine>, config: ServerConfig) -> io::Result<Server> {
+        let listener =
+            TcpListener::bind(config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "unresolvable addr")
+            })?)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            metrics: Arc::new(Metrics::new()),
+            queue: WorkQueue::new(config.queue_capacity.max(1)),
+            config,
+            addr,
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            pending_updates: AtomicUsize::new(0),
+            conn_streams: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+
+        let coalescer = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("rpq-coalescer".into())
+                .spawn(move || coalescer_loop(&shared))?
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("rpq-accept".into())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            coalescer: Some(coalescer),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The server's metrics registry (shared with `/metrics`).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// A handle that can signal shutdown from elsewhere.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Block until the server is shut down (via [`Server::shutdown`], a
+    /// [`ServerHandle`], or `POST /v1/shutdown`), then drain gracefully.
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.coalescer.take() {
+            let _ = t.join();
+        }
+        drain_connections(&self.shared);
+    }
+
+    /// Graceful shutdown: stop accepting, refuse new admissions, finish
+    /// in-flight requests, join the serving threads.
+    pub fn shutdown(self) {
+        signal_shutdown(&self.shared);
+        self.wait();
+    }
+}
+
+fn signal_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already signalled
+    }
+    shared.queue.close();
+    // half-close the read side of every live connection: idle keep-alive
+    // reads return EOF at once, while in-flight responses still go out
+    if let Ok(conns) = shared.conn_streams.lock() {
+        for stream in conns.values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+    // wake the blocking accept() with a throwaway connection
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// Wait (bounded) for connection threads to finish their last responses.
+fn drain_connections(shared: &Shared) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while shared.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        shared.active_connections.fetch_add(1, Ordering::SeqCst);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let (Ok(clone), Ok(mut conns)) = (stream.try_clone(), shared.conn_streams.lock()) {
+            conns.insert(conn_id, clone);
+        }
+        let conn_shared = Arc::clone(shared);
+        // small stacks: at thousands of connections the default 8 MiB
+        // per thread is the limit, not the sockets
+        let spawned = thread::Builder::new()
+            .name("rpq-conn".into())
+            .stack_size(256 * 1024)
+            .spawn(move || {
+                handle_connection(stream, &conn_shared);
+                if let Ok(mut conns) = conn_shared.conn_streams.lock() {
+                    conns.remove(&conn_id);
+                }
+                conn_shared
+                    .active_connections
+                    .fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            if let Ok(mut conns) = shared.conn_streams.lock() {
+                conns.remove(&conn_id);
+            }
+            shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn coalescer_loop(shared: &Shared) {
+    let cfg = &shared.config;
+    while let Some(batch) = shared
+        .queue
+        .pop_coalesced(cfg.coalesce_max.max(1), cfg.coalesce_window)
+    {
+        let mut all = Vec::with_capacity(batch.iter().map(|p| p.queries.len()).sum());
+        for p in &batch {
+            all.extend_from_slice(&p.queries);
+        }
+        let snapshot = shared.engine.snapshot();
+        let result = run_on_service(snapshot.as_ref(), &all);
+        let version = snapshot.version();
+        let mut offset = 0;
+        for p in batch {
+            let items = &result.items()[offset..offset + p.queries.len()];
+            offset += p.queries.len();
+            // a receiver that gave up (timeout, dead connection) is fine
+            let _ = p.reply.send(Answer {
+                body: wire::encode_items(items),
+                version,
+            });
+        }
+    }
+}
+
+/// The single point where answers are computed: everything the server
+/// serves goes through the object-safe [`QueryService`] surface, so any
+/// backend implementing the trait could sit here.
+fn run_on_service(service: &dyn QueryService, queries: &[Query]) -> rpq_engine::BatchResult {
+    service.run_batch(queries)
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+
+    loop {
+        let req = match read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(Some(req)) => req,
+            Ok(None) => break,              // clean EOF
+            Err(HttpError::Io(_)) => break, // timeout or reset
+            Err(HttpError::TooLarge) => {
+                let _ = Response::error(413, "request too large").write(&mut writer, false);
+                break;
+            }
+            Err(HttpError::Malformed(msg)) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = Response::error(400, msg).write(&mut writer, false);
+                break;
+            }
+        };
+
+        let client_close = req.wants_close();
+        let resp = dispatch(&req, shared);
+        if resp.status >= 400 && resp.status != 429 {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let closing = client_close || shared.shutdown.load(Ordering::SeqCst);
+        if resp.write(&mut writer, !closing).is_err() || closing {
+            break;
+        }
+    }
+    let _ = writer.flush();
+}
+
+fn dispatch(req: &Request, shared: &Shared) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/query") => handle_query(req, shared),
+        ("POST", "/v1/update") => handle_update(req, shared),
+        ("GET", "/metrics") => handle_metrics(shared),
+        ("GET", "/v1/schema") => handle_schema(shared),
+        ("POST", "/v1/shutdown") => {
+            signal_shutdown(shared);
+            Response::json(200, "{\"ok\": true}\n")
+        }
+        ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+fn engine_error_response(e: &rpq_engine::EngineError) -> Response {
+    Response::error(wire::status_for(e), &e.to_string())
+}
+
+fn handle_query(req: &Request, shared: &Shared) -> Response {
+    let Some(body) = req.body_str() else {
+        return Response::error(400, "body is not valid utf-8");
+    };
+    let started = Instant::now();
+    let snapshot = shared.engine.snapshot();
+    let queries = match wire::parse_query_body(body, snapshot.graph()) {
+        Ok(q) => q,
+        Err(e) => return engine_error_response(&e),
+    };
+    drop(snapshot);
+    let n = queries.len();
+    if n == 0 {
+        return Response::json(200, "").with_header("X-Rpq-Version", shared.engine.version());
+    }
+
+    let (tx, rx) = mpsc::sync_channel(1);
+    let pending = Pending { queries, reply: tx };
+    if shared.queue.try_push(pending).is_err() {
+        shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        return Response::error(429, "admission queue full")
+            .with_header("Retry-After", RETRY_AFTER_SECS);
+    }
+    match rx.recv_timeout(Duration::from_secs(120)) {
+        Ok(answer) => {
+            let us = started.elapsed().as_micros() as u64;
+            shared.metrics.latency.record(us);
+            shared
+                .metrics
+                .queries
+                .fetch_add(n as u64, Ordering::Relaxed);
+            shared
+                .metrics
+                .query_requests
+                .fetch_add(1, Ordering::Relaxed);
+            Response::json(200, answer.body).with_header("X-Rpq-Version", answer.version)
+        }
+        Err(_) => Response::error(503, "server is shutting down"),
+    }
+}
+
+fn handle_update(req: &Request, shared: &Shared) -> Response {
+    let Some(body) = req.body_str() else {
+        return Response::error(400, "body is not valid utf-8");
+    };
+    let started = Instant::now();
+    let snapshot = shared.engine.snapshot();
+    let updates = match wire::parse_update_body(body, snapshot.graph()) {
+        Ok(u) => u,
+        Err(e) => return engine_error_response(&e),
+    };
+    drop(snapshot);
+    // writer admission: the engine serializes writers on a mutex, so cap
+    // how many connection threads may stack up behind it
+    let waiting = shared.pending_updates.fetch_add(1, Ordering::SeqCst);
+    if waiting >= shared.config.max_pending_updates {
+        shared.pending_updates.fetch_sub(1, Ordering::SeqCst);
+        shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        return Response::error(429, "too many concurrent updates")
+            .with_header("Retry-After", RETRY_AFTER_SECS);
+    }
+    let applied = shared.engine.apply(&updates);
+    shared.pending_updates.fetch_sub(1, Ordering::SeqCst);
+    match applied {
+        Ok(report) => {
+            let us = started.elapsed().as_micros() as u64;
+            shared.metrics.latency.record(us);
+            shared
+                .metrics
+                .updates
+                .fetch_add(report.applied as u64, Ordering::Relaxed);
+            shared
+                .metrics
+                .update_requests
+                .fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                200,
+                format!(
+                    "{{\"version\": {}, \"applied\": {}}}\n",
+                    report.snapshot.version(),
+                    report.applied
+                ),
+            )
+        }
+        Err(e) => engine_error_response(&e),
+    }
+}
+
+fn index_bytes(snapshot: &Snapshot) -> u64 {
+    let engine = snapshot.engine();
+    let mut bytes = 0u64;
+    if let Some(labels) = engine.hop_labels() {
+        bytes += labels.bytes() as u64;
+    }
+    if engine.matrix().is_some() {
+        bytes += rpq_graph::DistanceMatrix::bytes_for(snapshot.graph()) as u64;
+    }
+    bytes
+}
+
+fn handle_metrics(shared: &Shared) -> Response {
+    let snapshot = shared.engine.snapshot();
+    Response::json(
+        200,
+        shared.metrics.render(
+            shared.queue.depth(),
+            snapshot.version(),
+            index_bytes(&snapshot),
+        ),
+    )
+}
+
+fn handle_schema(shared: &Shared) -> Response {
+    let snapshot = shared.engine.snapshot();
+    let graph = snapshot.graph();
+    let schema = graph.schema();
+    let attrs: Vec<String> = (0..schema.len())
+        .map(|i| format!("\"{}\"", crate::json::escape(schema.name(AttrId(i as u16)))))
+        .collect();
+    let colors: Vec<String> = graph
+        .alphabet()
+        .colors()
+        .map(|c| format!("\"{}\"", crate::json::escape(graph.alphabet().name(c))))
+        .collect();
+    Response::json(
+        200,
+        format!(
+            concat!(
+                "{{\"protocol\": {}, \"nodes\": {}, \"edges\": {}, ",
+                "\"version\": {}, \"attrs\": [{}], \"colors\": [{}]}}\n"
+            ),
+            wire::PROTOCOL_VERSION,
+            graph.node_count(),
+            graph.edge_count(),
+            snapshot.version(),
+            attrs.join(", "),
+            colors.join(", "),
+        ),
+    )
+}

@@ -1,0 +1,404 @@
+//! Wire format v1: line-oriented requests, JSON-lines answers.
+//!
+//! Requests are tab-separated lines (one query or update per line) so a
+//! batch is trivially streamable and malformed input can be rejected with
+//! a *line-numbered* error, mirroring the edge-list reader's hardening:
+//!
+//! ```text
+//! rq<TAB>from-predicate<TAB>to-predicate<TAB>regex
+//! pq<TAB>escaped pattern text (lang.rs syntax)
+//! ins<TAB>u<TAB>v<TAB>color-name
+//! del<TAB>u<TAB>v<TAB>color-name
+//! ```
+//!
+//! Fields are escaped with `\t` → `\\t`, `\n` → `\\n`, `\r` → `\\r`,
+//! `\\` → `\\\\`, so predicates and full multi-line PQ texts travel as a
+//! single line. An *empty* predicate field means the trivially-true
+//! predicate (its pretty-printed form `true` is display-only and does not
+//! re-parse). Answers come back one JSON object per input line:
+//!
+//! ```text
+//! {"kind": "rq", "plan": "DM", "pairs": [[0, 3], [2, 5]]}
+//! {"kind": "pq", "plan": "JoinMatch/hop", "nodes": [[1], [4, 5]], "edges": [[[1, 4]], ...]}
+//! ```
+//!
+//! Encoding is canonical — one byte string per answer — which is what
+//! makes the server's "bit-identical to in-process evaluation" acceptance
+//! checkable by literal string comparison.
+
+use rpq_core::incremental::Update;
+use rpq_core::lang::format_pq;
+use rpq_engine::{BatchItem, EngineError, Query, QueryOutput};
+use rpq_graph::{Graph, NodeId, WILDCARD};
+
+/// Version tag of this wire format; lives in the URL namespace (`/v1/…`)
+/// and the `/v1/schema` document.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Escape one field for embedding in a tab-separated line.
+pub fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Undo [`escape_field`]. Rejects truncated or unknown escapes — a frame
+/// that does not round-trip is a malformed frame, not a guess.
+pub fn unescape_field(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => return Err(format!("unknown escape '\\{other}'")),
+            None => return Err("truncated escape at end of field".into()),
+        }
+    }
+    Ok(out)
+}
+
+fn bad(line: usize, msg: impl Into<String>) -> EngineError {
+    EngineError::BadQuery {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Encode one query as a single request line (no trailing newline).
+pub fn encode_query(q: &Query, g: &Graph) -> String {
+    match q {
+        Query::Rq(rq) => {
+            let pred = |p: &rpq_core::predicate::Predicate| {
+                if p.is_trivial() {
+                    String::new()
+                } else {
+                    escape_field(&p.display(g.schema()).to_string())
+                }
+            };
+            format!(
+                "rq\t{}\t{}\t{}",
+                pred(&rq.from),
+                pred(&rq.to),
+                escape_field(&rq.regex.display(g.alphabet()).to_string())
+            )
+        }
+        Query::Pq(pq) => format!(
+            "pq\t{}",
+            escape_field(&format_pq(pq, g.schema(), g.alphabet()))
+        ),
+    }
+}
+
+/// Encode a whole batch, one line per query.
+pub fn encode_queries(queries: &[Query], g: &Graph) -> String {
+    let mut out = String::new();
+    for q in queries {
+        out.push_str(&encode_query(q, g));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse one request line (1-based `line` for error attribution).
+pub fn parse_query_line(line_no: usize, line: &str, g: &Graph) -> Result<Query, EngineError> {
+    let mut fields = line.split('\t');
+    let op = fields.next().unwrap_or("");
+    match op {
+        "rq" => {
+            let mut field = |name: &str| {
+                fields
+                    .next()
+                    .ok_or_else(|| bad(line_no, format!("rq line is missing the {name} field")))
+                    .and_then(|f| {
+                        unescape_field(f).map_err(|e| bad(line_no, format!("{name} field: {e}")))
+                    })
+            };
+            let from = field("source-predicate")?;
+            let to = field("target-predicate")?;
+            let regex = field("regex")?;
+            if fields.next().is_some() {
+                return Err(bad(line_no, "rq line has more than 4 fields"));
+            }
+            Query::parse_rq(&from, &to, &regex, g).map_err(|e| relocate(e, line_no))
+        }
+        "pq" => {
+            let text = fields
+                .next()
+                .ok_or_else(|| bad(line_no, "pq line is missing the pattern text"))
+                .and_then(|f| {
+                    unescape_field(f).map_err(|e| bad(line_no, format!("pattern text: {e}")))
+                })?;
+            if fields.next().is_some() {
+                return Err(bad(line_no, "pq line has more than 2 fields"));
+            }
+            Query::parse_pq(&text, g).map_err(|e| relocate_pq(e, line_no))
+        }
+        other => Err(bad(
+            line_no,
+            format!("unknown op {other:?} (expected rq or pq)"),
+        )),
+    }
+}
+
+/// Parse a request body: one query per non-empty line, errors carry the
+/// 1-based body line number.
+pub fn parse_query_body(body: &str, g: &Graph) -> Result<Vec<Query>, EngineError> {
+    let mut queries = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        queries.push(parse_query_line(i + 1, line, g)?);
+    }
+    Ok(queries)
+}
+
+/// Stamp a parse error (reported against line 0 or a statement-internal
+/// line) with the wire line it arrived on.
+fn relocate(e: EngineError, line_no: usize) -> EngineError {
+    match e {
+        EngineError::BadQuery { msg, .. } => bad(line_no, msg),
+        other => other,
+    }
+}
+
+/// PQ texts are themselves line-oriented; keep the inner statement number
+/// in the message, attribute the error to the wire line.
+fn relocate_pq(e: EngineError, line_no: usize) -> EngineError {
+    match e {
+        EngineError::BadQuery { line: 0, msg } => bad(line_no, msg),
+        EngineError::BadQuery { line, msg } => {
+            bad(line_no, format!("pattern statement {line}: {msg}"))
+        }
+        other => other,
+    }
+}
+
+/// Encode one update as a request line.
+pub fn encode_update(u: &Update, g: &Graph) -> String {
+    let (op, x, y, c) = match *u {
+        Update::Insert(x, y, c) => ("ins", x, y, c),
+        Update::Delete(x, y, c) => ("del", x, y, c),
+    };
+    let color = if c == WILDCARD {
+        "_".to_owned() // rejected server-side, but encode faithfully
+    } else {
+        escape_field(g.alphabet().name(c))
+    };
+    format!("{op}\t{}\t{}\t{color}", x.0, y.0)
+}
+
+/// Encode a whole update batch, one line per update.
+pub fn encode_updates(updates: &[Update], g: &Graph) -> String {
+    let mut out = String::new();
+    for u in updates {
+        out.push_str(&encode_update(u, g));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse one update line.
+pub fn parse_update_line(line_no: usize, line: &str, g: &Graph) -> Result<Update, EngineError> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() != 4 {
+        return Err(bad(
+            line_no,
+            format!("expected 4 tab-separated fields, got {}", fields.len()),
+        ));
+    }
+    let node = |f: &str, name: &str| {
+        f.parse::<u32>()
+            .map(NodeId)
+            .map_err(|_| bad(line_no, format!("{name} node id {f:?} is not a u32")))
+    };
+    let x = node(fields[1], "source")?;
+    let y = node(fields[2], "target")?;
+    let color_name =
+        unescape_field(fields[3]).map_err(|e| bad(line_no, format!("color field: {e}")))?;
+    let color = if color_name == "_" {
+        WILDCARD // surfaces as EngineError::WildcardEdge in apply()
+    } else {
+        g.alphabet()
+            .get(&color_name)
+            .ok_or_else(|| bad(line_no, format!("unknown edge color {color_name:?}")))?
+    };
+    match fields[0] {
+        "ins" => Ok(Update::Insert(x, y, color)),
+        "del" => Ok(Update::Delete(x, y, color)),
+        other => Err(bad(
+            line_no,
+            format!("unknown op {other:?} (expected ins or del)"),
+        )),
+    }
+}
+
+/// Parse an update body: one update per non-empty line.
+pub fn parse_update_body(body: &str, g: &Graph) -> Result<Vec<Update>, EngineError> {
+    let mut updates = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        updates.push(parse_update_line(i + 1, line, g)?);
+    }
+    Ok(updates)
+}
+
+/// Encode one answered query as its canonical JSON line (no newline).
+pub fn encode_item(item: &BatchItem) -> String {
+    match &item.output {
+        QueryOutput::Rq(r) => {
+            let pairs: Vec<String> = r
+                .as_slice()
+                .iter()
+                .map(|(x, y)| format!("[{},{}]", x.0, y.0))
+                .collect();
+            format!(
+                "{{\"kind\":\"rq\",\"plan\":\"{}\",\"pairs\":[{}]}}",
+                crate::json::escape(item.plan.name()),
+                pairs.join(",")
+            )
+        }
+        QueryOutput::Pq(r) => {
+            let nodes: Vec<String> = (0..r.node_count())
+                .map(|u| {
+                    let ids: Vec<String> =
+                        r.node_matches(u).iter().map(|n| n.0.to_string()).collect();
+                    format!("[{}]", ids.join(","))
+                })
+                .collect();
+            let edges: Vec<String> = (0..r.edge_count())
+                .map(|e| {
+                    let pairs: Vec<String> = r
+                        .edge_matches(e)
+                        .iter()
+                        .map(|(x, y)| format!("[{},{}]", x.0, y.0))
+                        .collect();
+                    format!("[{}]", pairs.join(","))
+                })
+                .collect();
+            format!(
+                "{{\"kind\":\"pq\",\"plan\":\"{}\",\"nodes\":[{}],\"edges\":[{}]}}",
+                crate::json::escape(item.plan.name()),
+                nodes.join(","),
+                edges.join(",")
+            )
+        }
+    }
+}
+
+/// Encode a run of answered queries, one JSON line per query — the body
+/// of a `/v1/query` response.
+pub fn encode_items(items: &[BatchItem]) -> String {
+    let mut out = String::new();
+    for item in items {
+        out.push_str(&encode_item(item));
+        out.push('\n');
+    }
+    out
+}
+
+/// The HTTP status an [`EngineError`] maps onto: client mistakes are
+/// 400s, resource exhaustion on the serving side is a 503, config
+/// problems are the server operator's bug (500).
+pub fn status_for(e: &EngineError) -> u16 {
+    match e {
+        EngineError::BadQuery { .. }
+        | EngineError::NodeOutOfRange { .. }
+        | EngineError::WildcardEdge => 400,
+        EngineError::IndexOverBudget { .. } | EngineError::BuildCancelled => 503,
+        EngineError::Config(_) => 500,
+        _ => 500, // EngineError is #[non_exhaustive]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::gen::essembly;
+
+    #[test]
+    fn field_escaping_round_trips() {
+        for s in [
+            "",
+            "plain",
+            "a\tb",
+            "a\\nb",
+            "tricky \\t literal",
+            "nl\nnl\r",
+        ] {
+            assert_eq!(unescape_field(&escape_field(s)).unwrap(), s);
+        }
+        assert!(unescape_field("bad \\x escape").is_err());
+        assert!(unescape_field("truncated \\").is_err());
+    }
+
+    #[test]
+    fn rq_and_pq_lines_round_trip() {
+        let g = essembly();
+        let rq = Query::parse_rq("job = \"biologist\"", "", "fa^2 fn", &g).unwrap();
+        let line = encode_query(&rq, &g);
+        let back = parse_query_line(1, &line, &g).unwrap();
+        assert_eq!(encode_query(&back, &g), line);
+
+        let pq =
+            Query::parse_pq("node a: job = \"doctor\";\nnode b;\nedge a -> b: fa+;", &g).unwrap();
+        let line = encode_query(&pq, &g);
+        assert!(!line.contains('\n'), "pq must travel as one line");
+        let back = parse_query_line(1, &line, &g).unwrap();
+        assert_eq!(encode_query(&back, &g), line);
+    }
+
+    #[test]
+    fn errors_carry_the_wire_line_number() {
+        let g = essembly();
+        let body = "rq\t\t\tfa\nzz\t1\t2\n";
+        let err = parse_query_body(body, &g).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::BadQuery {
+                line: 2,
+                msg: "unknown op \"zz\" (expected rq or pq)".into()
+            }
+        );
+        let err = parse_query_body("rq\t\t\tno_such_color", &g).unwrap_err();
+        assert!(
+            matches!(err, EngineError::BadQuery { line: 1, .. }),
+            "{err}"
+        );
+
+        let err = parse_update_body("ins\t0\t1\tfa\ndel\t0\tnot-a-node\tfa", &g).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse_update_body("ins\t0\t1\tchartreuse", &g).unwrap_err();
+        assert!(err.to_string().contains("unknown edge color"), "{err}");
+    }
+
+    #[test]
+    fn update_lines_round_trip() {
+        let g = essembly();
+        let fa = g.alphabet().get("fa").unwrap();
+        for u in [
+            Update::Insert(NodeId(0), NodeId(3), fa),
+            Update::Delete(NodeId(2), NodeId(1), fa),
+        ] {
+            let line = encode_update(&u, &g);
+            assert_eq!(parse_update_line(1, &line, &g).unwrap(), u);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! End-to-end integration tests: a real `Server` on a loopback port,
+//! driven by real `Client`s over TCP.
+//!
+//! The central assertion is the serving contract: answers delivered over
+//! the wire are **bit-identical** to encoding an in-process `run_batch`
+//! on the same snapshot — coalescing across connections, keep-alive
+//! reuse, and the process boundary change nothing about the bytes.
+
+use rpq_bench::querygen::{generate_pq, generate_rq, QueryParams};
+use rpq_core::incremental::Update;
+use rpq_engine::{Query, UpdatableEngine};
+use rpq_graph::{gen::youtube_like, Color, Graph, NodeId, WILDCARD};
+use rpq_server::{Client, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start(config: ServerConfig) -> (Arc<UpdatableEngine>, Server, Arc<Graph>) {
+    let engine = Arc::new(UpdatableEngine::new(youtube_like(500, 3)));
+    let graph = Arc::clone(engine.snapshot().graph());
+    let server = Server::start(Arc::clone(&engine), config).expect("bind loopback");
+    (engine, server, graph)
+}
+
+fn mixed_queries(g: &Graph, count: usize, seed: u64) -> Vec<Query> {
+    let params = QueryParams {
+        nodes: 3,
+        edges: 3,
+        preds: 2,
+        bound: 3,
+        colors: 2,
+        redundant: false,
+    };
+    (0..count)
+        .map(|i| {
+            if i % 3 == 2 {
+                Query::Pq(generate_pq(g, &params, seed + i as u64))
+            } else {
+                Query::Rq(generate_rq(g, 2, 3, 2, seed + i as u64))
+            }
+        })
+        .collect()
+}
+
+/// Multiple concurrent clients, answers bit-identical to in-process
+/// evaluation on the same engine.
+#[test]
+fn concurrent_clients_get_bit_identical_answers() {
+    let (engine, server, graph) = start(ServerConfig {
+        // a coalescing window wide enough that the three clients'
+        // batches routinely merge into one engine batch
+        coalesce_window: Duration::from_millis(10),
+        ..ServerConfig::default()
+    });
+    let addr = server.addr().to_string();
+
+    let handles: Vec<_> = (0..3)
+        .map(|c| {
+            let addr = addr.clone();
+            let graph = Arc::clone(&graph);
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                for round in 0..4 {
+                    let queries = mixed_queries(&graph, 5, 1000 * c + round);
+                    let resp = client.query(&queries, &graph).unwrap();
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                    assert_eq!(resp.version, Some(0), "no writes in this test");
+                    let expected = rpq_server::wire::encode_items(
+                        engine.snapshot().run_batch(&queries).items(),
+                    );
+                    assert_eq!(resp.body, expected, "wire answers diverged (client {c})");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    server.shutdown();
+}
+
+/// Updates round-trip: version advances, answers change, the applied
+/// count is reported.
+#[test]
+fn updates_advance_the_snapshot_version() {
+    let (engine, server, graph) = start(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let colors: Vec<Color> = graph.alphabet().colors().collect();
+    let updates = vec![
+        Update::Insert(NodeId(1), NodeId(2), colors[0]),
+        Update::Insert(NodeId(2), NodeId(3), colors[0]),
+    ];
+    let resp = client.update(&updates, &graph).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let ack = rpq_server::json::Json::parse(&resp.body).unwrap();
+    assert_eq!(ack.get("version").unwrap().as_u64(), Some(1));
+    assert!(ack.get("applied").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(engine.version(), 1);
+
+    // queries now answer from the new version, still bit-identically
+    let queries = mixed_queries(&graph, 4, 77);
+    let resp = client.query(&queries, &graph).unwrap();
+    assert_eq!(resp.version, Some(1));
+    let expected = rpq_server::wire::encode_items(engine.snapshot().run_batch(&queries).items());
+    assert_eq!(resp.body, expected);
+    server.shutdown();
+}
+
+/// Engine and codec failures map onto HTTP statuses with line-numbered
+/// messages — a bad request must never kill the connection thread.
+#[test]
+fn errors_map_to_statuses_not_dead_connections() {
+    let (_engine, server, graph) = start(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // malformed query: 400 naming the body line
+    let resp = client
+        .request("POST", "/v1/query", "rq\t\t\tfc\nrq\t\t\tno_such_color\n")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("line 2"), "{}", resp.body);
+
+    // unknown color in an update: 400
+    let resp = client
+        .request("POST", "/v1/update", "ins\t0\t1\tchartreuse\n")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("unknown edge color"), "{}", resp.body);
+
+    // node id past the graph: 400 via EngineError::NodeOutOfRange
+    let resp = client
+        .update(
+            &[Update::Insert(NodeId(9_999_999), NodeId(0), Color(0))],
+            &graph,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("out of range"), "{}", resp.body);
+
+    // wildcard edge data: 400 via EngineError::WildcardEdge
+    let resp = client
+        .update(&[Update::Insert(NodeId(0), NodeId(1), WILDCARD)], &graph)
+        .unwrap();
+    assert_eq!(resp.status, 400);
+
+    // unknown endpoint & wrong method
+    assert_eq!(client.request("GET", "/nope", "").unwrap().status, 404);
+    assert_eq!(client.request("PUT", "/v1/query", "").unwrap().status, 405);
+
+    // …and the same connection still answers real queries afterwards
+    let queries = mixed_queries(&graph, 2, 5);
+    assert_eq!(client.query(&queries, &graph).unwrap().status, 200);
+    server.shutdown();
+}
+
+/// A full admission queue answers 429 + `Retry-After` instead of
+/// buffering without bound.
+#[test]
+fn full_queue_gets_backpressure() {
+    let (_engine, server, graph) = start(ServerConfig {
+        queue_capacity: 1,
+        // hold the coalescer long enough that the queue is observably full
+        coalesce_window: Duration::from_millis(400),
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+
+    // first request occupies the queue slot for the whole window
+    let g1 = Arc::clone(&graph);
+    let first = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query(&mixed_queries(&g1, 1, 1), &g1).unwrap()
+    });
+
+    std::thread::sleep(Duration::from_millis(100));
+    let mut client = Client::connect(addr).unwrap();
+    let resp = client.query(&mixed_queries(&graph, 1, 2), &graph).unwrap();
+    assert_eq!(resp.status, 429, "{}", resp.body);
+    assert_eq!(resp.retry_after, Some(1), "429 must carry Retry-After");
+
+    // the occupant is answered normally once the window closes
+    let resp = first.join().unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    // after the rejection, the metrics counted it
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.get("rejected").unwrap().as_u64().unwrap() >= 1);
+    server.shutdown();
+}
+
+/// `/metrics` reports live qps/latency/queue/version/index numbers.
+#[test]
+fn metrics_scrape_reflects_served_traffic() {
+    let (engine, server, graph) = start(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let queries = mixed_queries(&graph, 6, 9);
+    for _ in 0..3 {
+        assert_eq!(client.query(&queries, &graph).unwrap().status, 200);
+    }
+    client
+        .update(&[Update::Insert(NodeId(0), NodeId(1), Color(0))], &graph)
+        .unwrap();
+
+    let m = client.metrics().unwrap();
+    let get = |k: &str| m.get(k).and_then(|v| v.as_u64()).unwrap_or(u64::MAX);
+    assert_eq!(get("queries"), 18);
+    assert_eq!(get("query_requests"), 3);
+    assert_eq!(get("update_requests"), 1);
+    assert_eq!(get("snapshot_version"), engine.version());
+    assert!(m.get("qps").unwrap().as_f64().unwrap() > 0.0);
+    assert!(get("p50_us") > 0, "latency histogram recorded nothing");
+    assert!(get("p99_us") >= get("p50_us"));
+    server.shutdown();
+}
+
+/// `/v1/schema` hands a client the vocabulary it needs to build queries.
+#[test]
+fn schema_endpoint_describes_the_vocabulary() {
+    let (_engine, server, graph) = start(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let schema = client.schema().unwrap();
+    assert_eq!(schema.get("protocol").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        schema.get("nodes").unwrap().as_u64(),
+        Some(graph.node_count() as u64)
+    );
+    let colors = schema.get("colors").unwrap().as_array().unwrap();
+    assert_eq!(colors.len(), graph.alphabet().len());
+    server.shutdown();
+}
+
+/// Graceful shutdown: in-flight work completes, then the port closes.
+#[test]
+fn shutdown_drains_and_closes_the_port() {
+    let (_engine, server, graph) = start(ServerConfig::default());
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(
+        client
+            .query(&mixed_queries(&graph, 2, 3), &graph)
+            .unwrap()
+            .status,
+        200
+    );
+
+    server.shutdown();
+    // the listener is gone: a fresh connection must fail
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "port still accepting after shutdown"
+    );
+}
+
+/// The wire shutdown endpoint unblocks `Server::wait`.
+#[test]
+fn wire_shutdown_unblocks_wait() {
+    let (_engine, server, _graph) = start(ServerConfig::default());
+    let addr = server.addr();
+    let waited = std::thread::spawn(move || server.wait());
+
+    let mut client = Client::connect(addr).unwrap();
+    let resp = client.shutdown_server().unwrap();
+    assert_eq!(resp.status, 200);
+    waited
+        .join()
+        .expect("wait() must return after wire shutdown");
+}

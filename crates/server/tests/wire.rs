@@ -1,0 +1,140 @@
+//! Wire-codec properties: encode→decode identity over generated
+//! queries/updates, canonical-encoding stability, and line-numbered
+//! rejection of malformed frames (mirroring the edge-list reader's
+//! hardening: a broken line is named, not guessed at).
+
+use proptest::prelude::*;
+use rpq_bench::querygen::{generate_pq, generate_rq, QueryParams};
+use rpq_core::incremental::Update;
+use rpq_engine::{EngineError, Query};
+use rpq_graph::gen::youtube_like;
+use rpq_graph::{Color, Graph, NodeId};
+use rpq_server::wire;
+
+fn vocab() -> Graph {
+    youtube_like(300, 5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated RQs survive encode → parse → encode unchanged (the
+    /// canonical encoding is a fixpoint, which is what the server's
+    /// bit-identical acceptance relies on).
+    #[test]
+    fn rq_lines_round_trip(seed in 0u64..10_000, preds in 1usize..4, bound in 1u32..5) {
+        let g = vocab();
+        let q = Query::Rq(generate_rq(&g, preds, bound, 2, seed));
+        let line = wire::encode_query(&q, &g);
+        prop_assert!(!line.contains('\n'));
+        let back = wire::parse_query_line(1, &line, &g).unwrap();
+        prop_assert_eq!(wire::encode_query(&back, &g), line);
+    }
+
+    /// Same for generated PQs — multi-line pattern text travels escaped
+    /// on one wire line.
+    #[test]
+    fn pq_lines_round_trip(seed in 0u64..10_000) {
+        let g = vocab();
+        let params = QueryParams { nodes: 4, edges: 5, preds: 2, bound: 4, colors: 3, redundant: false };
+        let q = Query::Pq(generate_pq(&g, &params, seed));
+        let line = wire::encode_query(&q, &g);
+        prop_assert!(!line.contains('\n'));
+        let back = wire::parse_query_line(1, &line, &g).unwrap();
+        prop_assert_eq!(wire::encode_query(&back, &g), line);
+    }
+
+    /// Update lines round-trip exactly.
+    #[test]
+    fn update_lines_round_trip(x in 0u32..300, y in 0u32..300, c in 0u8..4, ins in any::<bool>()) {
+        let g = vocab();
+        let u = if ins {
+            Update::Insert(NodeId(x), NodeId(y), Color(c))
+        } else {
+            Update::Delete(NodeId(x), NodeId(y), Color(c))
+        };
+        let line = wire::encode_update(&u, &g);
+        prop_assert_eq!(wire::parse_update_line(1, &line, &g).unwrap(), u);
+    }
+
+    /// Field escaping is injective and reversible for strings drawn from
+    /// a palette that stresses every escape (tabs, newlines, backslashes,
+    /// multi-byte chars).
+    #[test]
+    fn field_escaping_round_trips(seed in any::<u64>(), len in 0usize..24) {
+        const PALETTE: &[char] = &['a', 'Z', '0', '\t', '\n', '\r', '\\', ' ', 'é', '→', '"'];
+        let mut state = seed;
+        let s: String = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                PALETTE[(state >> 33) as usize % PALETTE.len()]
+            })
+            .collect();
+        let escaped = wire::escape_field(&s);
+        prop_assert!(!escaped.contains('\t') && !escaped.contains('\n'));
+        prop_assert_eq!(wire::unescape_field(&escaped).unwrap(), s);
+    }
+}
+
+/// Malformed bodies are rejected with the 1-based line they broke on.
+#[test]
+fn malformed_frames_name_their_line() {
+    let g = vocab();
+    let cases: &[(&str, usize, &str)] = &[
+        ("rq\t\t\tfc\nnot-an-op\tx", 2, "unknown op"),
+        ("rq\tuid <= 3", 1, "missing the target-predicate"),
+        ("rq\t\t\tfc\trogue-field", 1, "more than 4 fields"),
+        ("rq\tuid ?? 3\t\tfc", 1, "bad query"),
+        ("rq\t\t\tfc\nrq\t\t\tzz^2", 2, "bad query"),
+        ("pq\tnode a;\\nedge a -> a: zz;", 1, "pattern statement 2"),
+        ("rq\t\t\tfc\npq\tbroken \\q escape", 2, "unknown escape"),
+    ];
+    for (body, want_line, want_msg) in cases {
+        let err = wire::parse_query_body(body, &g).unwrap_err();
+        let EngineError::BadQuery { line, msg } = &err else {
+            panic!("{body:?}: expected BadQuery, got {err:?}");
+        };
+        assert_eq!(*line, *want_line, "{body:?} → {err}");
+        assert!(
+            err.to_string().contains(want_msg) || msg.contains(want_msg),
+            "{body:?} → {err} (wanted {want_msg:?})"
+        );
+    }
+
+    let update_cases: &[(&str, usize, &str)] = &[
+        ("ins\t0\t1\tfc\nmov\t0\t1\tfc", 2, "unknown op"),
+        ("ins\t0\t1", 1, "expected 4 tab-separated fields"),
+        ("ins\t0\tminus-one\tfc", 1, "not a u32"),
+        ("ins\t0\t1\tmauve", 1, "unknown edge color"),
+    ];
+    for (body, want_line, want_msg) in update_cases {
+        let err = wire::parse_update_body(body, &g).unwrap_err();
+        let EngineError::BadQuery { line, .. } = &err else {
+            panic!("{body:?}: expected BadQuery, got {err:?}");
+        };
+        assert_eq!(*line, *want_line, "{body:?} → {err}");
+        assert!(err.to_string().contains(want_msg), "{body:?} → {err}");
+    }
+}
+
+/// Blank lines are tolerated (streaming clients may frame with them) and
+/// do not shift error attribution.
+#[test]
+fn blank_lines_are_skipped_but_counted() {
+    let g = vocab();
+    let body = "rq\t\t\tfc\n\n\nbroken";
+    let err = wire::parse_query_body(body, &g).unwrap_err();
+    assert!(err.to_string().contains("line 4"), "{err}");
+}
+
+/// The trivially-true predicate encodes as the *empty* field — its
+/// pretty-printed form (`true`) is display-only and must not appear on
+/// the wire.
+#[test]
+fn trivial_predicates_encode_as_empty_fields() {
+    let g = vocab();
+    let q = Query::parse_rq("", "", "fc^2", &g).unwrap();
+    let line = wire::encode_query(&q, &g);
+    assert_eq!(line, "rq\t\t\tfc^2");
+    wire::parse_query_line(1, &line, &g).unwrap();
+}

@@ -74,7 +74,7 @@ fn main() {
             })
             .collect();
         let t = Instant::now();
-        let report = engine.apply(&updates);
+        let report = engine.apply(&updates).unwrap();
         let apply_time = t.elapsed();
 
         // reader: drain this tick's queue against the freshly published

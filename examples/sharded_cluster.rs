@@ -55,10 +55,7 @@ fn main() {
     let t0 = Instant::now();
     let engine = ShardedEngine::build(
         Arc::clone(&g),
-        EngineConfig {
-            shards,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder().shards(shards).build().unwrap(),
     )
     .expect("unbudgeted build cannot fail");
     let stats = engine.stats();
@@ -93,10 +90,10 @@ fn main() {
     // cross-check a few answers against the unsharded hop backend
     let reference = QueryEngine::with_config(
         Arc::clone(&g),
-        EngineConfig {
-            matrix_node_limit: 0,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .matrix_node_limit(0)
+            .build()
+            .unwrap(),
     );
     reference.force_hop_labels().expect("fits default budget");
     let ref_out = reference.run_batch(&queries);

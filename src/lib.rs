@@ -115,7 +115,7 @@
 //! );
 //!
 //! let before = engine.snapshot();                       // pin version 0
-//! engine.apply(&[Update::Insert(ann, bob, fa)]);        // publish version 1
+//! engine.apply(&[Update::Insert(ann, bob, fa)]).unwrap(); // publish version 1
 //!
 //! // the pinned snapshot is isolated from the update; the current one sees it
 //! assert!(before.run_query(&Query::Rq(rq.clone())).as_rq().unwrap().is_empty());
@@ -143,8 +143,9 @@ pub mod prelude {
     pub use rpq_core::rq::{Rq, RqResult};
     pub use rpq_core::split_match::SplitMatch;
     pub use rpq_engine::{
-        ApplyReport, BatchItem, BatchResult, EngineConfig, Plan, Query, QueryEngine, QueryOutput,
-        ReachMemo, ShardedEngine, Snapshot, StandingId, UpdatableEngine,
+        ApplyReport, BatchItem, BatchResult, ConfigError, EngineConfig, EngineConfigBuilder,
+        EngineError, Plan, Query, QueryEngine, QueryOutput, QueryService, ReachMemo, ShardedEngine,
+        Snapshot, StandingId, UpdatableEngine,
     };
     pub use rpq_graph::{
         Alphabet, AttrId, AttrValue, Attrs, Color, DistanceMatrix, Graph, GraphBuilder, NodeId,

@@ -29,13 +29,13 @@ fn batch_of_64_rqs_on_10k_graph_matches_sequential() {
     assert!(g.node_count() >= 10_000);
     let engine = QueryEngine::with_config(
         Arc::clone(&g),
-        EngineConfig {
-            workers: 4,
+        EngineConfig::builder()
+            .workers(4)
             // this test asserts the *search* planning regime; disable the
             // hop-label index so its background build cannot race the batch
-            hop_label_budget: 0,
-            ..EngineConfig::default()
-        },
+            .hop_label_budget(0)
+            .build()
+            .unwrap(),
     );
     // 10k nodes is over the matrix limit: the engine must plan around it
     assert!(!engine.matrix_available());
@@ -167,12 +167,12 @@ fn batch_result_reports_plans_and_timing() {
     let g = Arc::new(rpq::graph::gen::youtube_like(600, 9));
     let engine = QueryEngine::with_config(
         Arc::clone(&g),
-        EngineConfig {
-            workers: 2,
-            matrix_node_limit: 0, // force index-free plans…
-            hop_label_budget: 0,  // …and keep them index-free (no hop build)
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .workers(2)
+            .matrix_node_limit(0) // force index-free plans…
+            .hop_label_budget(0) // …and keep them index-free (no hop build)
+            .build()
+            .unwrap(),
     );
     let hot = generate_rq(&g, 2, 4, 2, 1);
     let queries = vec![

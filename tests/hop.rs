@@ -18,11 +18,11 @@ fn test_graph(seed: u64) -> Graph {
 
 /// Over the matrix limit, under the label budget: the RqHop regime.
 fn over_limit_config() -> EngineConfig {
-    EngineConfig {
-        matrix_node_limit: 0,
-        workers: 2,
-        ..EngineConfig::default()
-    }
+    EngineConfig::builder()
+        .matrix_node_limit(0)
+        .workers(2)
+        .build()
+        .unwrap()
 }
 
 fn queries(g: &Graph) -> Vec<Query> {
@@ -88,7 +88,7 @@ fn hop_path_tracks_update_stream() {
                 })
             })
             .collect();
-        let report = engine.apply(&updates);
+        let report = engine.apply(&updates).unwrap();
         let snap = report.snapshot;
         let g = snap.graph().clone();
         let qs = queries(&g);
@@ -132,7 +132,9 @@ fn pinned_snapshot_keeps_its_own_index_version() {
     // churn a few versions
     let c = Color(0);
     for i in 0..3u32 {
-        engine.apply(&[Update::Insert(NodeId(i), NodeId(i + 50), c)]);
+        engine
+            .apply(&[Update::Insert(NodeId(i), NodeId(i + 50), c)])
+            .unwrap();
     }
     assert!(engine.version() > pinned.version());
     for (q, want) in qs.iter().zip(&before) {

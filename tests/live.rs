@@ -65,7 +65,7 @@ fn standing_pq_tracks_update_stream() {
     let mut published = 0u64;
     for step in 0..14 {
         let updates = random_updates(&mut rng, 3);
-        let report = engine.apply(&updates);
+        let report = engine.apply(&updates).unwrap();
         published += u64::from(report.applied > 0);
         assert_eq!(report.version, published, "step {step}");
 
@@ -105,7 +105,7 @@ fn snapshot_isolation_for_batches() {
         let expect_rq_before = rq.eval_bfs(before.graph());
         let expect_pq_before = full_eval(&pq, before.graph());
 
-        let report = engine.apply(&random_updates(&mut rng, 4));
+        let report = engine.apply(&random_updates(&mut rng, 4)).unwrap();
 
         // the pre-update snapshot answers from the pre-update graph…
         let old = before.run_batch(&queries);
@@ -155,7 +155,7 @@ fn concurrent_readers_see_consistent_snapshots() {
         let writer = s.spawn(move || {
             let mut rng = StdRng::seed_from_u64(4242);
             for _ in 0..25 {
-                writer_engine.apply(&random_updates(&mut rng, 3));
+                writer_engine.apply(&random_updates(&mut rng, 3)).unwrap();
             }
         });
 
@@ -192,12 +192,12 @@ fn concurrent_readers_see_consistent_snapshots() {
 fn late_registration_joins_the_stream() {
     let mut rng = StdRng::seed_from_u64(9);
     let engine = UpdatableEngine::new(test_graph(31));
-    engine.apply(&random_updates(&mut rng, 5));
+    engine.apply(&random_updates(&mut rng, 5)).unwrap();
 
     let pq = standing_pq(engine.snapshot().graph(), 8);
     let id = engine.register_pq(pq.clone());
     for _ in 0..4 {
-        let report = engine.apply(&random_updates(&mut rng, 3));
+        let report = engine.apply(&random_updates(&mut rng, 3)).unwrap();
         let maintained = report.snapshot.standing_result(id).unwrap();
         assert_eq!(&*maintained, &full_eval(&pq, report.snapshot.graph()));
     }

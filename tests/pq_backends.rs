@@ -81,26 +81,26 @@ fn engine_pq_plans_cover_all_backends_identically() {
 
     let matrix_engine = QueryEngine::with_config(
         Arc::clone(&g),
-        EngineConfig {
-            matrix_node_limit: usize::MAX,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .matrix_node_limit(usize::MAX)
+            .build()
+            .unwrap(),
     );
     let hop_engine = QueryEngine::with_config(
         Arc::clone(&g),
-        EngineConfig {
-            matrix_node_limit: 0,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .matrix_node_limit(0)
+            .build()
+            .unwrap(),
     );
     hop_engine.force_hop_labels().expect("fits default budget");
     let cached_engine = QueryEngine::with_config(
         Arc::clone(&g),
-        EngineConfig {
-            matrix_node_limit: 0,
-            hop_label_budget: 0,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .matrix_node_limit(0)
+            .hop_label_budget(0)
+            .build()
+            .unwrap(),
     );
 
     let out_m = matrix_engine.run_batch(&queries);
@@ -152,11 +152,11 @@ fn pq_hop_path_tracks_update_stream() {
     let g0 = rpq::graph::gen::synthetic(NODES, 4 * NODES, 2, 3, 5);
     let engine = UpdatableEngine::with_config(
         g0,
-        EngineConfig {
-            matrix_node_limit: 0,
-            workers: 2,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .matrix_node_limit(0)
+            .workers(2)
+            .build()
+            .unwrap(),
     );
 
     // a standing cyclic pattern, maintained incrementally across the stream
@@ -188,7 +188,7 @@ fn pq_hop_path_tracks_update_stream() {
                 })
             })
             .collect();
-        let snap = engine.apply(&updates).snapshot;
+        let snap = engine.apply(&updates).unwrap().snapshot;
         let g = snap.graph().clone();
         let mut round_rng = StdRng::seed_from_u64(round);
         let pqs: Vec<Pq> = (0..3).map(|_| random_pq(&g, &mut round_rng)).collect();

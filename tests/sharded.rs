@@ -206,20 +206,20 @@ fn sharded_engine_matches_hop_engine_on_mixed_batch() {
 
     let hop_engine = QueryEngine::with_config(
         Arc::clone(&g),
-        EngineConfig {
-            matrix_node_limit: 0,
-            workers: 2,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .matrix_node_limit(0)
+            .workers(2)
+            .build()
+            .unwrap(),
     );
     hop_engine.force_hop_labels().expect("fits default budget");
     let sharded_engine = ShardedEngine::build(
         Arc::clone(&g),
-        EngineConfig {
-            shards: 4,
-            workers: 2,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .shards(4)
+            .workers(2)
+            .build()
+            .unwrap(),
     )
     .expect("unbudgeted build");
     assert!(sharded_engine.stats().wildcard);

@@ -98,11 +98,11 @@ fn sharded_batch_matches_hop_backend_at_100k() {
     // the sharded stack: partition + 4 parallel per-shard builds + overlay
     let sharded_engine = ShardedEngine::build(
         Arc::clone(&g),
-        EngineConfig {
-            shards: SHARDS,
-            shard_memory_budget: SHARD_BUDGET,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .shards(SHARDS)
+            .shard_memory_budget(SHARD_BUDGET)
+            .build()
+            .unwrap(),
     )
     .expect("per-shard builds fit the budget");
     let stats = sharded_engine.stats();
@@ -137,13 +137,13 @@ fn sharded_batch_matches_hop_backend_at_100k() {
     // the unsharded reference: one hop-label index over the whole graph
     let hop_engine = QueryEngine::with_config(
         Arc::clone(&g),
-        EngineConfig {
-            matrix_node_limit: 0,
+        EngineConfig::builder()
+            .matrix_node_limit(0)
             // same reading as the per-shard budget: concrete layers fit
             // easily, the wildcard attempt aborts at the cap
-            hop_label_budget: 64 << 20,
-            ..EngineConfig::default()
-        },
+            .hop_label_budget(64 << 20)
+            .build()
+            .unwrap(),
     );
     let t1 = Instant::now();
     let hop = hop_engine.force_hop_labels().expect("reference build fits");
