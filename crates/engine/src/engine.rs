@@ -381,8 +381,20 @@ impl QueryEngine {
                 Err(rpq_index::HopBuildError::Cancelled) => {
                     started.store(false, Ordering::Release);
                 }
+                Err(rpq_index::HopBuildError::RepairTooBroad { .. }) => {
+                    unreachable!("build_with never runs the repair path")
+                }
             }
         });
+    }
+
+    /// Seed the hop cell with labels built (or repaired) elsewhere — the
+    /// live-update layer's carry-forward path, mirroring
+    /// [`adopt_sharded_labels`](QueryEngine::adopt_sharded_labels). No-op
+    /// if a build already landed.
+    pub(crate) fn adopt_hop_labels(&self, labels: Arc<HopLabels>) {
+        self.hop_started.store(true, Ordering::Release);
+        let _ = self.hop.set(Some(labels));
     }
 
     /// Mark this engine's graph version as superseded: any in-flight
@@ -512,6 +524,9 @@ impl QueryEngine {
                 // cancelled (version superseded): hand the role back
                 Err(rpq_index::HopBuildError::Cancelled) => {
                     started.store(false, Ordering::Release);
+                }
+                Err(rpq_index::HopBuildError::RepairTooBroad { .. }) => {
+                    unreachable!("build_with never runs the repair path")
                 }
             }
         });

@@ -48,6 +48,14 @@ pub enum EngineError {
     },
     /// An index build was cancelled (its graph version was superseded).
     BuildCancelled,
+    /// An incremental index repair invalidated more of the index than its
+    /// cost model allows — the caller should rebuild from scratch.
+    RepairTooBroad {
+        /// Landmarks the update batch invalidated.
+        invalidated: usize,
+        /// The invalidation cap the repair was given.
+        limit: usize,
+    },
     /// A configuration value failed validation.
     Config(ConfigError),
 }
@@ -70,6 +78,12 @@ impl fmt::Display for EngineError {
                 write!(f, "index budget exceeded: {reached} > {budget} bytes")
             }
             EngineError::BuildCancelled => write!(f, "index build cancelled"),
+            EngineError::RepairTooBroad { invalidated, limit } => {
+                write!(
+                    f,
+                    "index repair too broad: {invalidated} landmarks invalidated > limit {limit}"
+                )
+            }
             EngineError::Config(e) => write!(f, "bad configuration: {e}"),
         }
     }
@@ -84,6 +98,9 @@ impl From<HopBuildError> for EngineError {
                 EngineError::IndexOverBudget { budget, reached }
             }
             HopBuildError::Cancelled => EngineError::BuildCancelled,
+            HopBuildError::RepairTooBroad { invalidated, limit } => {
+                EngineError::RepairTooBroad { invalidated, limit }
+            }
         }
     }
 }

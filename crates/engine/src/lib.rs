@@ -79,5 +79,5 @@ pub use memo::ReachMemo;
 pub use planner::Plan;
 pub use service::QueryService;
 pub use sharded::ShardedEngine;
-pub use snapshot::Snapshot;
-pub use updatable::{ApplyReport, StandingId, UpdatableEngine};
+pub use snapshot::{IndexState, Snapshot};
+pub use updatable::{ApplyReport, IndexMaintenance, StandingId, UpdatableEngine};

@@ -69,6 +69,47 @@ impl StandingEntry {
     }
 }
 
+/// How this snapshot came by its label index (hop or sharded), published
+/// by [`UpdatableEngine::apply`](crate::UpdatableEngine::apply) so
+/// operators and tests can see whether the update path is *carrying*
+/// indices forward or perpetually rebuilding them.
+///
+/// * [`Repaired`](IndexState::Repaired) — the predecessor snapshot's
+///   label index was carried through an incremental repair and adopted
+///   by this snapshot's engine: label-backed plans are available
+///   immediately, no rebuild is running.
+/// * [`Rebuilding`](IndexState::Rebuilding) — this version's
+///   configuration calls for a label index but none could be carried
+///   (the predecessor had not finished building one, or the repair cost
+///   model declined — too many landmarks invalidated, too many shards
+///   touched, or over budget). Queries fall back to search until the
+///   background build for *this* version lands.
+/// * [`Stale`](IndexState::Stale) — no label index is part of this
+///   deployment's plan for this graph (matrix regime, or labels disabled
+///   by config): there was nothing to carry and nothing to rebuild. The
+///   name is the operator's view from the update stream: whatever label
+///   state existed before the stream is not coming back by itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexState {
+    /// Label index carried forward via incremental repair.
+    Repaired,
+    /// Label index pending a (background) rebuild for this version.
+    Rebuilding,
+    /// No label index applies to this snapshot.
+    Stale,
+}
+
+impl IndexState {
+    /// Stable lowercase name, used by the `/metrics` endpoint.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IndexState::Repaired => "repaired",
+            IndexState::Rebuilding => "rebuilding",
+            IndexState::Stale => "stale",
+        }
+    }
+}
+
 /// A consistent, immutable view of the graph at one version, with its own
 /// indices and the standing answers maintained up to that version.
 ///
@@ -81,6 +122,7 @@ pub struct Snapshot {
     engine: Arc<QueryEngine>,
     memo: Arc<ReachMemo>,
     standing: Vec<StandingEntry>,
+    index_state: IndexState,
 }
 
 impl Snapshot {
@@ -89,13 +131,26 @@ impl Snapshot {
         engine: Arc<QueryEngine>,
         memo: Arc<ReachMemo>,
         standing: Vec<StandingEntry>,
+        index_state: IndexState,
     ) -> Self {
         Snapshot {
             version,
             engine,
             memo,
             standing,
+            index_state,
         }
+    }
+
+    /// How this snapshot came by its label index: carried through an
+    /// incremental [`Repaired`](IndexState::Repaired) step, pending a
+    /// [`Rebuilding`](IndexState::Rebuilding) background build, or
+    /// [`Stale`](IndexState::Stale) (no label index applies). See
+    /// [`IndexState`] for the full contract; the per-batch numbers behind
+    /// a `Repaired` verdict ride on
+    /// [`ApplyReport::index`](crate::ApplyReport).
+    pub fn index_state(&self) -> IndexState {
+        self.index_state
     }
 
     /// The graph version this snapshot serves (the

@@ -28,11 +28,13 @@
 use crate::engine::{EngineConfig, QueryEngine};
 use crate::error::EngineError;
 use crate::memo::ReachMemo;
-use crate::snapshot::{Snapshot, StandingEntry};
+use crate::snapshot::{IndexState, Snapshot, StandingEntry};
 use rpq_core::incremental::{DynamicGraph, IncrementalMatcher, Update};
 use rpq_core::pq::{Pq, PqResult};
-use rpq_graph::Graph;
+use rpq_graph::{Color, DriftMonitor, Graph, NodeId};
+use rpq_index::ShardedConfig;
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Handle to a registered standing query (index into every snapshot's
 /// standing answers, in registration order).
@@ -52,16 +54,66 @@ pub struct ApplyReport {
     pub version: u64,
     /// How many of the submitted updates actually changed the graph.
     pub applied: usize,
+    /// What happened to the label index on this batch — carried, repaired,
+    /// or handed to a rebuild — with the work counts behind the verdict.
+    pub index: IndexMaintenance,
     /// The snapshot now current — gives writers read-your-writes without a
     /// second lookup.
     pub snapshot: Arc<Snapshot>,
 }
 
-/// Mutable state owned by the writer lock: the dynamic graph and the
-/// maintenance state of every standing query.
+/// Index-maintenance accounting for one [`UpdatableEngine::apply`] batch:
+/// how the predecessor snapshot's label index was carried into the new
+/// one, observable without timing side channels.
+///
+/// The `labels_*` counters speak the unit of the regime that ran: for a
+/// whole-graph hop index they count **landmark label sets** (carried =
+/// kept verbatim, repaired = re-run pruned BFS); for the sharded index
+/// they count **shards** (carried by `Arc`, repaired in place, or rebuilt
+/// from scratch — membership moves and too-broad shard repairs).
+#[derive(Debug, Clone)]
+pub struct IndexMaintenance {
+    /// The verdict, also published as
+    /// [`Snapshot::index_state`](crate::Snapshot::index_state).
+    pub state: IndexState,
+    /// Label units carried into the new version unchanged.
+    pub labels_carried: usize,
+    /// Label units repaired incrementally.
+    pub labels_repaired: usize,
+    /// Label units rebuilt from scratch (sharded regime only).
+    pub labels_rebuilt: usize,
+    /// Landmarks whose pruned-BFS labels were invalidated by the batch,
+    /// summed across layers (and shards).
+    pub landmarks_invalidated: usize,
+    /// Shards the batch touched (intra-shard changes + membership moves);
+    /// `0` in the whole-graph regime.
+    pub shards_touched: usize,
+    /// Wall-clock time of the carry/repair step (zero when nothing ran).
+    pub repair_time: Duration,
+}
+
+impl Default for IndexMaintenance {
+    fn default() -> Self {
+        IndexMaintenance {
+            state: IndexState::Stale,
+            labels_carried: 0,
+            labels_repaired: 0,
+            labels_rebuilt: 0,
+            landmarks_invalidated: 0,
+            shards_touched: 0,
+            repair_time: Duration::ZERO,
+        }
+    }
+}
+
+/// Mutable state owned by the writer lock: the dynamic graph, the
+/// maintenance state of every standing query, and the drift monitor
+/// watching the sharded partition (created when the first sharded index
+/// is carried).
 struct WriterState {
     dynamic: DynamicGraph,
     matchers: Vec<IncrementalMatcher>,
+    drift: Option<DriftMonitor>,
 }
 
 /// A query engine over a *mutating* graph: writers apply update batches,
@@ -118,6 +170,7 @@ impl UpdatableEngine {
     /// every published snapshot's batch engine).
     pub fn with_config(graph: Graph, config: EngineConfig) -> Self {
         let dynamic = DynamicGraph::new(graph);
+        let state = regime_state(&config, dynamic.graph_arc().node_count());
         let snapshot = Arc::new(Snapshot::new(
             dynamic.version(),
             Arc::new(QueryEngine::with_config(
@@ -126,12 +179,14 @@ impl UpdatableEngine {
             )),
             Arc::new(ReachMemo::new()),
             Vec::new(),
+            state,
         ));
         UpdatableEngine {
             config,
             writer: Mutex::new(WriterState {
                 dynamic,
                 matchers: Vec::new(),
+                drift: None,
             }),
             current: RwLock::new(snapshot),
         }
@@ -179,6 +234,7 @@ impl UpdatableEngine {
             current.engine_arc(),
             current.memo_arc(),
             standing,
+            current.index_state(),
         ));
         id
     }
@@ -187,9 +243,21 @@ impl UpdatableEngine {
     ///
     /// Under the writer lock: the dynamic graph rebuilds once, every
     /// standing matcher maintains its answer from the effective updates,
-    /// and the new snapshot (fresh per-version indices, refreshed standing
-    /// answers) replaces the current one with a single `Arc` swap. A batch
-    /// that changes nothing publishes nothing.
+    /// the predecessor snapshot's label index is **carried forward
+    /// through an incremental repair** where the cost model allows (see
+    /// [`IndexState`] and [`ApplyReport::index`] — repairs that would
+    /// touch too much of the index fall back to the background rebuild
+    /// instead), and the new snapshot (carried or fresh per-version
+    /// indices, refreshed standing answers) replaces the current one with
+    /// a single `Arc` swap. A batch that changes nothing publishes
+    /// nothing.
+    ///
+    /// In the sharded regime the carry step also watches for **partition
+    /// drift**: when a sliding window of cut-ratio/balance samples
+    /// degrades past the monitor's threshold, a bounded rebalancing
+    /// move-set is computed ([`rpq_graph::Partition::rebalance`]) and
+    /// applied without re-sharding; only the shards whose membership
+    /// moved get their labels rebuilt.
     ///
     /// # Errors
     ///
@@ -222,10 +290,15 @@ impl UpdatableEngine {
         }
         let effective = state.dynamic.apply(updates);
         if effective.is_empty() {
+            let snapshot = self.snapshot();
             return Ok(ApplyReport {
                 version: state.dynamic.version(),
                 applied: 0,
-                snapshot: self.snapshot(),
+                index: IndexMaintenance {
+                    state: snapshot.index_state(),
+                    ..IndexMaintenance::default()
+                },
+                snapshot,
             });
         }
         for matcher in &mut state.matchers {
@@ -238,14 +311,34 @@ impl UpdatableEngine {
             .iter()
             .map(|m| StandingEntry::new(m.pq().clone(), m.match_sets().to_vec()))
             .collect();
+        let new_graph = state.dynamic.graph_arc();
+        let engine = Arc::new(QueryEngine::with_config(
+            Arc::clone(&new_graph),
+            self.config.clone(),
+        ));
+        // carry the predecessor's label index through a repair step
+        // instead of unconditionally retiring it
+        let changes: Vec<(NodeId, NodeId, Color)> = effective
+            .iter()
+            .map(|u| match *u {
+                Update::Insert(a, b, c) | Update::Delete(a, b, c) => (a, b, c),
+            })
+            .collect();
+        let prev = self.snapshot();
+        let index = carry_index(
+            &prev,
+            &engine,
+            &new_graph,
+            &changes,
+            &self.config,
+            &mut state.drift,
+        );
         let snapshot = Arc::new(Snapshot::new(
             state.dynamic.version(),
-            Arc::new(QueryEngine::with_config(
-                state.dynamic.graph_arc(),
-                self.config.clone(),
-            )),
+            engine,
             Arc::new(ReachMemo::new()),
             standing,
+            index.state,
         ));
         let superseded = std::mem::replace(
             &mut *self.current.write().expect("snapshot lock poisoned"),
@@ -259,6 +352,7 @@ impl UpdatableEngine {
         Ok(ApplyReport {
             version: snapshot.version(),
             applied: effective.len(),
+            index,
             snapshot,
         })
     }
@@ -268,6 +362,118 @@ impl UpdatableEngine {
     pub fn standing_result(&self, id: StandingId) -> Option<Arc<PqResult>> {
         self.snapshot().standing_result(id)
     }
+}
+
+/// The index state a snapshot starts in before any carry has happened:
+/// `Rebuilding` when this deployment's config calls for a label index on
+/// a graph of `n` nodes (a background build will serve it), `Stale` when
+/// none applies (matrix regime, or labels disabled).
+fn regime_state(config: &EngineConfig, n: usize) -> IndexState {
+    let labels_apply =
+        n > config.matrix_node_limit && (config.hop_label_budget > 0 || config.shards >= 2);
+    if labels_apply {
+        IndexState::Rebuilding
+    } else {
+        IndexState::Stale
+    }
+}
+
+/// Fraction of the hop index's landmarks a repair may invalidate before
+/// the cost model prefers a from-scratch rebuild: each invalidated
+/// landmark re-runs both pruned BFS directions, so past a quarter of the
+/// order the repair approaches full-build cost without its cache
+/// locality.
+const HOP_REPAIR_LIMIT_DIVISOR: usize = 4;
+
+/// Carry the predecessor snapshot's label index into `next_engine`
+/// through an incremental repair, recording what happened. Runs under
+/// the writer lock — the cost model (invalidation limit for the hop
+/// index, touched-shard majority for the sharded one) is what keeps the
+/// carried work bounded there; anything broader is declined in favor of
+/// the background rebuild the new engine will kick off on its own.
+fn carry_index(
+    prev: &Snapshot,
+    next_engine: &QueryEngine,
+    new_graph: &Arc<Graph>,
+    changes: &[(NodeId, NodeId, Color)],
+    config: &EngineConfig,
+    drift: &mut Option<DriftMonitor>,
+) -> IndexMaintenance {
+    let t0 = Instant::now();
+    let mut m = IndexMaintenance {
+        state: regime_state(config, new_graph.node_count()),
+        ..IndexMaintenance::default()
+    };
+    if let Some(hop) = prev.engine().hop_labels() {
+        let landmarks = hop.node_count();
+        let limit = (landmarks / HOP_REPAIR_LIMIT_DIVISOR).max(1);
+        if let Ok(rep) = hop.repair(new_graph, changes, config.hop_label_budget, limit, None) {
+            m.state = IndexState::Repaired;
+            m.landmarks_invalidated = rep.landmarks_invalidated;
+            m.labels_repaired = rep.landmarks_invalidated;
+            m.labels_carried = landmarks - rep.landmarks_invalidated;
+            next_engine.adopt_hop_labels(Arc::new(rep.labels));
+        }
+        // RepairTooBroad / OverBudget: keep the Rebuilding verdict — the
+        // new engine's background build takes over
+    } else if let Some(sl) = prev.engine().sharded_labels() {
+        let old_sg = sl.sharded_graph();
+        let k = old_sg.k();
+        // graph layer first: patch the sharded view in place
+        let mut new_sg = old_sg.apply_updates(Arc::clone(new_graph), changes);
+        // drift watch: a full degraded window triggers a bounded
+        // rebalance, applied as a move-set (no re-sharding); only the
+        // shards whose membership moved must rebuild their labels
+        let mon = drift.get_or_insert_with(|| DriftMonitor::new(&old_sg.stats()));
+        mon.record(&new_sg.stats());
+        let mut rebuild_shards: Vec<usize> = Vec::new();
+        if mon.drifting() {
+            let max_moves = (new_graph.node_count() / 8).max(16);
+            let moves = new_sg.partition().rebalance(new_graph, max_moves);
+            if !moves.is_empty() {
+                let mut moved = vec![false; k];
+                for &(v, s) in &moves {
+                    moved[new_sg.partition().shard_of(v)] = true;
+                    moved[s as usize] = true;
+                }
+                new_sg = new_sg.apply_moves(&moves);
+                rebuild_shards = (0..k).filter(|&s| moved[s]).collect();
+            }
+            mon.rebaseline(&new_sg.stats());
+        }
+        // cost model: how many shards would the label layer rework?
+        let mut reworked = vec![false; k];
+        for &s in &rebuild_shards {
+            reworked[s] = true;
+        }
+        for &(u, v, _) in changes {
+            let p = new_sg.partition();
+            if p.shard_of(u) == p.shard_of(v) {
+                reworked[p.shard_of(u)] = true;
+            }
+        }
+        m.shards_touched = reworked.iter().filter(|&&t| t).count();
+        if m.shards_touched <= k / 2 {
+            let scfg = ShardedConfig {
+                shards: k,
+                shard_budget_bytes: config.shard_memory_budget,
+                wildcard_layer: true,
+                build_workers: 0,
+            };
+            if let Ok(rep) = sl.repair(Arc::new(new_sg), changes, &rebuild_shards, &scfg, None) {
+                m.state = IndexState::Repaired;
+                m.labels_carried = rep.shards_carried;
+                m.labels_repaired = rep.shards_repaired;
+                m.labels_rebuilt = rep.shards_rebuilt;
+                m.landmarks_invalidated = rep.landmarks_invalidated;
+                next_engine.adopt_sharded_labels(Arc::new(rep.labels));
+            }
+        }
+        // a majority of shards touched, or an over-budget repair: keep
+        // the Rebuilding verdict and let the background build take over
+    }
+    m.repair_time = t0.elapsed();
+    m
 }
 
 #[cfg(test)]
@@ -428,6 +634,224 @@ mod tests {
         // graph unchanged, no snapshot published
         assert!(Arc::ptr_eq(&before, &engine.snapshot()));
         assert!(!engine.snapshot().graph().has_edge(c1, b1, fnc));
+    }
+
+    fn rq(g: &Graph, from: &str, to: &str, re: &str) -> Rq {
+        Rq::new(
+            Predicate::parse(from, g.schema()).unwrap(),
+            Predicate::parse(to, g.schema()).unwrap(),
+            FRegex::parse(re, g.alphabet()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn apply_repairs_hop_labels_across_versions() {
+        // sparse on purpose: the repair cost model accepts a batch only
+        // when its blast radius is a bounded fraction of the landmarks,
+        // which a dense random digraph's giant reachable sets never are
+        let g = rpq_graph::gen::synthetic(300, 280, 2, 3, 41);
+        let engine = UpdatableEngine::with_config(
+            g,
+            EngineConfig::builder()
+                .matrix_node_limit(0)
+                .workers(2)
+                .build()
+                .unwrap(),
+        );
+        let first = engine.snapshot();
+        assert_eq!(first.index_state(), crate::IndexState::Rebuilding);
+        first.engine().force_hop_labels().expect("fits budget");
+        let n = first.graph().node_count();
+
+        // a small batch: the labels must be carried, not retired
+        let g0 = first.graph().clone();
+        let c0 = rpq_graph::Color(0);
+        let report = engine
+            .apply(&[
+                Update::Insert(rpq_graph::NodeId(3), rpq_graph::NodeId(250), c0),
+                Update::Delete(
+                    g0.edges().next().map(|(u, _, _)| u).unwrap(),
+                    g0.edges().next().map(|(_, v, _)| v).unwrap(),
+                    g0.edges().next().map(|(_, _, c)| c).unwrap(),
+                ),
+            ])
+            .unwrap();
+        assert_eq!(report.index.state, crate::IndexState::Repaired);
+        assert_eq!(report.snapshot.index_state(), crate::IndexState::Repaired);
+        assert!(
+            report.snapshot.engine().hop_ready(),
+            "carried labels must be adopted, not rebuilt"
+        );
+        assert!(report.index.landmarks_invalidated > 0);
+        assert_eq!(
+            report.index.labels_carried + report.index.labels_repaired,
+            n,
+            "every landmark is either carried or repaired"
+        );
+        assert!(
+            report.index.labels_carried > report.index.labels_repaired,
+            "a 2-edge batch must not invalidate most of the index"
+        );
+
+        // the carried index plans and answers immediately — and exactly
+        let g1 = report.snapshot.graph().clone();
+        let q = rq(&g1, "a0 <= 4", "a1 >= 6", "c0^2 c1");
+        assert_eq!(
+            report.snapshot.plan_query(&Query::Rq(q.clone())),
+            Plan::RqHop
+        );
+        assert_eq!(
+            report
+                .snapshot
+                .run_query(&Query::Rq(q.clone()))
+                .as_rq()
+                .unwrap(),
+            &q.eval_bfs(&g1)
+        );
+
+        // and the chain continues: the repaired index repairs again
+        let report2 = engine
+            .apply(&[Update::Insert(
+                rpq_graph::NodeId(7),
+                rpq_graph::NodeId(100),
+                c0,
+            )])
+            .unwrap();
+        assert_eq!(report2.index.state, crate::IndexState::Repaired);
+        let g2 = report2.snapshot.graph().clone();
+        assert_eq!(
+            report2
+                .snapshot
+                .run_query(&Query::Rq(q.clone()))
+                .as_rq()
+                .unwrap(),
+            &q.eval_bfs(&g2)
+        );
+    }
+
+    #[test]
+    fn too_broad_hop_repair_falls_back_to_rebuilding() {
+        let g = rpq_graph::gen::synthetic(300, 1200, 2, 3, 41);
+        let engine = UpdatableEngine::with_config(
+            g,
+            EngineConfig::builder()
+                .matrix_node_limit(0)
+                .workers(2)
+                .build()
+                .unwrap(),
+        );
+        engine.snapshot().engine().force_hop_labels().unwrap();
+        // a hub-making batch: 150 new edges out of one node invalidate
+        // far more than a quarter of the landmarks
+        let c0 = rpq_graph::Color(0);
+        let batch: Vec<Update> = (1..150)
+            .map(|v| Update::Insert(rpq_graph::NodeId(0), rpq_graph::NodeId(v), c0))
+            .collect();
+        let report = engine.apply(&batch).unwrap();
+        assert_eq!(report.index.state, crate::IndexState::Rebuilding);
+        assert_eq!(report.snapshot.index_state(), crate::IndexState::Rebuilding);
+        assert!(
+            !report.snapshot.engine().hop_ready(),
+            "declined repair must not adopt stale labels"
+        );
+        // answers stay correct on the fallback path
+        let g1 = report.snapshot.graph().clone();
+        let q = rq(&g1, "a0 <= 4", "a1 >= 6", "c0 c1");
+        assert_eq!(
+            report
+                .snapshot
+                .run_query(&Query::Rq(q.clone()))
+                .as_rq()
+                .unwrap(),
+            &q.eval_bfs(&g1)
+        );
+    }
+
+    #[test]
+    fn apply_repairs_sharded_labels_across_versions() {
+        let g = rpq_graph::gen::clustered(400, 1600, 4, 2, 3, 60, 7);
+        let engine = UpdatableEngine::with_config(
+            g,
+            EngineConfig::builder()
+                .matrix_node_limit(0)
+                .hop_label_budget(0) // single-index path disabled
+                .shards(4)
+                .workers(2)
+                .build()
+                .unwrap(),
+        );
+        let first = engine.snapshot();
+        first.engine().force_sharded_labels().expect("builds");
+
+        let g0 = first.graph().clone();
+        let (u, v, c) = g0.edges().next().unwrap();
+        let report = engine.apply(&[Update::Delete(u, v, c)]).unwrap();
+        assert_eq!(report.index.state, crate::IndexState::Repaired);
+        assert!(report.snapshot.engine().sharded_ready());
+        assert_eq!(
+            report.index.labels_carried
+                + report.index.labels_repaired
+                + report.index.labels_rebuilt,
+            4,
+            "every shard accounted for"
+        );
+        assert!(report.index.shards_touched <= 2);
+
+        let g1 = report.snapshot.graph().clone();
+        let q = rq(&g1, "a0 <= 4", "a1 >= 6", "c0^2 c1");
+        assert_eq!(
+            report.snapshot.plan_query(&Query::Rq(q.clone())),
+            Plan::RqSharded
+        );
+        assert_eq!(
+            report
+                .snapshot
+                .run_query(&Query::Rq(q.clone()))
+                .as_rq()
+                .unwrap(),
+            &q.eval_bfs(&g1)
+        );
+
+        // sustained stream: answers stay exact, index stays carried
+        let mut seed = 5u64;
+        for _ in 0..5 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let a = rpq_graph::NodeId((seed % 400) as u32);
+            let b = rpq_graph::NodeId(((seed >> 16) % 400) as u32);
+            let r = engine
+                .apply(&[Update::Insert(a, b, rpq_graph::Color(0))])
+                .unwrap();
+            if r.applied == 0 {
+                continue;
+            }
+            let gi = r.snapshot.graph().clone();
+            assert_eq!(
+                r.snapshot.run_query(&Query::Rq(q.clone())).as_rq().unwrap(),
+                &q.eval_bfs(&gi)
+            );
+        }
+        assert_eq!(
+            engine.snapshot().index_state(),
+            crate::IndexState::Repaired,
+            "steady-state writes keep the index carried"
+        );
+    }
+
+    #[test]
+    fn matrix_regime_publishes_stale_state() {
+        let engine = UpdatableEngine::new(essembly());
+        assert_eq!(engine.snapshot().index_state(), crate::IndexState::Stale);
+        let g = engine.snapshot().graph().clone();
+        let c1 = g.node_by_label("C1").unwrap();
+        let b1 = g.node_by_label("B1").unwrap();
+        let fnc = g.alphabet().get("fn").unwrap();
+        let report = engine.apply(&[Update::Insert(c1, b1, fnc)]).unwrap();
+        assert_eq!(report.index.state, crate::IndexState::Stale);
+        assert_eq!(report.index.labels_carried, 0);
+        // noop applies echo the current state
+        let noop = engine.apply(&[Update::Insert(c1, b1, fnc)]).unwrap();
+        assert_eq!(noop.applied, 0);
+        assert_eq!(noop.index.state, crate::IndexState::Stale);
     }
 
     #[test]

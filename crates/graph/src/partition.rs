@@ -73,6 +73,113 @@ fn bfs_order_within(g: &Graph, comm: &[u32], scratch: &mut [u32]) -> Vec<u32> {
 
 const UNASSIGNED: u32 = u32::MAX;
 
+/// Boundary refinement over an existing node→shard assignment, two
+/// mechanisms per pass:
+///
+/// 1. *capped moves* — a node with a strict neighbor majority in
+///    another shard moves there while the target has headroom and
+///    the source keeps one node;
+/// 2. *balanced swaps* — when both shards sit at the cap (the
+///    common end state of the packing), moves alone cannot fix a
+///    misplaced blob, but for every shard pair the nodes wanting
+///    to cross in opposite directions can be exchanged
+///    gain-ordered, improving the cut at exactly zero balance
+///    cost. This is what repairs a capped community that
+///    straddled two clusters during propagation.
+///
+/// Runs up to four passes or until a pass changes nothing, stopping
+/// early once `max_changes` assignment changes have been made (a swap
+/// counts as two). Mutates `shard_of`/`sizes` in place and returns the
+/// number of changes. This is both the final polish of
+/// [`Partition::edge_cut`] and the whole of [`Partition::rebalance`] —
+/// incremental rebalancing is refinement re-run on the drifted graph.
+fn refine_assignment(
+    g: &Graph,
+    shard_of: &mut [u32],
+    sizes: &mut [usize],
+    cap: usize,
+    max_changes: usize,
+) -> usize {
+    let n = shard_of.len();
+    let k = sizes.len();
+    let mut changed = 0usize;
+    let mut votes = vec![0u32; k];
+    for _pass in 0..4 {
+        let mut moved = 0usize;
+        for v in 0..n {
+            if changed >= max_changes {
+                return changed;
+            }
+            let id = NodeId(v as u32);
+            votes.iter_mut().for_each(|t| *t = 0);
+            for e in g.out_edges(id).iter().chain(g.in_edges(id)) {
+                if e.node != id {
+                    votes[shard_of[e.node.index()] as usize] += 1;
+                }
+            }
+            let cur = shard_of[v] as usize;
+            let best = (0..k)
+                .max_by_key(|&s| (votes[s], usize::from(s == cur), usize::MAX - s))
+                .expect("k >= 1");
+            if best != cur && votes[best] > votes[cur] && sizes[best] < cap && sizes[cur] > 1 {
+                shard_of[v] = best as u32;
+                sizes[cur] -= 1;
+                sizes[best] += 1;
+                moved += 1;
+                changed += 1;
+            }
+        }
+        // swap phase: collect would-be movers per (from, to) pair
+        // against a frozen snapshot of the assignment, then exchange
+        // the top-gain prefixes of opposite directions
+        let mut movers: HashMap<(u32, u32), Vec<(u32, u32)>> = HashMap::new();
+        for v in 0..n {
+            let id = NodeId(v as u32);
+            votes.iter_mut().for_each(|t| *t = 0);
+            for e in g.out_edges(id).iter().chain(g.in_edges(id)) {
+                if e.node != id {
+                    votes[shard_of[e.node.index()] as usize] += 1;
+                }
+            }
+            let cur = shard_of[v] as usize;
+            let best = (0..k)
+                .max_by_key(|&s| (votes[s], usize::from(s == cur), usize::MAX - s))
+                .expect("k >= 1");
+            if best != cur && votes[best] > votes[cur] {
+                movers
+                    .entry((cur as u32, best as u32))
+                    .or_default()
+                    .push((votes[best] - votes[cur], v as u32));
+            }
+        }
+        for a in 0..k as u32 {
+            for b in (a + 1)..k as u32 {
+                let (Some(fwd), Some(bwd)) = (movers.get(&(a, b)), movers.get(&(b, a))) else {
+                    continue;
+                };
+                let mut fwd = fwd.clone();
+                let mut bwd = bwd.clone();
+                fwd.sort_unstable_by_key(|&(gain, v)| (std::cmp::Reverse(gain), v));
+                bwd.sort_unstable_by_key(|&(gain, v)| (std::cmp::Reverse(gain), v));
+                let m = fwd.len().min(bwd.len());
+                for i in 0..m {
+                    if changed + 2 > max_changes {
+                        return changed;
+                    }
+                    shard_of[fwd[i].1 as usize] = b;
+                    shard_of[bwd[i].1 as usize] = a;
+                    moved += 2;
+                    changed += 2;
+                }
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    changed
+}
+
 /// An assignment of graph nodes to `k` shards, with per-shard dense local
 /// ids and the maps between local and global id spaces.
 #[derive(Debug, Clone)]
@@ -262,84 +369,8 @@ impl Partition {
             }
         }
 
-        // --- boundary refinement, two mechanisms per pass:
-        //
-        // 1. *capped moves* — a node with a strict neighbor majority in
-        //    another shard moves there while the target has headroom and
-        //    the source keeps one node;
-        // 2. *balanced swaps* — when both shards sit at the cap (the
-        //    common end state of the packing), moves alone cannot fix a
-        //    misplaced blob, but for every shard pair the nodes wanting
-        //    to cross in opposite directions can be exchanged
-        //    gain-ordered, improving the cut at exactly zero balance
-        //    cost. This is what repairs a capped community that
-        //    straddled two clusters during propagation.
-        let mut votes = vec![0u32; k];
-        for _pass in 0..4 {
-            let mut moved = 0usize;
-            for v in 0..n {
-                let id = NodeId(v as u32);
-                votes.iter_mut().for_each(|t| *t = 0);
-                for e in g.out_edges(id).iter().chain(g.in_edges(id)) {
-                    if e.node != id {
-                        votes[shard_of[e.node.index()] as usize] += 1;
-                    }
-                }
-                let cur = shard_of[v] as usize;
-                let best = (0..k)
-                    .max_by_key(|&s| (votes[s], usize::from(s == cur), usize::MAX - s))
-                    .expect("k >= 1");
-                if best != cur && votes[best] > votes[cur] && sizes[best] < cap && sizes[cur] > 1 {
-                    shard_of[v] = best as u32;
-                    sizes[cur] -= 1;
-                    sizes[best] += 1;
-                    moved += 1;
-                }
-            }
-            // swap phase: collect would-be movers per (from, to) pair
-            // against a frozen snapshot of the assignment, then exchange
-            // the top-gain prefixes of opposite directions
-            let mut movers: HashMap<(u32, u32), Vec<(u32, u32)>> = HashMap::new();
-            for v in 0..n {
-                let id = NodeId(v as u32);
-                votes.iter_mut().for_each(|t| *t = 0);
-                for e in g.out_edges(id).iter().chain(g.in_edges(id)) {
-                    if e.node != id {
-                        votes[shard_of[e.node.index()] as usize] += 1;
-                    }
-                }
-                let cur = shard_of[v] as usize;
-                let best = (0..k)
-                    .max_by_key(|&s| (votes[s], usize::from(s == cur), usize::MAX - s))
-                    .expect("k >= 1");
-                if best != cur && votes[best] > votes[cur] {
-                    movers
-                        .entry((cur as u32, best as u32))
-                        .or_default()
-                        .push((votes[best] - votes[cur], v as u32));
-                }
-            }
-            for a in 0..k as u32 {
-                for b in (a + 1)..k as u32 {
-                    let (Some(fwd), Some(bwd)) = (movers.get(&(a, b)), movers.get(&(b, a))) else {
-                        continue;
-                    };
-                    let mut fwd = fwd.clone();
-                    let mut bwd = bwd.clone();
-                    fwd.sort_unstable_by_key(|&(gain, v)| (std::cmp::Reverse(gain), v));
-                    bwd.sort_unstable_by_key(|&(gain, v)| (std::cmp::Reverse(gain), v));
-                    let m = fwd.len().min(bwd.len());
-                    for i in 0..m {
-                        shard_of[fwd[i].1 as usize] = b;
-                        shard_of[bwd[i].1 as usize] = a;
-                        moved += 2;
-                    }
-                }
-            }
-            if moved == 0 {
-                break;
-            }
-        }
+        // --- boundary refinement (shared with [`Partition::rebalance`])
+        refine_assignment(g, &mut shard_of, &mut sizes, cap, usize::MAX);
 
         // --- no shard stays empty: since k ≤ |V|, every empty shard can
         // take one node from the currently largest shard (the packing
@@ -429,6 +460,123 @@ impl Partition {
     pub fn shard_size(&self, s: usize) -> usize {
         self.globals[s].len()
     }
+
+    /// Propose an **incremental rebalancing** of this partition against
+    /// `g` (typically the same graph after a stream of edge updates has
+    /// degraded the cut): re-runs the bounded capped-move/swap refinement
+    /// of [`Partition::edge_cut`] on the current assignment and returns
+    /// the resulting move-set as `(node, new shard)` pairs — only nodes
+    /// whose final shard differs from their current one appear.
+    ///
+    /// `max_moves` caps the refinement work (each single move or half of
+    /// a swap counts as one change), so a drifted partition is repaired
+    /// in bounded slices instead of one unbounded sweep; the returned
+    /// set can be applied without re-sharding through
+    /// [`ShardedGraph::apply_moves`]. An empty result means refinement
+    /// found nothing to improve — the partition is at a local optimum
+    /// and only a full repartition could do better.
+    pub fn rebalance(&self, g: &Graph, max_moves: usize) -> Vec<(NodeId, u32)> {
+        assert_eq!(
+            g.node_count(),
+            self.node_count(),
+            "rebalance needs the graph this partition covers"
+        );
+        let n = self.node_count();
+        let k = self.k();
+        if n == 0 || max_moves == 0 {
+            return Vec::new();
+        }
+        let cap = n.div_ceil(k);
+        let mut shard_of = self.shard_of.clone();
+        let mut sizes: Vec<usize> = (0..k).map(|s| self.shard_size(s)).collect();
+        refine_assignment(g, &mut shard_of, &mut sizes, cap, max_moves);
+        shard_of
+            .iter()
+            .enumerate()
+            .filter(|&(v, &s)| s != self.shard_of[v])
+            .map(|(v, &s)| (NodeId(v as u32), s))
+            .collect()
+    }
+}
+
+/// Sliding-window detector for **partition drift**: the slow decay of a
+/// once-good edge-cut as updates keep landing on a fixed assignment.
+///
+/// Feed it the [`ShardStats`] of each published sharded snapshot via
+/// [`DriftMonitor::record`]; [`DriftMonitor::drifting`] reports true once
+/// a *full* window of samples averages worse than the recorded baseline
+/// by the slack factor — on either the cut ratio or the balance. The
+/// full-window warm-up keeps one noisy batch from triggering a
+/// rebalance, and [`DriftMonitor::rebaseline`] resets both the baseline
+/// and the window after a rebalance (or full repartition) has been
+/// applied, so the monitor tracks degradation *since the last repair*
+/// rather than since the beginning of time.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    window: usize,
+    slack: f64,
+    baseline_cut: f64,
+    baseline_balance: f64,
+    samples: VecDeque<(f64, f64)>,
+}
+
+impl DriftMonitor {
+    /// Default window: 8 recorded snapshots.
+    pub const DEFAULT_WINDOW: usize = 8;
+    /// Default slack: 1.25× the baseline before drift is declared.
+    pub const DEFAULT_SLACK: f64 = 1.25;
+
+    /// Monitor with the default window and slack, baselined at `stats`.
+    pub fn new(baseline: &ShardStats) -> DriftMonitor {
+        Self::with_params(baseline, Self::DEFAULT_WINDOW, Self::DEFAULT_SLACK)
+    }
+
+    /// Monitor with an explicit window length (≥ 1) and slack factor
+    /// (> 1), baselined at `stats`.
+    pub fn with_params(baseline: &ShardStats, window: usize, slack: f64) -> DriftMonitor {
+        assert!(window >= 1, "window must hold at least one sample");
+        assert!(slack > 1.0, "slack must leave room above the baseline");
+        DriftMonitor {
+            window,
+            slack,
+            baseline_cut: baseline.edge_cut_ratio(),
+            baseline_balance: baseline.balance(),
+            samples: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Record the stats of a freshly published sharded snapshot.
+    pub fn record(&mut self, stats: &ShardStats) {
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples
+            .push_back((stats.edge_cut_ratio(), stats.balance()));
+    }
+
+    /// True when a full window of samples averages worse than the
+    /// baseline by the slack factor, on cut ratio or balance. The cut
+    /// threshold carries a small absolute floor so a zero-cut baseline
+    /// (e.g. disconnected clusters split perfectly) does not declare
+    /// drift on the first cross-shard edge.
+    pub fn drifting(&self) -> bool {
+        if self.samples.len() < self.window {
+            return false;
+        }
+        let inv = 1.0 / self.samples.len() as f64;
+        let avg_cut: f64 = self.samples.iter().map(|&(c, _)| c).sum::<f64>() * inv;
+        let avg_bal: f64 = self.samples.iter().map(|&(_, b)| b).sum::<f64>() * inv;
+        avg_cut > self.baseline_cut * self.slack + 0.01
+            || avg_bal > self.baseline_balance * self.slack
+    }
+
+    /// Reset the baseline to `stats` and clear the window — call after
+    /// applying a rebalance so the monitor measures new degradation.
+    pub fn rebaseline(&mut self, stats: &ShardStats) {
+        self.baseline_cut = stats.edge_cut_ratio();
+        self.baseline_balance = stats.balance();
+        self.samples.clear();
+    }
 }
 
 /// Aggregate shape of a [`ShardedGraph`], for logs, benches and planning.
@@ -487,6 +635,61 @@ impl std::fmt::Display for ShardStats {
     }
 }
 
+/// Shard `s` of `graph` under `partition` as a standalone local graph:
+/// the shard's nodes (labels and attributes preserved, dense local ids
+/// in `shard_nodes` order) plus exactly its intra-shard edges.
+fn build_shard_graph(graph: &Graph, partition: &Partition, s: usize) -> Graph {
+    let mut b = GraphBuilder::with_vocabulary(graph.schema().clone(), graph.alphabet().clone());
+    for &v in partition.shard_nodes(s) {
+        let pairs: Vec<_> = graph
+            .attrs(v)
+            .iter()
+            .map(|(id, val)| (id, val.clone()))
+            .collect();
+        b.add_node(graph.label(v), pairs);
+    }
+    for &v in partition.shard_nodes(s) {
+        let lu = partition.local_of(v);
+        for e in graph.out_edges(v) {
+            let (sv, lv) = partition.to_local(e.node);
+            if sv == s {
+                b.add_edge(lu, lv, e.color);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Derive the boundary-node directory from a cut-edge list: per-shard
+/// boundary locals (ascending), the global boundary list whose index
+/// order **is** the overlay id space, and the global→overlay map.
+/// Deterministic in the cut-edge *set* (order-insensitive), so a patched
+/// cut list yields the same directory as a from-scratch scan.
+#[allow(clippy::type_complexity)]
+fn boundary_directory(
+    n: usize,
+    partition: &Partition,
+    cut_edges: &[(NodeId, NodeId, Color)],
+) -> (Vec<Vec<NodeId>>, Vec<NodeId>, Vec<u32>) {
+    let mut is_boundary = vec![false; n];
+    for &(u, v, _) in cut_edges {
+        is_boundary[u.index()] = true;
+        is_boundary[v.index()] = true;
+    }
+    let mut boundary_globals = Vec::new();
+    let mut overlay_of = vec![UNASSIGNED; n];
+    let mut boundary_locals: Vec<Vec<NodeId>> = vec![Vec::new(); partition.k()];
+    for v in 0..n {
+        if is_boundary[v] {
+            overlay_of[v] = boundary_globals.len() as u32;
+            let id = NodeId(v as u32);
+            boundary_globals.push(id);
+            boundary_locals[partition.shard_of(id)].push(partition.local_of(id));
+        }
+    }
+    (boundary_locals, boundary_globals, overlay_of)
+}
+
 /// A graph stored as `k` per-shard local graphs plus the cross-shard
 /// residue: cut edges and the boundary-node directory. The shards share
 /// the original vocabulary (schema and alphabet), so queries authored
@@ -495,7 +698,10 @@ impl std::fmt::Display for ShardStats {
 pub struct ShardedGraph {
     graph: Arc<Graph>,
     partition: Partition,
-    shards: Vec<Graph>,
+    /// Per-shard local graphs, `Arc`'d so the incremental constructors
+    /// ([`ShardedGraph::apply_updates`], [`ShardedGraph::apply_moves`])
+    /// can carry untouched shards into the successor for free.
+    shards: Vec<Arc<Graph>>,
     /// per shard: boundary nodes as **local** ids, ascending.
     boundary_locals: Vec<Vec<NodeId>>,
     /// all boundary nodes as **global** ids, ascending — this order is the
@@ -524,49 +730,155 @@ impl ShardedGraph {
         );
         let n = graph.node_count();
         let k = partition.k();
-        let mut builders: Vec<GraphBuilder> = (0..k)
-            .map(|_| {
-                GraphBuilder::with_vocabulary(graph.schema().clone(), graph.alphabet().clone())
-            })
+        let cut_edges: Vec<(NodeId, NodeId, Color)> = graph
+            .edges()
+            .filter(|&(u, v, _)| partition.shard_of(u) != partition.shard_of(v))
             .collect();
-        for (s, builder) in builders.iter_mut().enumerate() {
-            for &v in partition.shard_nodes(s) {
-                let pairs: Vec<_> = graph
-                    .attrs(v)
-                    .iter()
-                    .map(|(id, val)| (id, val.clone()))
-                    .collect();
-                builder.add_node(graph.label(v), pairs);
-            }
-        }
-        let mut cut_edges = Vec::new();
-        let mut is_boundary = vec![false; n];
-        for (u, v, c) in graph.edges() {
-            let (su, lu) = partition.to_local(u);
-            let (sv, lv) = partition.to_local(v);
-            if su == sv {
-                builders[su].add_edge(lu, lv, c);
-            } else {
-                cut_edges.push((u, v, c));
-                is_boundary[u.index()] = true;
-                is_boundary[v.index()] = true;
-            }
-        }
-        let shards: Vec<Graph> = builders.into_iter().map(GraphBuilder::build).collect();
-
-        let mut boundary_globals = Vec::new();
-        let mut overlay_of = vec![UNASSIGNED; n];
-        let mut boundary_locals: Vec<Vec<NodeId>> = vec![Vec::new(); k];
-        for v in 0..n {
-            if is_boundary[v] {
-                overlay_of[v] = boundary_globals.len() as u32;
-                let id = NodeId(v as u32);
-                boundary_globals.push(id);
-                boundary_locals[partition.shard_of(id)].push(partition.local_of(id));
-            }
-        }
+        let shards: Vec<Arc<Graph>> = (0..k)
+            .map(|s| Arc::new(build_shard_graph(&graph, &partition, s)))
+            .collect();
+        let (boundary_locals, boundary_globals, overlay_of) =
+            boundary_directory(n, &partition, &cut_edges);
         ShardedGraph {
             graph,
+            partition,
+            shards,
+            boundary_locals,
+            boundary_globals,
+            overlay_of,
+            cut_edges,
+        }
+    }
+
+    /// Re-image this sharded view onto `new_graph` **without re-sharding**:
+    /// the partition is kept verbatim, only shards containing an endpoint
+    /// pair of an *intra-shard* change get their local graph rebuilt
+    /// (everything else is carried by `Arc`), cross-shard changes patch
+    /// the cut-edge list in place, and the boundary directory is
+    /// re-derived from the patched cut. For a batch touching a handful of
+    /// shards this is O(touched shard size + |changes| + |cut| + |V|)
+    /// instead of the O(|V| + |E|) full reconstruction of
+    /// [`ShardedGraph::with_partition`].
+    ///
+    /// Preconditions: `new_graph` has the same node set (count, labels,
+    /// attrs) as the current graph — updates here are edge-only — and
+    /// `changes` lists the edge deltas: an entry present in `new_graph`
+    /// is an insert, an absent one a delete. Ineffective entries (inserts
+    /// of pre-existing edges, deletes of never-present ones) are ignored.
+    ///
+    /// The result is observationally identical to
+    /// `with_partition(new_graph, partition.clone())` — same shard
+    /// graphs, boundary directory and cut-edge *set* (the patched list
+    /// may order cut edges differently, which nothing downstream depends
+    /// on).
+    pub fn apply_updates(
+        &self,
+        new_graph: Arc<Graph>,
+        changes: &[(NodeId, NodeId, Color)],
+    ) -> ShardedGraph {
+        assert_eq!(
+            new_graph.node_count(),
+            self.graph.node_count(),
+            "apply_updates is edge-only: the node set must not change"
+        );
+        let n = new_graph.node_count();
+        let k = self.k();
+        let partition = self.partition.clone();
+        let mut touched = vec![false; k];
+        let mut cross_deletes: std::collections::HashSet<(NodeId, NodeId, Color)> =
+            std::collections::HashSet::new();
+        let mut cross_inserts: Vec<(NodeId, NodeId, Color)> = Vec::new();
+        for &(u, v, c) in changes {
+            if partition.shard_of(u) == partition.shard_of(v) {
+                touched[partition.shard_of(u)] = true;
+            } else if new_graph.has_edge(u, v, c) {
+                if !self.graph.has_edge(u, v, c) && !cross_inserts.contains(&(u, v, c)) {
+                    cross_inserts.push((u, v, c));
+                }
+            } else if self.graph.has_edge(u, v, c) {
+                cross_deletes.insert((u, v, c));
+            }
+        }
+        let mut cut_edges: Vec<(NodeId, NodeId, Color)> = if cross_deletes.is_empty() {
+            self.cut_edges.clone()
+        } else {
+            self.cut_edges
+                .iter()
+                .filter(|e| !cross_deletes.contains(e))
+                .copied()
+                .collect()
+        };
+        cut_edges.extend(cross_inserts);
+        let shards: Vec<Arc<Graph>> = (0..k)
+            .map(|s| {
+                if touched[s] {
+                    Arc::new(build_shard_graph(&new_graph, &partition, s))
+                } else {
+                    Arc::clone(&self.shards[s])
+                }
+            })
+            .collect();
+        let (boundary_locals, boundary_globals, overlay_of) =
+            boundary_directory(n, &partition, &cut_edges);
+        ShardedGraph {
+            graph: new_graph,
+            partition,
+            shards,
+            boundary_locals,
+            boundary_globals,
+            overlay_of,
+            cut_edges,
+        }
+    }
+
+    /// Apply a rebalancing move-set (from [`Partition::rebalance`])
+    /// **without re-sharding**: the assignment is patched, only shards a
+    /// node moved out of or into get their local graph rebuilt (the rest
+    /// are carried by `Arc`), and the cut is re-scanned in one O(|E|)
+    /// pass — membership changes can flip the cut status of any edge
+    /// incident to a moved node, so the scan is the cheapest sound
+    /// re-derivation. No-op moves (a node "moved" to its current shard)
+    /// are ignored.
+    ///
+    /// The result is identical to
+    /// `with_partition(graph, Partition::from_shard_of(patched, k))`:
+    /// untouched shards keep their exact local graphs (dense local ids
+    /// are assigned in ascending global order, so unchanged membership
+    /// means unchanged ids), which the index layer exploits to carry
+    /// per-shard labels across a rebalance.
+    pub fn apply_moves(&self, moves: &[(NodeId, u32)]) -> ShardedGraph {
+        let n = self.graph.node_count();
+        let k = self.k();
+        let mut shard_of = self.partition.shard_of.clone();
+        let mut touched = vec![false; k];
+        for &(v, s) in moves {
+            assert!((s as usize) < k, "move target {s} >= k={k}");
+            let old = shard_of[v.index()];
+            if old != s {
+                touched[old as usize] = true;
+                touched[s as usize] = true;
+                shard_of[v.index()] = s;
+            }
+        }
+        let partition = Partition::from_shard_of(shard_of, k);
+        let cut_edges: Vec<(NodeId, NodeId, Color)> = self
+            .graph
+            .edges()
+            .filter(|&(u, v, _)| partition.shard_of(u) != partition.shard_of(v))
+            .collect();
+        let shards: Vec<Arc<Graph>> = (0..k)
+            .map(|s| {
+                if touched[s] {
+                    Arc::new(build_shard_graph(&self.graph, &partition, s))
+                } else {
+                    Arc::clone(&self.shards[s])
+                }
+            })
+            .collect();
+        let (boundary_locals, boundary_globals, overlay_of) =
+            boundary_directory(n, &partition, &cut_edges);
+        ShardedGraph {
+            graph: Arc::clone(&self.graph),
             partition,
             shards,
             boundary_locals,
@@ -596,8 +908,9 @@ impl ShardedGraph {
         &self.shards[s]
     }
 
-    /// All per-shard graphs.
-    pub fn shards(&self) -> &[Graph] {
+    /// All per-shard graphs (`Arc`'d — incremental successors share
+    /// untouched shards with their predecessor).
+    pub fn shards(&self) -> &[Arc<Graph>] {
         &self.shards
     }
 
@@ -775,5 +1088,238 @@ mod tests {
     #[should_panic(expected = ">= k")]
     fn from_shard_of_validates() {
         Partition::from_shard_of(vec![0, 5], 2);
+    }
+
+    fn lcg(s: &mut u64) -> u64 {
+        *s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *s >> 33
+    }
+
+    /// Apply `count` pseudo-random edge flips to `g`, returning the new
+    /// graph and the effective change list (`apply_updates`'s contract).
+    fn random_mutation_round(
+        g: &Graph,
+        count: usize,
+        seed: u64,
+    ) -> (Graph, Vec<(NodeId, NodeId, Color)>) {
+        let n = g.node_count() as u64;
+        let m = g.alphabet().len() as u64;
+        let mut b = GraphBuilder::from_graph(g);
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut eff = Vec::new();
+        for _ in 0..count {
+            let u = NodeId((lcg(&mut s) % n) as u32);
+            let v = NodeId((lcg(&mut s) % n) as u32);
+            let c = Color((lcg(&mut s) % m) as u8);
+            let applied = match lcg(&mut s) % 2 {
+                0 => b.insert_edge(u, v, c) || b.remove_edge(u, v, c),
+                _ => b.remove_edge(u, v, c) || b.insert_edge(u, v, c),
+            };
+            if applied {
+                eff.push((u, v, c));
+            }
+        }
+        (b.build(), eff)
+    }
+
+    /// The two sharded views expose the same storage: partitions,
+    /// per-shard graphs, boundary directories, and cut-edge sets.
+    fn assert_same_view(a: &ShardedGraph, b: &ShardedGraph) {
+        assert_eq!(a.k(), b.k());
+        assert_eq!(a.graph().node_count(), b.graph().node_count());
+        assert_eq!(a.boundary_globals(), b.boundary_globals());
+        for v in a.graph().nodes() {
+            assert_eq!(a.overlay_index(v), b.overlay_index(v));
+            assert_eq!(a.partition().to_local(v), b.partition().to_local(v));
+        }
+        for s in 0..a.k() {
+            assert_eq!(a.boundary_locals(s), b.boundary_locals(s), "shard {s}");
+            assert_eq!(a.partition().shard_nodes(s), b.partition().shard_nodes(s));
+            let (ga, gb) = (a.shard(s), b.shard(s));
+            assert_eq!(ga.node_count(), gb.node_count(), "shard {s}");
+            let ea: Vec<_> = ga.edges().collect();
+            let eb: Vec<_> = gb.edges().collect();
+            assert_eq!(ea, eb, "shard {s} edges");
+        }
+        let mut ca = a.cut_edges().to_vec();
+        let mut cb = b.cut_edges().to_vec();
+        ca.sort_unstable();
+        cb.sort_unstable();
+        assert_eq!(ca, cb, "cut-edge sets");
+    }
+
+    #[test]
+    fn apply_updates_matches_full_resharding() {
+        let mut g = Arc::new(synthetic(80, 320, 2, 3, 19));
+        let mut sg = ShardedGraph::new(Arc::clone(&g), 3);
+        for round in 0..4u64 {
+            let (next, changes) = random_mutation_round(&g, 12, 1000 + round);
+            let next = Arc::new(next);
+            let inc = sg.apply_updates(Arc::clone(&next), &changes);
+            let full = ShardedGraph::with_partition(Arc::clone(&next), sg.partition().clone());
+            assert_same_view(&inc, &full);
+            check_invariants(&inc);
+            g = next;
+            sg = inc;
+        }
+    }
+
+    #[test]
+    fn apply_updates_carries_untouched_shards_by_pointer() {
+        let g = Arc::new(synthetic(60, 240, 2, 3, 23));
+        let sg = ShardedGraph::new(Arc::clone(&g), 4);
+        // one intra-shard insert in shard 0's first two nodes
+        let p = sg.partition();
+        let (a, b) = (p.to_global(0, NodeId(0)), p.to_global(0, NodeId(1)));
+        let mut builder = GraphBuilder::from_graph(&g);
+        let c = Color(0);
+        let applied = builder.insert_edge(a, b, c) || builder.remove_edge(a, b, c);
+        assert!(applied);
+        let next = Arc::new(builder.build());
+        let inc = sg.apply_updates(Arc::clone(&next), &[(a, b, c)]);
+        for s in 1..sg.k() {
+            assert!(
+                Arc::ptr_eq(&sg.shards()[s], &inc.shards()[s]),
+                "untouched shard {s} should be carried by Arc"
+            );
+        }
+        assert!(!Arc::ptr_eq(&sg.shards()[0], &inc.shards()[0]));
+        // a purely cross-shard change carries every shard
+        let u = p.to_global(1, NodeId(0));
+        let mut builder = GraphBuilder::from_graph(&next);
+        let applied = builder.insert_edge(a, u, c) || builder.remove_edge(a, u, c);
+        assert!(applied);
+        let after = Arc::new(builder.build());
+        let inc2 = inc.apply_updates(Arc::clone(&after), &[(a, u, c)]);
+        for s in 0..inc.k() {
+            assert!(Arc::ptr_eq(&inc.shards()[s], &inc2.shards()[s]));
+        }
+        assert_same_view(
+            &inc2,
+            &ShardedGraph::with_partition(after, inc.partition().clone()),
+        );
+    }
+
+    #[test]
+    fn apply_moves_matches_full_resharding() {
+        let g = Arc::new(synthetic(70, 280, 2, 3, 29));
+        let sg = ShardedGraph::new(Arc::clone(&g), 4);
+        // move the first two nodes of shard 0 into shard 1
+        let p = sg.partition();
+        let moves = vec![
+            (p.to_global(0, NodeId(0)), 1u32),
+            (p.to_global(0, NodeId(1)), 1u32),
+            // and a no-op move that must not dirty its shard
+            (p.to_global(2, NodeId(0)), 2u32),
+        ];
+        let inc = sg.apply_moves(&moves);
+        let mut shard_of: Vec<u32> = (0..g.node_count())
+            .map(|v| p.shard_of(NodeId(v as u32)) as u32)
+            .collect();
+        for &(v, s) in &moves {
+            shard_of[v.index()] = s;
+        }
+        let full =
+            ShardedGraph::with_partition(Arc::clone(&g), Partition::from_shard_of(shard_of, 4));
+        assert_same_view(&inc, &full);
+        check_invariants(&inc);
+        // shards 2 and 3 saw no membership change: carried by Arc
+        for s in [2usize, 3] {
+            assert!(Arc::ptr_eq(&sg.shards()[s], &inc.shards()[s]));
+        }
+        for s in [0usize, 1] {
+            assert!(!Arc::ptr_eq(&sg.shards()[s], &inc.shards()[s]));
+        }
+    }
+
+    /// Count the edges of `g` crossing shards under `shard_of`.
+    fn cut_count(g: &Graph, shard_of: &[u32]) -> usize {
+        g.edges()
+            .filter(|&(u, v, _)| shard_of[u.index()] != shard_of[v.index()])
+            .count()
+    }
+
+    #[test]
+    fn rebalance_repairs_a_scrambled_partition() {
+        let g = Arc::new(clustered(200, 800, 4, 2, 3, 20, 5));
+        let p = Partition::edge_cut(&g, 4);
+        // scramble: swap node pairs between shards 0 and 1 (balance-
+        // preserving, cut-destroying)
+        let mut shard_of: Vec<u32> = (0..g.node_count())
+            .map(|v| p.shard_of(NodeId(v as u32)) as u32)
+            .collect();
+        let zeros: Vec<usize> = (0..shard_of.len()).filter(|&v| shard_of[v] == 0).collect();
+        let ones: Vec<usize> = (0..shard_of.len()).filter(|&v| shard_of[v] == 1).collect();
+        for i in 0..6.min(zeros.len()).min(ones.len()) {
+            shard_of[zeros[i]] = 1;
+            shard_of[ones[i]] = 0;
+        }
+        let scrambled = Partition::from_shard_of(shard_of.clone(), 4);
+        let before = cut_count(&g, &shard_of);
+        let moves = scrambled.rebalance(&g, 1000);
+        assert!(
+            !moves.is_empty(),
+            "refinement should find the misplaced nodes"
+        );
+        let mut repaired = shard_of.clone();
+        for &(v, s) in &moves {
+            repaired[v.index()] = s;
+        }
+        let after = cut_count(&g, &repaired);
+        assert!(
+            after < before,
+            "rebalance should improve the cut: {before} -> {after}"
+        );
+        // the cap is a hard bound on refinement work
+        assert!(scrambled.rebalance(&g, 2).len() <= 2);
+        assert!(scrambled.rebalance(&g, 0).is_empty());
+    }
+
+    #[test]
+    fn drift_monitor_needs_a_full_degraded_window() {
+        let base = ShardStats {
+            shards: 4,
+            nodes: 1000,
+            edges: 4000,
+            cut_edges: 400,
+            boundary_nodes: 300,
+            max_shard_nodes: 260,
+            min_shard_nodes: 240,
+        };
+        let mut mon = DriftMonitor::with_params(&base, 3, 1.25);
+        // healthy samples never trigger
+        for _ in 0..5 {
+            mon.record(&base);
+        }
+        assert!(!mon.drifting());
+        // degradation: cut ratio 0.10 -> 0.15, above the 0.135 threshold
+        // only once it fills the whole window
+        let bad = ShardStats {
+            cut_edges: 600,
+            ..base.clone()
+        };
+        mon.record(&bad);
+        mon.record(&bad);
+        assert!(!mon.drifting(), "window still averages below threshold");
+        mon.record(&bad);
+        assert!(mon.drifting(), "full window of degraded cut must trigger");
+        // rebaselining at the degraded level clears the alarm
+        mon.rebaseline(&bad);
+        assert!(!mon.drifting(), "window cleared");
+        for _ in 0..3 {
+            mon.record(&bad);
+        }
+        assert!(!mon.drifting(), "degraded level is the new baseline");
+        // balance degradation triggers independently of the cut
+        let skewed = ShardStats {
+            max_shard_nodes: 600,
+            ..base.clone()
+        };
+        let mut mon = DriftMonitor::with_params(&base, 2, 1.25);
+        mon.record(&skewed);
+        mon.record(&skewed);
+        assert!(mon.drifting(), "balance 2.4 vs baseline 1.04");
     }
 }

@@ -91,6 +91,16 @@ pub enum HopBuildError {
     /// The cancellation flag handed to [`HopLabels::build_with`] was set
     /// (e.g. the graph version this build was for has been superseded).
     Cancelled,
+    /// A [`HopLabels::repair`] would have re-run more landmarks than the
+    /// caller's limit — the caller should fall back to a full rebuild,
+    /// which amortizes better once most of the index is dirty anyway.
+    RepairTooBroad {
+        /// Landmarks whose pruned BFS trees touch the changed edges,
+        /// summed across layers.
+        invalidated: usize,
+        /// The caller-supplied ceiling that was exceeded.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for HopBuildError {
@@ -100,6 +110,12 @@ impl fmt::Display for HopBuildError {
                 write!(f, "hop-label budget exceeded: {reached} > {budget} bytes")
             }
             HopBuildError::Cancelled => write!(f, "hop-label build cancelled"),
+            HopBuildError::RepairTooBroad { invalidated, limit } => {
+                write!(
+                    f,
+                    "hop-label repair would invalidate {invalidated} landmarks (limit {limit})"
+                )
+            }
         }
     }
 }
@@ -211,6 +227,12 @@ pub struct HopLabels {
     layers: Vec<Option<Layer>>,
     landmarks: usize,
     scc_count: usize,
+    /// The frozen landmark ranking (`order[rank] = node`). Kept so
+    /// [`HopLabels::repair`] can re-run individual landmarks under the
+    /// *same* ranking the original build used — any fixed ranking yields an
+    /// exact cover, so repairs never need to re-rank even when degrees or
+    /// SCCs shift under updates.
+    order: Vec<u32>,
 }
 
 impl HopLabels {
@@ -282,7 +304,187 @@ impl HopLabels {
             layers,
             landmarks,
             scc_count: comps.len(),
+            order,
         })
+    }
+
+    /// Repair the labels in place of a full rebuild after `changes` were
+    /// applied to the graph this index was built on, yielding `g`.
+    ///
+    /// An edge change `(u, v)` invalidates only the landmarks whose pruned
+    /// BFS trees could have seen it: those that reached `u` or were reached
+    /// by `v` in the *old* graph — decided exactly from the old labels
+    /// themselves (for inserts the prefix up to the first new edge is an
+    /// old-graph path; for deletes the broken path existed in the old
+    /// graph; either way the landmark reached the changed tail). Entries of
+    /// unaffected landmarks are carried verbatim — their distances cannot
+    /// have changed and their pruning certificates transfer (a certificate
+    /// hub that were affected would make the pruned landmark affected too,
+    /// by reachability transitivity). Affected landmarks are stripped and
+    /// their pruned BFS re-run in ascending rank order on the new graph
+    /// against the mixed kept/repaired label set, under the **original**
+    /// frozen ranking (any fixed ranking yields an exact cover, so no
+    /// re-ranking is needed). The repaired index answers every probe
+    /// identically to a from-scratch build — it may merely carry a few
+    /// redundant entries where updates weakened old pruning decisions.
+    ///
+    /// `invalidation_limit` (`0` = unlimited) bounds the total landmark
+    /// re-runs across layers; beyond it the call fails fast with
+    /// [`HopBuildError::RepairTooBroad`] *before* doing any BFS work, so
+    /// callers can cheaply decide "repair or rebuild". `budget_bytes`
+    /// mirrors [`HopConfig::budget_bytes`]: a concrete layer over budget
+    /// fails the repair, a wildcard layer over budget is dropped.
+    ///
+    /// # Panics
+    ///
+    /// If this index is not [`exact`](HopLabels::is_exact) (a partial
+    /// labeling cannot decide affectedness), or if `g` changed the node
+    /// set or alphabet (updates are edge-only).
+    pub fn repair(
+        &self,
+        g: &Graph,
+        changes: &[(NodeId, NodeId, Color)],
+        budget_bytes: usize,
+        invalidation_limit: usize,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<HopRepair, HopBuildError> {
+        assert!(
+            self.is_exact(),
+            "only exact hop labels can be repaired: partial labels cannot \
+             decide which landmarks an edge change touches"
+        );
+        assert_eq!(g.node_count(), self.n, "updates must preserve the node set");
+        assert_eq!(
+            g.alphabet().len(),
+            self.colors,
+            "updates must preserve the alphabet"
+        );
+
+        // Phase 1: affected landmark set per layer, and the total up front
+        // so the cost model can bail before any BFS runs.
+        let mut affected: Vec<Option<Vec<bool>>> = Vec::with_capacity(self.layers.len());
+        let mut invalidated = 0usize;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let Some(layer) = layer else {
+                affected.push(None);
+                continue;
+            };
+            let lc = self.layer_color(li);
+            let relevant: Vec<(NodeId, NodeId)> = changes
+                .iter()
+                .filter(|&&(_, _, ec)| lc.admits(ec))
+                .map(|&(u, v, _)| (u, v))
+                .collect();
+            if relevant.is_empty() {
+                affected.push(Some(Vec::new()));
+                continue;
+            }
+            let mut aff = vec![false; self.landmarks];
+            invalidated += self.mark_affected(layer, &relevant, &mut aff);
+            affected.push(Some(aff));
+        }
+        if invalidation_limit != 0 && invalidated > invalidation_limit {
+            return Err(HopBuildError::RepairTooBroad {
+                invalidated,
+                limit: invalidation_limit,
+            });
+        }
+
+        // Phase 2: per touched layer, strip the affected ranks and re-run
+        // exactly those landmarks on the new graph.
+        let mut builder = LayerBuilder::new(g, &self.order, self.landmarks);
+        let mut layers: Vec<Option<Layer>> = Vec::with_capacity(self.layers.len());
+        let mut bytes_so_far = 0usize;
+        for (li, (layer, aff)) in self.layers.iter().zip(&affected).enumerate() {
+            let (Some(old), Some(aff)) = (layer, aff) else {
+                layers.push(None);
+                continue;
+            };
+            if aff.iter().all(|&a| !a) {
+                // untouched layer: carried forward verbatim
+                bytes_so_far += old.bytes();
+                layers.push(Some(old.clone()));
+                continue;
+            }
+            match builder.repair_layer(
+                self.layer_color(li),
+                old,
+                aff,
+                budget_bytes,
+                bytes_so_far,
+                cancel,
+            ) {
+                Ok(layer) => {
+                    bytes_so_far += layer.bytes();
+                    layers.push(Some(layer));
+                }
+                // same degradation as build_with: wildcard over budget is
+                // dropped, a concrete layer over budget fails the repair
+                Err(HopBuildError::OverBudget { .. }) if li == self.colors => layers.push(None),
+                Err(e) => return Err(e),
+            }
+        }
+
+        Ok(HopRepair {
+            labels: HopLabels {
+                n: self.n,
+                colors: self.colors,
+                layers,
+                landmarks: self.landmarks,
+                scc_count: self.scc_count,
+                order: self.order.clone(),
+            },
+            landmarks_invalidated: invalidated,
+        })
+    }
+
+    /// The color a layer index stands for (`colors` = wildcard).
+    fn layer_color(&self, li: usize) -> Color {
+        if li == self.colors {
+            rpq_graph::WILDCARD
+        } else {
+            Color(li as u8)
+        }
+    }
+
+    /// Mark every rank that reached a changed tail or was reached by a
+    /// changed head (old graph, this layer); returns how many were newly
+    /// marked. Reachability is read off the 2-hop cover itself: `r ⇝ u`
+    /// iff `Lout(r)` and `Lin(u)` share a hub, so one bitmap of the
+    /// endpoints' hubs plus one sweep over all landmark labels decides
+    /// every rank in O(index size).
+    fn mark_affected(
+        &self,
+        layer: &Layer,
+        changes: &[(NodeId, NodeId)],
+        affected: &mut [bool],
+    ) -> usize {
+        let mut fwd_mark = vec![false; self.landmarks];
+        let mut bwd_mark = vec![false; self.landmarks];
+        for &(u, v) in changes {
+            let (ih, _) = layer.in_label(u.index());
+            for &h in ih {
+                fwd_mark[h as usize] = true;
+            }
+            let (oh, _) = layer.out_label(v.index());
+            for &h in oh {
+                bwd_mark[h as usize] = true;
+            }
+        }
+        let mut marked = 0usize;
+        for (rank, slot) in affected.iter_mut().enumerate() {
+            let r = self.order[rank] as usize;
+            let (oh, _) = layer.out_label(r);
+            let hit = oh.iter().any(|&h| fwd_mark[h as usize]) || {
+                let (ih, _) = layer.in_label(r);
+                ih.iter().any(|&h| bwd_mark[h as usize])
+            };
+            if hit && !*slot {
+                *slot = true;
+                marked += 1;
+            }
+        }
+        marked
     }
 
     /// Number of nodes the index covers.
@@ -434,6 +636,18 @@ impl HopLabels {
             best.min(DIST_CAP as u32) as u16
         }
     }
+}
+
+/// A successful [`HopLabels::repair`]: the repaired index plus how much
+/// work the repair actually did, for cost models and metrics.
+#[derive(Debug, Clone)]
+pub struct HopRepair {
+    /// The repaired index — probe-identical to a from-scratch build.
+    pub labels: HopLabels,
+    /// Landmarks whose pruned BFS was re-run, summed across layers. Zero
+    /// means every label was carried verbatim (the changes touched no
+    /// landmark tree of any built layer).
+    pub landmarks_invalidated: usize,
 }
 
 /// Per-hub minima over a weighted entry set — see
@@ -744,16 +958,100 @@ impl<'a> LayerBuilder<'a> {
         Ok(Self::freeze(n, self.landmarks, lin, lout))
     }
 
+    /// Thaw `old` into mutable per-node lists *minus* every entry owned by
+    /// an affected landmark, then re-run exactly the affected landmarks
+    /// (ascending rank) against the mixed kept/repaired label set — the
+    /// splice step of [`HopLabels::repair`]. Kept entries stay in ascending
+    /// rank order through the thaw; re-run appends land at the tail, so
+    /// touched lists are re-sorted before freezing back to CSR (which also
+    /// rebuilds the inverted lists wholesale).
+    fn repair_layer(
+        &mut self,
+        color: Color,
+        old: &Layer,
+        affected: &[bool],
+        budget: usize,
+        bytes_before: usize,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Layer, HopBuildError> {
+        let n = self.g.node_count();
+        let thaw = |label: (&[u32], &[u16])| -> Vec<(u32, u16)> {
+            label
+                .0
+                .iter()
+                .zip(label.1)
+                .filter(|&(&h, _)| !affected[h as usize])
+                .map(|(&h, &d)| (h, d))
+                .collect()
+        };
+        let mut lin: Vec<Vec<(u32, u16)>> = Vec::with_capacity(n);
+        let mut lout: Vec<Vec<(u32, u16)>> = Vec::with_capacity(n);
+        let mut in_entries = 0usize;
+        let mut out_entries = 0usize;
+        for v in 0..n {
+            let l = thaw(old.in_label(v));
+            in_entries += l.len();
+            lin.push(l);
+            let l = thaw(old.out_label(v));
+            out_entries += l.len();
+            lout.push(l);
+        }
+
+        for (rank, &hit) in affected.iter().enumerate().take(self.landmarks) {
+            if !hit {
+                continue;
+            }
+            if let Some(flag) = cancel {
+                if flag.load(Ordering::Relaxed) {
+                    return Err(HopBuildError::Cancelled);
+                }
+            }
+            let r = NodeId(self.order[rank]);
+            self.seed_tmp(&lout[r.index()], rank);
+            in_entries += self.pruned_bfs(r, rank, color, true, &mut lin);
+            self.clear_tmp(&lout[r.index()], rank);
+            self.seed_tmp(&lin[r.index()], rank);
+            out_entries += self.pruned_bfs(r, rank, color, false, &mut lout);
+            self.clear_tmp(&lin[r.index()], rank);
+
+            if budget != 0 {
+                let so_far = bytes_before + bytes_for_entries(out_entries, in_entries, n + 1);
+                if so_far > budget {
+                    return Err(HopBuildError::OverBudget {
+                        budget,
+                        reached: so_far,
+                    });
+                }
+            }
+        }
+
+        for l in lin.iter_mut().chain(lout.iter_mut()) {
+            if l.windows(2).any(|w| w[0].0 > w[1].0) {
+                l.sort_unstable_by_key(|&(h, _)| h);
+            }
+        }
+        Ok(Self::freeze(n, self.landmarks, lin, lout))
+    }
+
+    /// Seed the scratch table from `r`'s opposite-direction label. Only
+    /// ranks **above** the current landmark participate in pruning — in a
+    /// from-scratch build every entry already satisfies `h < rank`, but a
+    /// repair re-runs a landmark against a label set that retains entries
+    /// of *lower*-ranked (later) hubs, which must not prune it.
     fn seed_tmp(&mut self, label: &[(u32, u16)], rank: usize) {
         for &(h, d) in label {
-            self.tmp[h as usize] = d;
+            if (h as usize) < rank {
+                self.tmp[h as usize] = d;
+            }
         }
         self.tmp[rank] = 0;
     }
 
     fn clear_tmp(&mut self, label: &[(u32, u16)], rank: usize) {
         for &(h, _) in label {
-            self.tmp[h as usize] = UNSET;
+            if (h as usize) < rank {
+                self.tmp[h as usize] = UNSET;
+            }
         }
         self.tmp[rank] = UNSET;
     }
@@ -786,9 +1084,14 @@ impl<'a> LayerBuilder<'a> {
             // mirror image
             let mut best = u32::MAX;
             for &(h, dh) in side[u.index()].iter() {
-                let t = self.tmp[h as usize];
-                if t != UNSET {
-                    best = best.min(t as u32 + dh as u32);
+                // `h < rank` mirrors `seed_tmp`: during a repair the side
+                // being written still holds entries of lower-ranked hubs,
+                // which the canonical construction must ignore
+                if (h as usize) < rank {
+                    let t = self.tmp[h as usize];
+                    if t != UNSET {
+                        best = best.min(t as u32 + dh as u32);
+                    }
                 }
             }
             if best <= du as u32 {
@@ -908,9 +1211,124 @@ mod tests {
         }
     }
 
+    fn lcg(s: &mut u64) -> u64 {
+        *s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *s >> 33
+    }
+
+    /// Apply `count` pseudo-random edge flips to `g`, returning the new
+    /// graph and the effective change list (repair's input contract).
+    fn random_mutation_round(
+        g: &Graph,
+        count: usize,
+        seed: u64,
+    ) -> (Graph, Vec<(NodeId, NodeId, Color)>) {
+        let n = g.node_count() as u64;
+        let m = g.alphabet().len() as u64;
+        let mut b = GraphBuilder::from_graph(g);
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut eff = Vec::new();
+        for _ in 0..count {
+            let u = NodeId((lcg(&mut s) % n) as u32);
+            let v = NodeId((lcg(&mut s) % n) as u32);
+            let c = Color((lcg(&mut s) % m) as u8);
+            let applied = match lcg(&mut s) % 2 {
+                0 => b.insert_edge(u, v, c) || b.remove_edge(u, v, c),
+                _ => b.remove_edge(u, v, c) || b.insert_edge(u, v, c),
+            };
+            if applied {
+                eff.push((u, v, c));
+            }
+        }
+        (b.build(), eff)
+    }
+
+    fn assert_probe_parity(g: &Graph, h: &HopLabels) {
+        let m = DistanceMatrix::build(g);
+        for c in all_colors(g) {
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(
+                        DistProbe::dist(h, u, v, c),
+                        m.dist(u, v, c),
+                        "dist({u:?},{v:?},{c:?})"
+                    );
+                }
+                let mut want = vec![false; g.node_count()];
+                m.for_each_within(u, c, 3, &mut |z| want[z.index()] = true);
+                let mut got = vec![false; g.node_count()];
+                h.for_each_within(u, c, 3, &mut |z| got[z.index()] = true);
+                assert_eq!(got, want, "scan from {u:?} color {c:?}");
+            }
+        }
+    }
+
     #[test]
     fn essembly_parity() {
         assert_parity(&essembly());
+    }
+
+    #[test]
+    fn repair_matches_rebuild_after_updates() {
+        for seed in [2u64, 11, 37] {
+            let g = synthetic(40, 140, 2, 3, seed);
+            let h = HopLabels::build(&g);
+            let (g2, eff) = random_mutation_round(&g, 12, seed ^ 0xBEEF);
+            assert!(!eff.is_empty());
+            let repaired = h.repair(&g2, &eff, 0, 0, None).unwrap();
+            assert!(repaired.landmarks_invalidated > 0);
+            assert!(repaired.labels.is_exact());
+            assert_probe_parity(&g2, &repaired.labels);
+        }
+    }
+
+    #[test]
+    fn chained_repairs_stay_exact() {
+        let mut g = synthetic(30, 90, 2, 2, 7);
+        let mut h = HopLabels::build(&g);
+        for round in 0..4u64 {
+            let (g2, eff) = random_mutation_round(&g, 6, 101 + round);
+            h = h.repair(&g2, &eff, 0, 0, None).unwrap().labels;
+            g = g2;
+        }
+        assert_probe_parity(&g, &h);
+    }
+
+    #[test]
+    fn repair_with_no_changes_carries_everything() {
+        let g = synthetic(25, 70, 2, 2, 3);
+        let h = HopLabels::build(&g);
+        let r = h.repair(&g, &[], 0, 0, None).unwrap();
+        assert_eq!(r.landmarks_invalidated, 0);
+        assert_probe_parity(&g, &r.labels);
+    }
+
+    #[test]
+    fn repair_too_broad_bails_before_work() {
+        let g = synthetic(40, 200, 2, 2, 9);
+        let h = HopLabels::build(&g);
+        let (g2, eff) = random_mutation_round(&g, 10, 0xC0FFEE);
+        match h.repair(&g2, &eff, 0, 1, None) {
+            Err(HopBuildError::RepairTooBroad { invalidated, limit }) => {
+                assert!(invalidated > 1);
+                assert_eq!(limit, 1);
+            }
+            other => panic!("expected RepairTooBroad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repair_cancel_aborts() {
+        let g = synthetic(40, 140, 2, 2, 4);
+        let h = HopLabels::build(&g);
+        let (g2, eff) = random_mutation_round(&g, 8, 0xDEAD);
+        let flag = AtomicBool::new(true);
+        assert_eq!(
+            h.repair(&g2, &eff, 0, 0, Some(&flag)).unwrap_err(),
+            HopBuildError::Cancelled
+        );
     }
 
     #[test]

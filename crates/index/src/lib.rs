@@ -81,6 +81,6 @@ mod overlay;
 mod probe;
 mod sharded;
 
-pub use labels::{HopBuildError, HopConfig, HopLabels, HopStats, InSetAgg};
+pub use labels::{HopBuildError, HopConfig, HopLabels, HopRepair, HopStats, InSetAgg};
 pub use probe::DistProbe;
-pub use sharded::{ShardedConfig, ShardedLabels, ShardedStats};
+pub use sharded::{ShardedConfig, ShardedLabels, ShardedRepair, ShardedStats};

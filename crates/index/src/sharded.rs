@@ -138,16 +138,28 @@ impl std::fmt::Display for ShardedStats {
     }
 }
 
+/// One shard's boundary-to-boundary closure rows for one layer, keyed by
+/// *positions* into that shard's boundary list (stable across repairs
+/// that leave the shard untouched): `(i, j, dist)`.
+type ShardClosure = Vec<(u32, u32, u16)>;
+
 /// Per-shard 2-hop labels plus boundary-overlay labels, composed into one
 /// exact global [`DistProbe`]. See the module docs for the construction
 /// and the exactness argument.
 #[derive(Debug)]
 pub struct ShardedLabels {
     sharded: Arc<ShardedGraph>,
-    shard_labels: Vec<HopLabels>,
+    /// `Arc` so [`ShardedLabels::repair`] carries untouched shards forward
+    /// without copying their label arrays.
+    shard_labels: Vec<Arc<HopLabels>>,
     /// `overlay[c]` for concrete color `c`; `overlay[colors]` = wildcard.
     /// `None` = layer uncoverable (a shard dropped its wildcard layer).
     overlay: Vec<Option<OverlayLayer>>,
+    /// `closures[layer][shard]`: the boundary closure rows each overlay
+    /// layer was built from, retained so a repair recomputes only the
+    /// rows of shards whose labels or boundary set actually changed.
+    /// `None` where the layer was not built.
+    closures: Vec<Vec<Option<ShardClosure>>>,
     colors: usize,
     n: usize,
 }
@@ -198,7 +210,7 @@ impl ShardedLabels {
         } else {
             config.build_workers.max(1)
         };
-        let mut results: Vec<Option<Result<HopLabels, HopBuildError>>> =
+        let mut results: Vec<Option<Result<Arc<HopLabels>, HopBuildError>>> =
             (0..k).map(|_| None).collect();
         std::thread::scope(|s| {
             let chunk = k.div_ceil(workers);
@@ -207,8 +219,17 @@ impl ShardedLabels {
                 let hop_config = &hop_config;
                 s.spawn(move || {
                     for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                        // a superseded build stops *between* shards too,
+                        // not only at the landmark checkpoints inside one
+                        // shard's build — retirement latency stays bounded
+                        // even when individual shards build fast
+                        if cancelled(cancel) {
+                            *slot = Some(Err(HopBuildError::Cancelled));
+                            continue;
+                        }
                         let shard = sharded.shard(w * chunk + i);
-                        *slot = Some(HopLabels::build_with(shard, hop_config, cancel));
+                        *slot =
+                            Some(HopLabels::build_with(shard, hop_config, cancel).map(Arc::new));
                     }
                 });
             }
@@ -220,6 +241,45 @@ impl ShardedLabels {
 
         let graph = sharded.graph();
         let colors = graph.alphabet().len();
+        let (overlay, closures) = Self::build_overlays(
+            &sharded,
+            &shard_labels,
+            colors,
+            config.wildcard_layer,
+            |_layer, _shard| None,
+            cancel,
+        )?;
+
+        Ok(ShardedLabels {
+            n: graph.node_count(),
+            colors,
+            sharded,
+            shard_labels,
+            overlay,
+            closures,
+        })
+    }
+
+    /// Gather step shared by [`build_on`](ShardedLabels::build_on) and
+    /// [`repair`](ShardedLabels::repair): one overlay layer per color
+    /// (+ wildcard), built in parallel — cut edges at weight 1 plus
+    /// per-shard boundary closures. `reuse` may return a previously
+    /// computed closure for a `(layer, shard)` whose rows are known to be
+    /// unchanged; everything else is recomputed from the shard labels.
+    /// The cancel flag is honored between closure shards and between the
+    /// overlay labeling's Dijkstra sources: on a poor partition the
+    /// closure is the dominant build cost, and a superseded build must
+    /// not burn it on an index nobody will read.
+    #[allow(clippy::type_complexity)]
+    fn build_overlays(
+        sharded: &Arc<ShardedGraph>,
+        shard_labels: &[Arc<HopLabels>],
+        colors: usize,
+        wildcard: bool,
+        reuse: impl Fn(usize, usize) -> Option<ShardClosure> + Sync,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<(Vec<Option<OverlayLayer>>, Vec<Vec<Option<ShardClosure>>>), HopBuildError> {
+        let k = sharded.k();
         let b = sharded.boundary_globals().len();
 
         // overlay id of each shard's boundary list, aligned by position
@@ -237,29 +297,29 @@ impl ShardedLabels {
             })
             .collect();
 
-        // gather: one overlay layer per color (+ wildcard), built in
-        // parallel — cut edges at weight 1 plus per-shard closures. The
-        // cancel flag is honored here too (between closure shards and
-        // before the layer labeling): on a poor partition the closure is
-        // the dominant build cost, and a superseded build must not burn
-        // it on an index nobody will read.
-        let wildcard_ok =
-            config.wildcard_layer && shard_labels.iter().all(|l| l.has_layer(WILDCARD));
+        let wildcard_ok = wildcard && shard_labels.iter().all(|l| l.has_layer(WILDCARD));
         let layer_colors: Vec<Option<Color>> = (0..colors)
             .map(|c| Some(Color(c as u8)))
             .chain(std::iter::once(wildcard_ok.then_some(WILDCARD)))
             .collect();
-        let mut overlay: Vec<Option<OverlayLayer>> = (0..=colors).map(|_| None).collect();
-        let cancelled = |cancel: Option<&AtomicBool>| {
-            cancel.is_some_and(|f| f.load(std::sync::atomic::Ordering::Relaxed))
-        };
+        let mut built: Vec<Option<(OverlayLayer, Vec<ShardClosure>)>> =
+            (0..=colors).map(|_| None).collect();
         std::thread::scope(|s| {
-            for (slot, &layer_color) in overlay.iter_mut().zip(&layer_colors) {
+            for (li, (slot, &layer_color)) in built.iter_mut().zip(&layer_colors).enumerate() {
                 let Some(color) = layer_color else { continue };
-                let sharded = &sharded;
-                let shard_labels = &shard_labels;
                 let boundary_ov = &boundary_ov;
+                let reuse = &reuse;
                 s.spawn(move || {
+                    let mut shard_closures: Vec<ShardClosure> = Vec::with_capacity(k);
+                    for (shard, labels) in shard_labels.iter().enumerate().take(k) {
+                        if cancelled(cancel) {
+                            return;
+                        }
+                        shard_closures.push(
+                            reuse(li, shard)
+                                .unwrap_or_else(|| shard_closure(sharded, labels, shard, color)),
+                        );
+                    }
                     let mut edges: Vec<OverlayEdge> = Vec::new();
                     for &(u, v, ec) in sharded.cut_edges() {
                         if color.admits(ec) {
@@ -272,28 +332,18 @@ impl ShardedLabels {
                             edges.push((ou, ov, 1));
                         }
                     }
-                    for shard in 0..sharded.k() {
-                        if cancelled(cancel) {
-                            return;
-                        }
-                        let locals = sharded.boundary_locals(shard);
-                        let labels = &shard_labels[shard];
-                        for (i, &b1) in locals.iter().enumerate() {
-                            for (j, &b2) in locals.iter().enumerate() {
-                                if i == j {
-                                    continue;
-                                }
-                                let d = DistProbe::dist(labels, b1, b2, color);
-                                if d != INFINITY {
-                                    edges.push((boundary_ov[shard][i], boundary_ov[shard][j], d));
-                                }
-                            }
+                    for (shard, rows) in shard_closures.iter().enumerate() {
+                        for &(i, j, d) in rows {
+                            edges.push((
+                                boundary_ov[shard][i as usize],
+                                boundary_ov[shard][j as usize],
+                                d,
+                            ));
                         }
                     }
-                    if cancelled(cancel) {
-                        return;
+                    if let Some(layer) = OverlayLayer::build_with(b, &edges, cancel) {
+                        *slot = Some((layer, shard_closures));
                     }
-                    *slot = Some(OverlayLayer::build(b, &edges));
                 });
             }
         });
@@ -301,12 +351,226 @@ impl ShardedLabels {
             return Err(HopBuildError::Cancelled);
         }
 
-        Ok(ShardedLabels {
-            n: graph.node_count(),
-            colors,
-            sharded,
-            shard_labels,
-            overlay,
+        let mut overlay = Vec::with_capacity(colors + 1);
+        let mut closures = Vec::with_capacity(colors + 1);
+        for slot in built {
+            match slot {
+                Some((layer, rows)) => {
+                    overlay.push(Some(layer));
+                    closures.push(rows.into_iter().map(Some).collect());
+                }
+                None => {
+                    overlay.push(None);
+                    closures.push(vec![None; k]);
+                }
+            }
+        }
+        Ok((overlay, closures))
+    }
+
+    /// Repair this index after `changes` were applied to the graph it was
+    /// built on, yielding `new_sharded` — shard-local work instead of a
+    /// whole-index rebuild.
+    ///
+    /// `new_sharded` must partition the updated graph with the **same
+    /// shard count and node assignment** as this index, except for shards
+    /// listed in `rebuild_shards` (a drift-rebalancing move-set), whose
+    /// membership may differ. Changes are `(from, to, color)` in global
+    /// ids, both inserts and deletes.
+    ///
+    /// Per shard:
+    /// * an **intra-shard** change triggers [`HopLabels::repair`] on that
+    ///   shard's labels (falling back to a shard-local rebuild when more
+    ///   than half its landmarks are dirty or the repaired labels outgrow
+    ///   the per-shard budget, where a freshly pruned build might not);
+    /// * shards in `rebuild_shards` are rebuilt from scratch;
+    /// * every other shard's labels are carried forward by reference.
+    ///
+    /// The overlay layers are then relabeled from the new cut-edge set
+    /// (**cross-shard** changes enter here, at weight 1) plus the boundary
+    /// closures — recomputing only the closure rows of shards whose labels
+    /// or boundary set changed and reusing the retained rows of untouched
+    /// shards. The result answers every probe identically to
+    /// [`build_on`](ShardedLabels::build_on) over `new_sharded`.
+    pub fn repair(
+        &self,
+        new_sharded: Arc<ShardedGraph>,
+        changes: &[(NodeId, NodeId, Color)],
+        rebuild_shards: &[usize],
+        config: &ShardedConfig,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<ShardedRepair, HopBuildError> {
+        let k = self.sharded.k();
+        assert_eq!(new_sharded.k(), k, "repair cannot change the shard count");
+        assert_eq!(
+            new_sharded.graph().node_count(),
+            self.n,
+            "updates must preserve the node set"
+        );
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum Action {
+            Carry,
+            Repair,
+            Rebuild,
+        }
+        let part = new_sharded.partition();
+        let mut action = vec![Action::Carry; k];
+        for &s in rebuild_shards {
+            action[s] = Action::Rebuild;
+        }
+        let mut intra: Vec<Vec<(NodeId, NodeId, Color)>> = vec![Vec::new(); k];
+        for &(u, v, c) in changes {
+            let (su, lu) = part.to_local(u);
+            let (sv, lv) = part.to_local(v);
+            if su == sv {
+                intra[su].push((lu, lv, c));
+                if action[su] == Action::Carry {
+                    action[su] = Action::Repair;
+                }
+            }
+            // cross-shard changes only alter cut edges, which the overlay
+            // relabeling below reads fresh off `new_sharded`
+        }
+
+        let hop_config = HopConfig {
+            landmarks: 0,
+            budget_bytes: config.shard_budget_bytes,
+            wildcard_layer: config.wildcard_layer,
+        };
+
+        // scatter: per-shard repair/rebuild across the worker set;
+        // carried shards cost one reference count
+        struct ShardResult {
+            labels: Arc<HopLabels>,
+            invalidated: usize,
+            repaired: bool,
+            rebuilt: bool,
+        }
+        let workers = if config.build_workers == 0 {
+            k.max(1)
+        } else {
+            config.build_workers.max(1)
+        };
+        let mut results: Vec<Option<Result<ShardResult, HopBuildError>>> =
+            (0..k).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let chunk = k.div_ceil(workers);
+            for (w, slot_chunk) in results.chunks_mut(chunk.max(1)).enumerate() {
+                let new_sharded = &new_sharded;
+                let hop_config = &hop_config;
+                let action = &action;
+                let intra = &intra;
+                let old = &self.shard_labels;
+                scope.spawn(move || {
+                    for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                        let s = w * chunk + i;
+                        if cancelled(cancel) {
+                            *slot = Some(Err(HopBuildError::Cancelled));
+                            continue;
+                        }
+                        *slot =
+                            Some(match action[s] {
+                                Action::Carry => Ok(ShardResult {
+                                    labels: Arc::clone(&old[s]),
+                                    invalidated: 0,
+                                    repaired: false,
+                                    rebuilt: false,
+                                }),
+                                Action::Repair => {
+                                    let shard_g = new_sharded.shard(s);
+                                    let limit = (old[s].node_count() / 2).max(1);
+                                    match old[s].repair(
+                                        shard_g,
+                                        &intra[s],
+                                        hop_config.budget_bytes,
+                                        limit,
+                                        cancel,
+                                    ) {
+                                        Ok(r) => Ok(ShardResult {
+                                            labels: Arc::new(r.labels),
+                                            invalidated: r.landmarks_invalidated,
+                                            repaired: true,
+                                            rebuilt: false,
+                                        }),
+                                        // over half the shard's landmarks are
+                                        // dirty, or the repaired labels outgrew
+                                        // the budget a freshly pruned build
+                                        // might fit — rebuild shard-locally
+                                        Err(
+                                            HopBuildError::RepairTooBroad { .. }
+                                            | HopBuildError::OverBudget { .. },
+                                        ) => HopLabels::build_with(shard_g, hop_config, cancel)
+                                            .map(|l| ShardResult {
+                                                labels: Arc::new(l),
+                                                invalidated: 0,
+                                                repaired: false,
+                                                rebuilt: true,
+                                            }),
+                                        Err(e) => Err(e),
+                                    }
+                                }
+                                Action::Rebuild => {
+                                    HopLabels::build_with(new_sharded.shard(s), hop_config, cancel)
+                                        .map(|l| ShardResult {
+                                            labels: Arc::new(l),
+                                            invalidated: 0,
+                                            repaired: false,
+                                            rebuilt: true,
+                                        })
+                                }
+                            });
+                    }
+                });
+            }
+        });
+        let mut shard_labels = Vec::with_capacity(k);
+        let (mut repaired, mut rebuilt, mut invalidated) = (0usize, 0usize, 0usize);
+        for r in results {
+            let r = r.expect("every shard handled")?;
+            repaired += usize::from(r.repaired);
+            rebuilt += usize::from(r.rebuilt);
+            invalidated += r.invalidated;
+            shard_labels.push(r.labels);
+        }
+
+        // closure rows are reusable only where nothing underneath moved:
+        // same labels *and* the same boundary list (a cross-shard insert
+        // can promote a node to boundary in an otherwise untouched shard)
+        let reusable: Vec<bool> = (0..k)
+            .map(|s| {
+                action[s] == Action::Carry
+                    && new_sharded.boundary_locals(s) == self.sharded.boundary_locals(s)
+            })
+            .collect();
+        let (overlay, closures) = Self::build_overlays(
+            &new_sharded,
+            &shard_labels,
+            self.colors,
+            config.wildcard_layer,
+            |layer, shard| {
+                if reusable[shard] {
+                    self.closures[layer][shard].clone()
+                } else {
+                    None
+                }
+            },
+            cancel,
+        )?;
+
+        Ok(ShardedRepair {
+            labels: ShardedLabels {
+                n: self.n,
+                colors: self.colors,
+                sharded: new_sharded,
+                shard_labels,
+                overlay,
+                closures,
+            },
+            shards_carried: k - repaired - rebuilt,
+            shards_repaired: repaired,
+            shards_rebuilt: rebuilt,
+            landmarks_invalidated: invalidated,
         })
     }
 
@@ -335,7 +599,7 @@ impl ShardedLabels {
             boundary_nodes: sg_stats.boundary_nodes,
             cut_edges: sg_stats.cut_edges,
             edge_cut_ratio: sg_stats.edge_cut_ratio(),
-            shard_bytes: self.shard_labels.iter().map(HopLabels::bytes).collect(),
+            shard_bytes: self.shard_labels.iter().map(|l| l.bytes()).collect(),
             overlay_bytes: self.overlay.iter().flatten().map(OverlayLayer::bytes).sum(),
             wildcard: self.has_layer(WILDCARD),
         }
@@ -367,7 +631,7 @@ impl ShardedLabels {
     /// overlay-id seeds for [`OverlayLayer::aggregate_out`]. Empty when
     /// the shard touches no cut edge.
     fn exits_of(&self, shard: usize, local: NodeId, color: Color) -> Vec<(u32, u16)> {
-        let labels = &self.shard_labels[shard];
+        let labels: &HopLabels = &self.shard_labels[shard];
         self.sharded
             .boundary_locals(shard)
             .iter()
@@ -384,7 +648,7 @@ impl ShardedLabels {
     /// Mirror of [`exits_of`](ShardedLabels::exits_of): distances from
     /// every boundary node of `v`'s shard to `v`.
     fn entries_of(&self, shard: usize, local: NodeId, color: Color) -> Vec<(u32, u16)> {
-        let labels = &self.shard_labels[shard];
+        let labels: &HopLabels = &self.shard_labels[shard];
         self.sharded
             .boundary_locals(shard)
             .iter()
@@ -399,6 +663,52 @@ impl ShardedLabels {
     }
 }
 
+/// What a [`ShardedLabels::repair`] did, shard by shard — the cost-model
+/// and metrics view of an incremental index maintenance step.
+#[derive(Debug)]
+pub struct ShardedRepair {
+    /// The repaired index — probe-identical to a from-scratch build over
+    /// the same sharded graph.
+    pub labels: ShardedLabels,
+    /// Shards whose labels were carried forward by reference.
+    pub shards_carried: usize,
+    /// Shards repaired in place via [`HopLabels::repair`].
+    pub shards_repaired: usize,
+    /// Shards rebuilt from scratch (rebalancing move-sets, or repairs
+    /// that fell back).
+    pub shards_rebuilt: usize,
+    /// Landmarks re-run across all repaired shards.
+    pub landmarks_invalidated: usize,
+}
+
+fn cancelled(cancel: Option<&AtomicBool>) -> bool {
+    cancel.is_some_and(|f| f.load(std::sync::atomic::Ordering::Relaxed))
+}
+
+/// One shard's closure rows for one layer: every ordered boundary pair
+/// with a finite intra-shard distance, keyed by boundary-list positions.
+fn shard_closure(
+    sharded: &ShardedGraph,
+    labels: &HopLabels,
+    shard: usize,
+    color: Color,
+) -> ShardClosure {
+    let locals = sharded.boundary_locals(shard);
+    let mut rows = ShardClosure::new();
+    for (i, &b1) in locals.iter().enumerate() {
+        for (j, &b2) in locals.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let d = DistProbe::dist(labels, b1, b2, color);
+            if d != INFINITY {
+                rows.push((i as u32, j as u32, d));
+            }
+        }
+    }
+    rows
+}
+
 impl DistProbe for ShardedLabels {
     fn node_count(&self) -> usize {
         self.n
@@ -411,7 +721,7 @@ impl DistProbe for ShardedLabels {
         let (sf, lf) = self.to_local(from);
         let (st, lt) = self.to_local(to);
         let mut best = if sf == st {
-            let d = DistProbe::dist(&self.shard_labels[sf], lf, lt, color);
+            let d = DistProbe::dist(self.shard_labels[sf].as_ref(), lf, lt, color);
             if d == INFINITY {
                 u32::MAX
             } else {
@@ -795,6 +1105,200 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn lcg(s: &mut u64) -> u64 {
+        *s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *s >> 33
+    }
+
+    /// Apply pseudo-random edge flips, returning the new graph and the
+    /// effective change list.
+    fn random_mutation_round(
+        g: &Graph,
+        count: usize,
+        seed: u64,
+    ) -> (Arc<Graph>, Vec<(NodeId, NodeId, Color)>) {
+        let n = g.node_count() as u64;
+        let m = g.alphabet().len() as u64;
+        let mut b = GraphBuilder::from_graph(g);
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut eff = Vec::new();
+        for _ in 0..count {
+            let u = NodeId((lcg(&mut s) % n) as u32);
+            let v = NodeId((lcg(&mut s) % n) as u32);
+            let c = Color((lcg(&mut s) % m) as u8);
+            let applied = match lcg(&mut s) % 2 {
+                0 => b.insert_edge(u, v, c) || b.remove_edge(u, v, c),
+                _ => b.remove_edge(u, v, c) || b.insert_edge(u, v, c),
+            };
+            if applied {
+                eff.push((u, v, c));
+            }
+        }
+        (Arc::new(b.build()), eff)
+    }
+
+    fn shard_of_vec(sg: &ShardedGraph) -> Vec<u32> {
+        let part = sg.partition();
+        (0..sg.graph().node_count())
+            .map(|v| part.to_local(NodeId(v as u32)).0 as u32)
+            .collect()
+    }
+
+    /// Rebuild a ShardedGraph over `g2` with the same node assignment.
+    fn same_partition(sg: &ShardedGraph, g2: Arc<Graph>) -> Arc<ShardedGraph> {
+        let shard_of = shard_of_vec(sg);
+        Arc::new(ShardedGraph::with_partition(
+            g2,
+            Partition::from_shard_of(shard_of, sg.k()),
+        ))
+    }
+
+    #[test]
+    fn repair_matches_rebuild_after_updates() {
+        for (seed, k) in [(5u64, 2usize), (9, 3), (23, 4)] {
+            let g = Arc::new(synthetic(40, 150, 2, 3, seed));
+            let labels = ShardedLabels::build(&g, k);
+            let (g2, eff) = random_mutation_round(&g, 12, seed ^ 0xFACE);
+            assert!(!eff.is_empty());
+            let sg2 = same_partition(labels.sharded_graph(), Arc::clone(&g2));
+            let r = labels
+                .repair(sg2, &eff, &[], &ShardedConfig::default(), None)
+                .unwrap();
+            assert_eq!(
+                r.shards_carried + r.shards_repaired + r.shards_rebuilt,
+                k,
+                "every shard accounted for"
+            );
+            assert_probe_parity(&g2, &r.labels);
+        }
+    }
+
+    #[test]
+    fn intra_shard_change_touches_one_shard() {
+        let g = Arc::new(synthetic(40, 150, 2, 2, 31));
+        let k = 4;
+        let labels = ShardedLabels::build(&g, k);
+        let part = labels.sharded_graph().partition();
+        // two distinct nodes of shard 0, as global ids
+        let (u, v) = {
+            let mut it = g.nodes().filter(|&v| part.to_local(v).0 == 0);
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        let c = Color(0);
+        let mut b = GraphBuilder::from_graph(&g);
+        let applied = b.insert_edge(u, v, c) || b.remove_edge(u, v, c);
+        assert!(applied);
+        let g2 = Arc::new(b.build());
+        let sg2 = same_partition(labels.sharded_graph(), Arc::clone(&g2));
+        let r = labels
+            .repair(sg2, &[(u, v, c)], &[], &ShardedConfig::default(), None)
+            .unwrap();
+        assert_eq!(r.shards_repaired + r.shards_rebuilt, 1);
+        assert_eq!(r.shards_carried, k - 1);
+        assert_probe_parity(&g2, &r.labels);
+    }
+
+    #[test]
+    fn cross_shard_change_carries_every_shard() {
+        let g = Arc::new(synthetic(40, 150, 2, 2, 17));
+        let k = 3;
+        let labels = ShardedLabels::build(&g, k);
+        let part = labels.sharded_graph().partition();
+        let u = g.nodes().find(|&v| part.to_local(v).0 == 0).unwrap();
+        let v = g.nodes().find(|&v| part.to_local(v).0 == 1).unwrap();
+        let c = Color(1);
+        let mut b = GraphBuilder::from_graph(&g);
+        let applied = b.insert_edge(u, v, c) || b.remove_edge(u, v, c);
+        assert!(applied);
+        let g2 = Arc::new(b.build());
+        let sg2 = same_partition(labels.sharded_graph(), Arc::clone(&g2));
+        let r = labels
+            .repair(sg2, &[(u, v, c)], &[], &ShardedConfig::default(), None)
+            .unwrap();
+        // only the overlay moves: every shard's labels carried by reference
+        assert_eq!(r.shards_carried, k);
+        assert_eq!(r.landmarks_invalidated, 0);
+        assert_probe_parity(&g2, &r.labels);
+    }
+
+    #[test]
+    fn repair_with_every_edge_cut_partition() {
+        // degenerate partition: every edge is cut, local graphs edgeless,
+        // all changes flow through the overlay relabeling
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<NodeId> = (0..12).map(|i| b.add_node(&format!("n{i}"), [])).collect();
+        let r = b.color("r");
+        let s = b.color("s");
+        for i in 0..12 {
+            b.add_edge(
+                nodes[i],
+                nodes[(i + 1) % 12],
+                if i % 2 == 0 { r } else { s },
+            );
+        }
+        let g = Arc::new(b.build());
+        let shard_of: Vec<u32> = (0..12).map(|v| (v % 2) as u32).collect();
+        let sg = Arc::new(ShardedGraph::with_partition(
+            Arc::clone(&g),
+            Partition::from_shard_of(shard_of, 2),
+        ));
+        let labels =
+            ShardedLabels::build_on(Arc::clone(&sg), &ShardedConfig::default(), None).unwrap();
+        // delete one ring edge, insert a chord — both cross-shard
+        let mut gb = GraphBuilder::from_graph(&g);
+        assert!(gb.remove_edge(nodes[0], nodes[1], r));
+        assert!(gb.insert_edge(nodes[2], nodes[9], s));
+        let g2 = Arc::new(gb.build());
+        let sg2 = same_partition(&sg, Arc::clone(&g2));
+        let rep = labels
+            .repair(
+                sg2,
+                &[(nodes[0], nodes[1], r), (nodes[2], nodes[9], s)],
+                &[],
+                &ShardedConfig::default(),
+                None,
+            )
+            .unwrap();
+        assert_probe_parity(&g2, &rep.labels);
+    }
+
+    #[test]
+    fn repair_rebuilds_shards_whose_membership_moved() {
+        let g = Arc::new(synthetic(36, 140, 2, 2, 41));
+        let k = 3;
+        let labels = ShardedLabels::build(&g, k);
+        // move one node from its shard into another: both shards must be
+        // rebuilt (local id spaces shift), the rest carried
+        let mut shard_of = shard_of_vec(labels.sharded_graph());
+        let moved = shard_of.iter().position(|&s| s == 0).unwrap();
+        shard_of[moved] = 1;
+        let sg2 = Arc::new(ShardedGraph::with_partition(
+            Arc::clone(&g),
+            Partition::from_shard_of(shard_of, k),
+        ));
+        let r = labels
+            .repair(sg2, &[], &[0, 1], &ShardedConfig::default(), None)
+            .unwrap();
+        assert_eq!(r.shards_rebuilt, 2);
+        assert_eq!(r.shards_carried, k - 2);
+        assert_probe_parity(&g, &r.labels);
+    }
+
+    #[test]
+    fn repair_cancel_aborts() {
+        let g = Arc::new(synthetic(40, 150, 2, 2, 3));
+        let labels = ShardedLabels::build(&g, 3);
+        let (g2, eff) = random_mutation_round(&g, 6, 77);
+        let sg2 = same_partition(labels.sharded_graph(), g2);
+        let flag = AtomicBool::new(true);
+        assert!(matches!(
+            labels.repair(sg2, &eff, &[], &ShardedConfig::default(), Some(&flag)),
+            Err(HopBuildError::Cancelled)
+        ));
     }
 
     #[test]

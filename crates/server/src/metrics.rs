@@ -99,6 +99,22 @@ pub struct Metrics {
     pub errors: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
+    /// Update batches whose label index was carried through an
+    /// incremental repair ([`IndexState::Repaired`]).
+    ///
+    /// [`IndexState::Repaired`]: rpq_engine::IndexState::Repaired
+    pub index_repairs: AtomicU64,
+    /// Update batches that retired the label index and fell back to a
+    /// background rebuild ([`IndexState::Rebuilding`]).
+    ///
+    /// [`IndexState::Rebuilding`]: rpq_engine::IndexState::Rebuilding
+    pub index_rebuilds: AtomicU64,
+    /// Cumulative landmarks invalidated across every repair (the work the
+    /// incremental path did instead of full rebuilds).
+    pub landmarks_invalidated: AtomicU64,
+    /// Micros since `started` at the last moment the label index was
+    /// known fresh (a `Repaired` publication). Zero = never.
+    index_fresh_at_us: AtomicU64,
     /// Request latency (admission to response ready), µs.
     pub latency: LatencyHistogram,
 }
@@ -114,8 +130,44 @@ impl Metrics {
             rejected: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            index_repairs: AtomicU64::new(0),
+            index_rebuilds: AtomicU64::new(0),
+            landmarks_invalidated: AtomicU64::new(0),
+            index_fresh_at_us: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
         }
+    }
+
+    /// Fold one update's index-maintenance outcome into the counters:
+    /// `Repaired` counts a repair and refreshes the freshness clock,
+    /// `Rebuilding` counts a fallback, `Stale` (matrix regime) counts
+    /// neither.
+    pub fn record_index(&self, m: &rpq_engine::IndexMaintenance) {
+        match m.state {
+            rpq_engine::IndexState::Repaired => {
+                self.index_repairs.fetch_add(1, Ordering::Relaxed);
+                let us = (self.started.elapsed().as_micros() as u64).max(1);
+                self.index_fresh_at_us.store(us, Ordering::Relaxed);
+            }
+            rpq_engine::IndexState::Rebuilding => {
+                self.index_rebuilds.fetch_add(1, Ordering::Relaxed);
+            }
+            rpq_engine::IndexState::Stale => {}
+        }
+        self.landmarks_invalidated
+            .fetch_add(m.landmarks_invalidated as u64, Ordering::Relaxed);
+    }
+
+    /// Seconds since the label index was last published fresh (a
+    /// `Repaired` apply). Falls back to the server's uptime when no
+    /// repair has happened yet — "fresh at some point before we started"
+    /// is the most honest bound available.
+    pub fn index_fresh_secs(&self) -> f64 {
+        let at = self.index_fresh_at_us.load(Ordering::Relaxed);
+        if at == 0 {
+            return self.uptime_secs();
+        }
+        (self.uptime_secs() - at as f64 / 1e6).max(0.0)
     }
 
     pub fn uptime_secs(&self) -> f64 {
@@ -128,9 +180,16 @@ impl Metrics {
     }
 
     /// Render the `/metrics` document. The engine-side gauges (queue
-    /// depth, snapshot version, index bytes) are sampled by the caller at
-    /// scrape time.
-    pub fn render(&self, queue_depth: usize, snapshot_version: u64, index_bytes: u64) -> String {
+    /// depth, snapshot version, index bytes, index state) are sampled by
+    /// the caller at scrape time; `index_state` is the current snapshot's
+    /// [`IndexState::as_str`](rpq_engine::IndexState::as_str).
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        snapshot_version: u64,
+        index_bytes: u64,
+        index_state: &str,
+    ) -> String {
         let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
         format!(
             concat!(
@@ -139,7 +198,10 @@ impl Metrics {
                 "\"updates\": {}, \"update_requests\": {}, ",
                 "\"rejected\": {}, \"errors\": {}, \"connections\": {}, ",
                 "\"queue_depth\": {}, \"snapshot_version\": {}, ",
-                "\"index_bytes\": {}, \"uptime_s\": {:.3}}}\n"
+                "\"index_bytes\": {}, \"index_state\": \"{}\", ",
+                "\"index_repairs\": {}, \"index_rebuilds\": {}, ",
+                "\"landmarks_invalidated\": {}, \"index_fresh_s\": {:.3}, ",
+                "\"uptime_s\": {:.3}}}\n"
             ),
             self.qps(),
             self.latency.quantile(0.50),
@@ -154,6 +216,11 @@ impl Metrics {
             queue_depth,
             snapshot_version,
             index_bytes,
+            index_state,
+            g(&self.index_repairs),
+            g(&self.index_rebuilds),
+            g(&self.landmarks_invalidated),
+            self.index_fresh_secs(),
             self.uptime_secs(),
         )
     }
@@ -204,10 +271,40 @@ mod tests {
         let m = Metrics::new();
         m.latency.record(120);
         m.queries.fetch_add(7, Ordering::Relaxed);
-        let doc = crate::json::Json::parse(&m.render(3, 9, 4096)).unwrap();
+        let doc = crate::json::Json::parse(&m.render(3, 9, 4096, "repaired")).unwrap();
         assert_eq!(doc.get("queries").unwrap().as_u64(), Some(7));
         assert_eq!(doc.get("queue_depth").unwrap().as_u64(), Some(3));
         assert_eq!(doc.get("snapshot_version").unwrap().as_u64(), Some(9));
+        assert_eq!(doc.get("index_state").unwrap().as_str(), Some("repaired"));
         assert!(doc.get("qps").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn index_counters_track_apply_outcomes() {
+        let m = Metrics::new();
+        let repaired = rpq_engine::IndexMaintenance {
+            state: rpq_engine::IndexState::Repaired,
+            landmarks_invalidated: 12,
+            ..Default::default()
+        };
+        let rebuilding = rpq_engine::IndexMaintenance {
+            state: rpq_engine::IndexState::Rebuilding,
+            ..Default::default()
+        };
+        // before any repair: freshness falls back to uptime
+        assert!((m.index_fresh_secs() - m.uptime_secs()).abs() < 1e-3);
+        m.record_index(&repaired);
+        m.record_index(&repaired);
+        m.record_index(&rebuilding);
+        m.record_index(&rpq_engine::IndexMaintenance::default()); // Stale
+        assert_eq!(m.index_repairs.load(Ordering::Relaxed), 2);
+        assert_eq!(m.index_rebuilds.load(Ordering::Relaxed), 1);
+        assert_eq!(m.landmarks_invalidated.load(Ordering::Relaxed), 24);
+        assert!(m.index_fresh_secs() < m.uptime_secs());
+        let doc = crate::json::Json::parse(&m.render(0, 1, 0, "rebuilding")).unwrap();
+        assert_eq!(doc.get("index_repairs").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("index_rebuilds").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("landmarks_invalidated").unwrap().as_u64(), Some(24));
+        assert!(doc.get("index_fresh_s").unwrap().as_f64().unwrap() >= 0.0);
     }
 }

@@ -492,6 +492,7 @@ fn handle_update(req: &Request, shared: &Shared) -> Response {
                 .metrics
                 .update_requests
                 .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.record_index(&report.index);
             Response::json(
                 200,
                 format!(
@@ -525,6 +526,7 @@ fn handle_metrics(shared: &Shared) -> Response {
             shared.queue.depth(),
             snapshot.version(),
             index_bytes(&snapshot),
+            snapshot.index_state().as_str(),
         ),
     )
 }

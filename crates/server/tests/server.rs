@@ -212,6 +212,42 @@ fn metrics_scrape_reflects_served_traffic() {
     assert!(m.get("qps").unwrap().as_f64().unwrap() > 0.0);
     assert!(get("p50_us") > 0, "latency histogram recorded nothing");
     assert!(get("p99_us") >= get("p50_us"));
+    // matrix regime: no label index applies, so the update stream counts
+    // neither repairs nor rebuild fallbacks
+    assert_eq!(m.get("index_state").unwrap().as_str(), Some("stale"));
+    assert_eq!(get("index_repairs"), 0);
+    assert_eq!(get("index_rebuilds"), 0);
+    assert_eq!(get("landmarks_invalidated"), 0);
+    assert!(m.get("index_fresh_s").unwrap().as_f64().unwrap() >= 0.0);
+    server.shutdown();
+}
+
+/// In the label regime, `/metrics` reports the published snapshot's index
+/// state and counts update batches that fell back to a rebuild.
+#[test]
+fn metrics_report_index_maintenance() {
+    let engine = Arc::new(UpdatableEngine::with_config(
+        youtube_like(500, 3),
+        rpq_engine::EngineConfig::builder()
+            .matrix_node_limit(0) // force the label regime
+            .workers(2)
+            .build()
+            .unwrap(),
+    ));
+    let graph = Arc::clone(engine.snapshot().graph());
+    let server = Server::start(Arc::clone(&engine), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // no labels have been built yet, so there is nothing to carry: the
+    // update must retire the (unbuilt) index and count a rebuild fallback
+    client
+        .update(&[Update::Insert(NodeId(0), NodeId(7), Color(0))], &graph)
+        .unwrap();
+    let m = client.metrics().unwrap();
+    let get = |k: &str| m.get(k).and_then(|v| v.as_u64()).unwrap_or(u64::MAX);
+    assert_eq!(m.get("index_state").unwrap().as_str(), Some("rebuilding"));
+    assert_eq!(get("index_rebuilds"), 1);
+    assert_eq!(get("index_repairs"), 0);
     server.shutdown();
 }
 

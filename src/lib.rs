@@ -144,8 +144,8 @@ pub mod prelude {
     pub use rpq_core::split_match::SplitMatch;
     pub use rpq_engine::{
         ApplyReport, BatchItem, BatchResult, ConfigError, EngineConfig, EngineConfigBuilder,
-        EngineError, Plan, Query, QueryEngine, QueryOutput, QueryService, ReachMemo, ShardedEngine,
-        Snapshot, StandingId, UpdatableEngine,
+        EngineError, IndexMaintenance, IndexState, Plan, Query, QueryEngine, QueryOutput,
+        QueryService, ReachMemo, ShardedEngine, Snapshot, StandingId, UpdatableEngine,
     };
     pub use rpq_graph::{
         Alphabet, AttrId, AttrValue, Attrs, Color, DistanceMatrix, Graph, GraphBuilder, NodeId,

@@ -1,0 +1,244 @@
+//! Live-update acceptance at scale (ignored by default — run in release
+//! via the CI scale job):
+//!
+//! ```text
+//! cargo test --release --test live_scale -- --ignored --nocapture
+//! ```
+//!
+//! A long mixed read/write stream against an [`UpdatableEngine`] on a
+//! 50k-node clustered graph in the sharded label regime. The contract
+//! under test is the update-aware index path:
+//!
+//! * every write batch carries the label index forward through an
+//!   incremental repair (`IndexState::Repaired` on each published
+//!   snapshot) instead of retiring it;
+//! * per-batch repair work is a fraction of the from-scratch rebuild the
+//!   retire-and-rebuild design paid on every batch (asserted against a
+//!   measured rebuild of the same graph, and bounded structurally:
+//!   every batch touches at most half the shards);
+//! * steady-state query latency on the written-to engine stays within
+//!   ~2x of a read-only engine serving the same graph;
+//! * served answers are bit-identical to uncached BFS evaluation.
+//!
+//! When `BENCH_JSON_DIR` is set the run emits `BENCH_incremental.json`
+//! (mode `timed`) in the criterion shim's report shape, so the scale job
+//! leaves the same machine-readable perf trajectory as the bench-smoke
+//! job's smoke-mode file.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpq::prelude::*;
+use rpq_engine::IndexState;
+use std::time::{Duration, Instant};
+
+const NODES: usize = 50_000;
+const EDGES: usize = 100_000;
+const SHARDS: usize = 8;
+const WRITE_BATCHES: usize = 12;
+const UPDATES_PER_BATCH: usize = 6;
+const READS_PER_ROUND: usize = 16;
+
+/// Concrete-color RQ workload (the planner sends these through the
+/// sharded labels; wildcard atoms would run search fallbacks instead of
+/// exercising the index under test).
+fn workload(g: &Graph, count: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = ["c0^2 c1", "c1^3", "c0 c1^2", "c2^2", "c2 c0^2"];
+    (0..count)
+        .map(|_| {
+            let from = format!(
+                "a0 = {} && a1 >= {}",
+                rng.gen_range(0..10),
+                rng.gen_range(4..9)
+            );
+            let to = format!("a1 <= {}", rng.gen_range(3..7));
+            Query::Rq(Rq::new(
+                Predicate::parse(&from, g.schema()).unwrap(),
+                Predicate::parse(&to, g.schema()).unwrap(),
+                FRegex::parse(pool[rng.gen_range(0..pool.len())], g.alphabet()).unwrap(),
+            ))
+        })
+        .collect()
+}
+
+fn random_updates(rng: &mut StdRng, count: usize) -> Vec<Update> {
+    (0..count)
+        .map(|_| {
+            let u = NodeId(rng.gen_range(0..NODES as u32));
+            let v = NodeId(rng.gen_range(0..NODES as u32));
+            let c = Color(rng.gen_range(0..3));
+            if rng.gen_bool(0.5) {
+                Update::Insert(u, v, c)
+            } else {
+                Update::Delete(u, v, c)
+            }
+        })
+        .collect()
+}
+
+fn emit_bench_json(
+    rebuild: Duration,
+    avg_repair: Duration,
+    read_live: Duration,
+    read_only: Duration,
+) {
+    let Ok(dir) = std::env::var("BENCH_JSON_DIR") else {
+        return;
+    };
+    // mirror the criterion shim's report shape (target/mode/context/benches)
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"target\": \"incremental\",\n",
+            "  \"mode\": \"timed\",\n",
+            "  \"context\": {{\"graph_nodes\": \"{nodes}\", \"graph_edges\": \"{edges}\", ",
+            "\"shards\": \"{shards}\", \"write_batches\": \"{batches}\", ",
+            "\"updates_per_batch\": \"{upd}\"}},\n",
+            "  \"benches\": [\n",
+            "    {{\"name\": \"live_scale/rebuild_from_scratch\", \"median_ns\": {rebuild}}},\n",
+            "    {{\"name\": \"live_scale/repair_per_batch\", \"median_ns\": {repair}}},\n",
+            "    {{\"name\": \"live_scale/read16_after_writes\", \"median_ns\": {live}}},\n",
+            "    {{\"name\": \"live_scale/read16_read_only\", \"median_ns\": {ro}}}\n",
+            "  ]\n}}\n"
+        ),
+        nodes = NODES,
+        edges = EDGES,
+        shards = SHARDS,
+        batches = WRITE_BATCHES,
+        upd = UPDATES_PER_BATCH,
+        rebuild = rebuild.as_nanos(),
+        repair = avg_repair.as_nanos(),
+        live = read_live.as_nanos(),
+        ro = read_only.as_nanos(),
+    );
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = std::path::Path::new(&dir).join("BENCH_incremental.json");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+#[test]
+#[ignore = "50k-node mixed read/write stream; run in release via the CI scale job"]
+fn repaired_index_serves_a_mixed_stream_at_50k() {
+    let t0 = Instant::now();
+    let g = rpq::graph::gen::clustered(NODES, EDGES, SHARDS, 2, 3, 5, 31);
+    println!(
+        "graph: {} nodes / {} edges in {:.1?}",
+        g.node_count(),
+        g.edge_count(),
+        t0.elapsed()
+    );
+    assert!(g.node_count() >= 50_000);
+
+    let config = EngineConfig::builder()
+        .matrix_node_limit(0) // label regime at every size
+        .hop_label_budget(0) // single-index path disabled: sharded only
+        .shards(SHARDS)
+        .build()
+        .unwrap();
+    let engine = UpdatableEngine::with_config(g.clone(), config.clone());
+
+    // under a sustained write stream a background build never lands (each
+    // publication retires it), so the stream starts from a built index —
+    // the state the repair path is there to preserve. This build also
+    // measures what retire-and-rebuild paid per batch.
+    let t1 = Instant::now();
+    engine
+        .snapshot()
+        .engine()
+        .force_sharded_labels()
+        .expect("unbudgeted build cannot fail");
+    let rebuild_time = t1.elapsed();
+    println!("initial sharded build (= per-batch rebuild cost): {rebuild_time:.1?}");
+
+    // the read-only reference: same graph, same config, no writes
+    let frozen = UpdatableEngine::with_config(g, config);
+    frozen.snapshot().engine().force_sharded_labels().unwrap();
+    let frozen_snap = frozen.snapshot();
+
+    let mut rng = StdRng::seed_from_u64(97);
+    let mut total_repair = Duration::ZERO;
+    let mut total_applied = 0usize;
+    let mut live_read = Duration::ZERO;
+    let mut ro_read = Duration::ZERO;
+    for round in 0..WRITE_BATCHES {
+        let updates = random_updates(&mut rng, UPDATES_PER_BATCH);
+        let report = engine.apply(&updates).unwrap();
+        assert_eq!(
+            report.index.state,
+            IndexState::Repaired,
+            "round {round}: the write stream must never retire the index"
+        );
+        assert!(
+            report.index.shards_touched <= SHARDS / 2,
+            "round {round}: repair work must stay bounded ({} shards touched)",
+            report.index.shards_touched
+        );
+        total_repair += report.index.repair_time;
+        total_applied += report.applied;
+
+        // interleaved reads on the just-published snapshot vs. read-only
+        let queries = workload(
+            report.snapshot.graph(),
+            READS_PER_ROUND,
+            1000 + round as u64,
+        );
+        let t = Instant::now();
+        let live_out = report.snapshot.run_batch(&queries);
+        live_read += t.elapsed();
+        let t = Instant::now();
+        let _ = frozen_snap.run_batch(&queries);
+        ro_read += t.elapsed();
+
+        // served answers are bit-identical to uncached evaluation
+        if round % 4 == 0 {
+            for (i, q) in queries.iter().take(4).enumerate() {
+                let Query::Rq(rq) = q else { unreachable!() };
+                assert_eq!(
+                    live_out.items()[i].output.as_rq().unwrap(),
+                    &rq.eval_bfs(report.snapshot.graph()),
+                    "round {round} query {i} diverged from BFS ground truth"
+                );
+            }
+        }
+    }
+    assert!(
+        total_applied > 0,
+        "the stream must actually change the graph"
+    );
+
+    let avg_repair = total_repair / WRITE_BATCHES as u32;
+    println!(
+        "{WRITE_BATCHES} write batches ({total_applied} effective updates): \
+         avg repair {avg_repair:.1?}/batch vs rebuild {rebuild_time:.1?}"
+    );
+    // the headline: repairing after a batch costs a fraction of the
+    // from-scratch rebuild the old design paid on every batch
+    assert!(
+        avg_repair < rebuild_time / 2,
+        "repair ({avg_repair:.1?}) must beat half the rebuild ({rebuild_time:.1?})"
+    );
+
+    println!("reads: live {live_read:.1?} vs read-only {ro_read:.1?} (totals)");
+    // steady-state serving latency within ~2x of the write-free engine
+    // (small absolute floor so near-zero denominators don't flake)
+    let floor = Duration::from_millis(50);
+    assert!(
+        live_read <= ro_read * 2 + floor,
+        "steady-state reads ({live_read:.1?}) exceed 2x the read-only baseline ({ro_read:.1?})"
+    );
+
+    let final_state = engine.snapshot().index_state();
+    assert_eq!(final_state, IndexState::Repaired);
+    emit_bench_json(
+        rebuild_time,
+        avg_repair,
+        live_read / WRITE_BATCHES as u32,
+        ro_read / WRITE_BATCHES as u32,
+    );
+    println!("total {:.1?}", t0.elapsed());
+}

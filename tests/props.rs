@@ -5,7 +5,9 @@
 //! * RQ evaluation strategies are interchangeable,
 //! * PQ algorithms equal the declarative fixpoint semantics,
 //! * minimization preserves equivalence and never grows a query,
-//! * PQ containment is a preorder consistent with evaluation.
+//! * PQ containment is a preorder consistent with evaluation,
+//! * incremental index repair is observationally identical to a
+//!   from-scratch rebuild (hop labels and sharded labels alike).
 
 use proptest::prelude::*;
 use rpq::prelude::*;
@@ -184,5 +186,145 @@ proptest! {
                 prop_assert!(sb.edge_matches(0).contains(p), "pair {p:?} not covered");
             }
         }
+    }
+}
+
+// ---- incremental index repair ≡ from-scratch rebuild -------------------
+
+fn lcg(s: &mut u64) -> u64 {
+    *s = s
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *s >> 33
+}
+
+/// Apply `count` pseudo-random edge flips to `g`, returning the new graph
+/// and the effective change list (the repair input contract).
+fn mutation_round(
+    g: &Graph,
+    count: usize,
+    seed: u64,
+) -> (Graph, Vec<(NodeId, NodeId, rpq::graph::Color)>) {
+    let n = g.node_count() as u64;
+    let m = g.alphabet().len() as u64;
+    let mut b = GraphBuilder::from_graph(g);
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut eff = Vec::new();
+    for _ in 0..count {
+        let u = NodeId((lcg(&mut s) % n) as u32);
+        let v = NodeId((lcg(&mut s) % n) as u32);
+        let c = rpq::graph::Color((lcg(&mut s) % m) as u8);
+        let applied = match lcg(&mut s) % 2 {
+            0 => b.insert_edge(u, v, c) || b.remove_edge(u, v, c),
+            _ => b.remove_edge(u, v, c) || b.insert_edge(u, v, c),
+        };
+        if applied {
+            eff.push((u, v, c));
+        }
+    }
+    (b.build(), eff)
+}
+
+/// Every observation the engine makes of a label index — point probes,
+/// bounded scans, batched reverse reachability — must be identical
+/// between `repaired` and `fresh` on `g`.
+fn assert_probe_equal(g: &Graph, repaired: &dyn DistProbe, fresh: &dyn DistProbe) {
+    let colors: Vec<rpq::graph::Color> = (0..NUM_COLORS as u8)
+        .map(rpq::graph::Color)
+        .chain([WILDCARD])
+        .collect();
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    for &c in &colors {
+        for &u in &nodes {
+            for &v in &nodes {
+                assert_eq!(
+                    repaired.dist(u, v, c),
+                    fresh.dist(u, v, c),
+                    "dist({u:?},{v:?},{c:?})"
+                );
+            }
+            for max in [1u16, 3] {
+                let mut got = vec![false; g.node_count()];
+                repaired.for_each_within(u, c, max, &mut |z| got[z.index()] = true);
+                let mut want = vec![false; g.node_count()];
+                fresh.for_each_within(u, c, max, &mut |z| want[z.index()] = true);
+                assert_eq!(got, want, "scan from {u:?} color {c:?} max {max}");
+            }
+        }
+        let targets: Vec<NodeId> = nodes.iter().copied().step_by(3).collect();
+        for max_len in [None, Some(2u32)] {
+            assert_eq!(
+                repaired.sources_reaching_within(g, &nodes, &targets, c, max_len),
+                fresh.sources_reaching_within(g, &nodes, &targets, c, max_len),
+                "sources_reaching color {c:?} bound {max_len:?}"
+            );
+        }
+    }
+}
+
+/// A partition assigning node `i` to shard `i % k`: on most graphs this
+/// cuts (nearly) every edge, the degenerate worst case for the overlay.
+fn round_robin_partition(n: usize, k: usize) -> Partition {
+    Partition::from_shard_of((0..n as u32).map(|i| i % k as u32).collect(), k)
+}
+
+proptest! {
+    // repair + rebuild + full probe comparison per case: keep cases low
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A repaired hop-label index is observationally identical to one
+    /// built from scratch on the updated graph — across chained rounds.
+    #[test]
+    fn hop_repair_equals_rebuild(
+        (seed, n, e) in arb_graph(),
+        rounds in 1usize..3,
+        flips in 1usize..10,
+    ) {
+        let mut g = build_graph(seed.wrapping_add(17), n.max(4), e);
+        let mut labels = rpq::index::HopLabels::build(&g);
+        for round in 0..rounds {
+            let (g2, eff) = mutation_round(&g, flips, seed ^ (round as u64) << 7);
+            // unlimited budget and invalidation cap: the proptest checks
+            // equivalence, the cost model is exercised by the unit tests
+            labels = labels
+                .repair(&g2, &eff, 0, 0, None)
+                .expect("unbudgeted repair cannot fail")
+                .labels;
+            g = g2;
+        }
+        assert_probe_equal(&g, &labels, &rpq::index::HopLabels::build(&g));
+    }
+
+    /// Repaired sharded labels equal a from-scratch sharded build, on a
+    /// clustered partition and on the degenerate partition where every
+    /// edge is a cut edge (the overlay carries the whole graph).
+    #[test]
+    fn sharded_repair_equals_rebuild(
+        (seed, n, e) in arb_graph(),
+        flips in 1usize..8,
+        degenerate in any::<bool>(),
+    ) {
+        use std::sync::Arc;
+        let n = n.max(8);
+        let g = Arc::new(build_graph(seed.wrapping_add(29), n, e));
+        let k = 3usize;
+        let sharded = Arc::new(if degenerate {
+            ShardedGraph::with_partition(Arc::clone(&g), round_robin_partition(n, k))
+        } else {
+            ShardedGraph::new(Arc::clone(&g), k)
+        });
+        let config = ShardedConfig { shards: k, ..ShardedConfig::default() };
+        let labels = ShardedLabels::build_on(Arc::clone(&sharded), &config, None)
+            .expect("unbudgeted build cannot fail");
+
+        let (g2, eff) = mutation_round(&g, flips, seed ^ 0xA5A5);
+        let g2 = Arc::new(g2);
+        let new_sharded = Arc::new(sharded.apply_updates(Arc::clone(&g2), &eff));
+        let repaired = labels
+            .repair(Arc::clone(&new_sharded), &eff, &[], &config, None)
+            .expect("unbudgeted repair cannot fail")
+            .labels;
+        let fresh = ShardedLabels::build_on(new_sharded, &config, None).unwrap();
+        assert_probe_equal(&g2, &repaired, &fresh);
     }
 }
