@@ -1,0 +1,134 @@
+//! Overhead guard for the tracing layer: instrumenting the engine must
+//! cost nothing observable while the tracer is disabled.
+//!
+//! Two arms drive the identical 8-query batch on a 20 000-node graph:
+//! one with the process tracer disabled (the production default for
+//! library use — every instrumentation site reduces to one relaxed
+//! atomic load), one with it enabled (ring recording on). The guard
+//! interleaves the arms rep by rep, takes medians, and fails the bench
+//! if the *enabled* median exceeds the disabled median by more than 2%
+//! (plus a small absolute slack for timer noise). Because the disabled
+//! path is a strict subset of the enabled path's work, bounding the
+//! enabled overhead at 2% bounds the disabled-vs-uninstrumented
+//! overhead even tighter — which is the documented guarantee.
+//!
+//! The medians land in `BENCH_trace.json` (via `BENCH_JSON_DIR`) so the
+//! trajectory across commits is machine-readable.
+
+use criterion::{BenchmarkId, Criterion};
+use rpq_bench::querygen::generate_rq;
+use rpq_engine::{EngineConfig, Query, QueryEngine};
+use rpq_graph::gen::youtube_like;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const GRAPH_NODES: usize = 20_000;
+const BATCH: usize = 8;
+
+fn workload(g: &Arc<rpq_graph::Graph>) -> Vec<Query> {
+    (0..BATCH)
+        .map(|i| Query::Rq(generate_rq(g, 2, 3, 2, 7 + i as u64)))
+        .collect()
+}
+
+/// Hop-label engine, index built eagerly: the arms must compare tracing
+/// overhead on the steady-state batch path, not index-build timing (a
+/// 20 000-node graph rules the distance matrix out, and building labels
+/// lazily inside the timed region would poison the first rep).
+fn engine(g: &Arc<rpq_graph::Graph>) -> QueryEngine {
+    let engine = QueryEngine::with_config(
+        Arc::clone(g),
+        EngineConfig::builder()
+            .matrix_node_limit(0)
+            .build()
+            .unwrap(),
+    );
+    engine.force_hop_labels().expect("unbudgeted build fits");
+    engine
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let g = Arc::new(youtube_like(GRAPH_NODES, 42));
+    criterion::report_context("graph_nodes", g.node_count());
+    criterion::report_context("graph_edges", g.edge_count());
+    criterion::report_context("batch", BATCH);
+    let engine = engine(&g);
+    let queries = workload(&g);
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    for enabled in [false, true] {
+        let label = if enabled { "enabled" } else { "disabled" };
+        group.bench_with_input(BenchmarkId::new("batch", label), &queries, |b, queries| {
+            rpq_trace::tracer().set_enabled(enabled);
+            b.iter(|| black_box(engine.run_batch(queries)));
+        });
+    }
+    rpq_trace::tracer().set_enabled(false);
+    group.finish();
+}
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Interleaved A/B guard. Reps alternate disabled/enabled so drift
+/// (thermal, scheduler) hits both arms equally; medians shrug off the
+/// stragglers.
+fn overhead_guard(smoke: bool) {
+    let g = Arc::new(youtube_like(GRAPH_NODES, 42));
+    let engine = engine(&g);
+    let queries = workload(&g);
+    let reps = if smoke { 5 } else { 21 };
+    let tracer = rpq_trace::tracer();
+
+    // warm caches and the engine's lazy state before timing anything
+    black_box(engine.run_batch(&queries));
+
+    let mut disabled = Vec::with_capacity(reps);
+    let mut enabled = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        // alternate which arm goes first so systematic drift (thermal,
+        // page cache, scheduler) cannot bias one arm
+        let mut arms = [(false, &mut disabled), (true, &mut enabled)];
+        if rep % 2 == 1 {
+            arms.swap(0, 1);
+        }
+        for (on, samples) in arms {
+            tracer.set_enabled(on);
+            let t = Instant::now();
+            black_box(engine.run_batch(&queries));
+            samples.push(t.elapsed());
+        }
+    }
+    tracer.set_enabled(false);
+
+    let med_off = median(disabled);
+    let med_on = median(enabled);
+    criterion::report_context("guard_disabled_ns", med_off.as_nanos());
+    criterion::report_context("guard_enabled_ns", med_on.as_nanos());
+    criterion::report_context("guard_reps", reps);
+    let ratio = med_on.as_secs_f64() / med_off.as_secs_f64().max(1e-12);
+    println!(
+        "trace overhead guard: disabled {med_off:?} vs enabled {med_on:?} \
+         ({:+.2}% with tracing on, {reps} interleaved reps)",
+        (ratio - 1.0) * 100.0
+    );
+    // 2% relative bound + 500µs absolute slack so timer jitter on a
+    // sub-millisecond batch can't produce phantom regressions
+    let bound = Duration::from_secs_f64(med_off.as_secs_f64() * 1.02) + Duration::from_micros(500);
+    assert!(
+        med_on <= bound,
+        "tracing overhead regression: enabled median {med_on:?} exceeds \
+         disabled median {med_off:?} + 2% ({bound:?})"
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut c = Criterion::default().configure_from_args();
+    bench_trace(&mut c);
+    overhead_guard(smoke);
+    c.final_summary();
+}

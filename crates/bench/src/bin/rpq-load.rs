@@ -3,16 +3,22 @@
 //!
 //! ```text
 //! rpq-load ADDR [--gen N [--seed S]] [--connections C] [--requests R]
-//!          [--batch B] [--write-pct P] [--assert-qps] [--shutdown]
+//!          [--batch B] [--write-pct P] [--assert-qps]
+//!          [--explain-sample N] [--assert-observability] [--shutdown]
 //! ```
 //!
 //! `--gen`/`--seed` must match the server's so both sides share the graph
 //! vocabulary. With `--assert-qps` the tool scrapes `/metrics` after the
 //! run and exits non-zero unless the server reports non-zero qps and zero
-//! errors were observed client-side — the CI smoke contract. With
-//! `--shutdown` it asks the server to drain afterwards.
+//! errors were observed client-side — the CI smoke contract.
+//! `--explain-sample N` sends N representative queries through
+//! `POST /v1/explain` after the run and prints the aggregated stage-time
+//! table. `--assert-observability` additionally requires the default
+//! `/metrics` body to round-trip a Prometheus text parser and every
+//! `/debug/trace` line to be valid JSON. With `--shutdown` it asks the
+//! server to drain afterwards.
 
-use rpq_bench::loadgen::{run_load, LoadConfig};
+use rpq_bench::loadgen::{assert_observability, run_load, sample_explain, LoadConfig};
 use rpq_server::Client;
 use std::sync::Arc;
 
@@ -27,6 +33,8 @@ fn main() {
     let mut seed = 42u64;
     let mut cfg = LoadConfig::default();
     let mut assert_qps = false;
+    let mut assert_obs = false;
+    let mut explain_sample = 0usize;
     let mut shutdown = false;
 
     let mut args = std::env::args().skip(1);
@@ -55,11 +63,18 @@ fn main() {
                     .unwrap_or_else(|_| fail("--write-pct"))
             }
             "--assert-qps" => assert_qps = true,
+            "--assert-observability" => assert_obs = true,
+            "--explain-sample" => {
+                explain_sample = value("--explain-sample")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--explain-sample"))
+            }
             "--shutdown" => shutdown = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: rpq-load ADDR [--gen N] [--seed S] [--connections C] \
-                     [--requests R] [--batch B] [--write-pct P] [--assert-qps] [--shutdown]"
+                     [--requests R] [--batch B] [--write-pct P] [--assert-qps] \
+                     [--explain-sample N] [--assert-observability] [--shutdown]"
                 );
                 return;
             }
@@ -120,6 +135,24 @@ fn main() {
     if assert_qps && report.errors > 0 {
         eprintln!("FAIL: {} client-side errors", report.errors);
         failures += 1;
+    }
+    if explain_sample > 0 {
+        match sample_explain(&addr, &graph, explain_sample, seed) {
+            Ok(summary) => print!("{}", summary.table()),
+            Err(e) => {
+                eprintln!("FAIL: explain sample: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if assert_obs {
+        match assert_observability(&addr) {
+            Ok(()) => eprintln!("observability check passed (/metrics + /debug/trace)"),
+            Err(e) => {
+                eprintln!("FAIL: observability: {e}");
+                failures += 1;
+            }
+        }
     }
 
     if shutdown {

@@ -190,6 +190,140 @@ fn run_connection(
     Ok(out)
 }
 
+/// Aggregated stage timings from an explain sample: how a set of
+/// representative queries spent their time, by stage and by plan.
+#[derive(Debug, Clone, Default)]
+pub struct ExplainSummary {
+    /// Profiles collected.
+    pub profiles: u64,
+    /// Per stage name: (occurrences, total µs across the sample).
+    pub stages: Vec<(String, u64, u64)>,
+    /// Per plan variant: queries the planner sent there.
+    pub plans: Vec<(String, u64)>,
+}
+
+impl ExplainSummary {
+    /// Render the aggregate as an aligned table (what `rpq-load
+    /// --explain-sample N` prints).
+    pub fn table(&self) -> String {
+        let mut out = format!("explain sample: {} profiles\n", self.profiles);
+        out.push_str("  stage           count   total_us    mean_us\n");
+        for (name, count, total) in &self.stages {
+            out.push_str(&format!(
+                "  {name:<14} {count:>6} {total:>10} {:>10.1}\n",
+                *total as f64 / (*count).max(1) as f64
+            ));
+        }
+        out.push_str("  plan                        queries\n");
+        for (plan, count) in &self.plans {
+            out.push_str(&format!("  {plan:<26} {count:>7}\n"));
+        }
+        out
+    }
+}
+
+/// Send `n` seeded queries through `POST /v1/explain` on one connection
+/// and aggregate the returned profiles per stage and per plan.
+pub fn sample_explain(
+    addr: &str,
+    g: &Graph,
+    n: usize,
+    seed: u64,
+) -> Result<ExplainSummary, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let pq_params = QueryParams {
+        nodes: 3,
+        edges: 3,
+        preds: 2,
+        bound: 3,
+        colors: 2,
+        redundant: false,
+    };
+    let queries: Vec<Query> = (0..n)
+        .map(|k| {
+            let s = seed.wrapping_add(k as u64);
+            if k % 4 == 3 {
+                Query::Pq(generate_pq(g, &pq_params, s))
+            } else {
+                Query::Rq(generate_rq(g, 2, 3, 2, s))
+            }
+        })
+        .collect();
+    let resp = client
+        .explain(&queries, g)
+        .map_err(|e| format!("explain request: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("explain answered {}: {}", resp.status, resp.body));
+    }
+    let mut summary = ExplainSummary::default();
+    for line in resp.body.lines() {
+        let profile = rpq_server::json::Json::parse(line)
+            .map_err(|e| format!("profile line is not JSON ({e}): {line}"))?;
+        summary.profiles += 1;
+        let plan = profile
+            .get("plan")
+            .and_then(|p| p.as_str())
+            .ok_or_else(|| format!("profile without a plan: {line}"))?
+            .to_owned();
+        match summary.plans.iter_mut().find(|(p, _)| *p == plan) {
+            Some((_, c)) => *c += 1,
+            None => summary.plans.push((plan, 1)),
+        }
+        let stages = profile
+            .get("stages")
+            .and_then(|s| s.as_array())
+            .ok_or_else(|| format!("profile without stages: {line}"))?;
+        for stage in stages {
+            let name = stage
+                .get("name")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_owned();
+            let us = stage.get("us").and_then(|v| v.as_u64()).unwrap_or(0);
+            match summary.stages.iter_mut().find(|(s, _, _)| *s == name) {
+                Some((_, count, total)) => {
+                    *count += 1;
+                    *total += us;
+                }
+                None => summary.stages.push((name, 1, us)),
+            }
+        }
+    }
+    if summary.profiles != n as u64 {
+        return Err(format!("expected {n} profiles, got {}", summary.profiles));
+    }
+    Ok(summary)
+}
+
+/// The smoke job's observability contract: the default `/metrics` body
+/// must round-trip a Prometheus text parser with the core families
+/// present, and every `/debug/trace` line must be valid JSON.
+pub fn assert_observability(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let text = client
+        .metrics_prometheus()
+        .map_err(|e| format!("/metrics scrape: {e}"))?;
+    let samples = rpq_server::metrics::parse_prometheus_text(&text)
+        .map_err(|e| format!("/metrics is not valid Prometheus exposition: {e}"))?;
+    for family in [
+        "rpq_queries_total",
+        "rpq_request_latency_seconds_count",
+        "rpq_uptime_seconds",
+    ] {
+        if !samples.iter().any(|(s, _)| s == family) {
+            return Err(format!("/metrics lacks the {family} series"));
+        }
+    }
+    let trace = client
+        .debug_trace()
+        .map_err(|e| format!("/debug/trace fetch: {e}"))?;
+    for line in trace.lines() {
+        rpq_server::json::Json::parse(line)
+            .map_err(|e| format!("/debug/trace line is not JSON ({e}): {line}"))?;
+    }
+    Ok(())
+}
+
 pub(crate) fn parse_applied(body: &str) -> Result<u64, ()> {
     rpq_server::json::Json::parse(body)
         .ok()

@@ -158,6 +158,10 @@ pub struct BatchItem {
     pub plan: Plan,
     /// Wall-clock evaluation time of this query on its worker.
     pub time: Duration,
+    /// Execution profile, present only on the profiled/explain paths
+    /// (`run_query_profiled` and `POST /v1/explain`); `None` on the hot
+    /// path, which pays nothing for the field.
+    pub profile: Option<Arc<rpq_trace::QueryProfile>>,
 }
 
 /// Everything a batch run produced, in input order.

@@ -91,6 +91,14 @@ pub struct EngineConfig {
     /// shards`, the reading "the same memory, but no single build ever
     /// holds more than one shard's index".
     pub shard_memory_budget: usize,
+    /// Slow-query threshold in microseconds; `0` (the default) disables
+    /// the slow-query log. A query whose evaluation exceeds the threshold
+    /// is counted on the process tracer (surfaced by the server as
+    /// `rpq_slow_queries_total`) and — when the tracer is enabled —
+    /// recorded into the trace ring with its text, chosen plan, and
+    /// duration. With the threshold at 0 the hot path pays a single
+    /// integer compare.
+    pub slow_query_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -104,6 +112,7 @@ impl Default for EngineConfig {
             split_crossover: planner::SPLIT_CROSSOVER,
             shards: 1,
             shard_memory_budget: 0,
+            slow_query_us: 0,
         }
     }
 }
@@ -182,6 +191,12 @@ impl EngineConfigBuilder {
     /// Byte budget for **each** per-shard label build (`0` = unlimited).
     pub fn shard_memory_budget(mut self, bytes: usize) -> Self {
         self.config.shard_memory_budget = bytes;
+        self
+    }
+
+    /// Slow-query threshold in microseconds (`0` = disabled, the default).
+    pub fn slow_query_us(mut self, threshold_us: u64) -> Self {
+        self.config.slow_query_us = threshold_us;
         self
     }
 
@@ -367,18 +382,33 @@ impl QueryEngine {
         let started = Arc::clone(&self.hop_started);
         let config = self.hop_config();
         std::thread::spawn(move || {
+            let t0 = Instant::now();
             match HopLabels::build_with(&graph, &config, Some(&retired)) {
                 Ok(labels) => {
+                    let detail = format!("ok bytes={}", labels.bytes());
+                    rpq_trace::tracer().record_span("index", "hop-build", t0.elapsed(), &detail);
                     let _ = cell.set(Some(Arc::new(labels)));
                 }
                 // over budget: pin the failure — retrying cannot succeed
                 Err(rpq_index::HopBuildError::OverBudget { .. }) => {
+                    rpq_trace::tracer().record_span(
+                        "index",
+                        "hop-build",
+                        t0.elapsed(),
+                        "over-budget: search fallback pinned",
+                    );
                     let _ = cell.set(None);
                 }
                 // cancelled (version superseded or engine dropped): hand
                 // the builder role back so a deliberate force on a
                 // still-live engine can still build
                 Err(rpq_index::HopBuildError::Cancelled) => {
+                    rpq_trace::tracer().record_span(
+                        "index",
+                        "hop-build",
+                        t0.elapsed(),
+                        "cancelled: version superseded",
+                    );
                     started.store(false, Ordering::Release);
                 }
                 Err(rpq_index::HopBuildError::RepairTooBroad { .. }) => {
@@ -512,17 +542,39 @@ impl QueryEngine {
         let started = Arc::clone(&self.sharded_started);
         let config = self.sharded_config();
         std::thread::spawn(move || {
+            let t0 = Instant::now();
             match ShardedLabels::build_with(&graph, &config, Some(&retired)) {
                 Ok(labels) => {
+                    let stats = labels.stats();
+                    let detail =
+                        format!("ok shards={} bytes={}", stats.shards, stats.total_bytes());
+                    rpq_trace::tracer().record_span(
+                        "index",
+                        "sharded-build",
+                        t0.elapsed(),
+                        &detail,
+                    );
                     let _ = cell.set(Some(Arc::new(labels)));
                 }
                 // over a per-shard budget: pin the failure — retrying the
                 // same partition under the same budget cannot succeed
                 Err(rpq_index::HopBuildError::OverBudget { .. }) => {
+                    rpq_trace::tracer().record_span(
+                        "index",
+                        "sharded-build",
+                        t0.elapsed(),
+                        "over-budget: search fallback pinned",
+                    );
                     let _ = cell.set(None);
                 }
                 // cancelled (version superseded): hand the role back
                 Err(rpq_index::HopBuildError::Cancelled) => {
+                    rpq_trace::tracer().record_span(
+                        "index",
+                        "sharded-build",
+                        t0.elapsed(),
+                        "cancelled: version superseded",
+                    );
                     started.store(false, Ordering::Release);
                 }
                 Err(rpq_index::HopBuildError::RepairTooBroad { .. }) => {
@@ -594,7 +646,10 @@ impl QueryEngine {
         }
         let mut cached = CachedReach::new(self.config.reach_cache_capacity);
         // a single query owns the whole worker budget for its refinement
-        self.eval_one(query, plan, memo, &mut cached, self.configured_workers())
+        let t = Instant::now();
+        let out = self.eval_one(query, plan, memo, &mut cached, self.configured_workers());
+        self.note_if_slow(query, plan, t.elapsed());
+        out
     }
 
     /// Evaluate a batch: plan each query (batch-aware), then pull queries
@@ -684,8 +739,10 @@ impl QueryEngine {
                         let t = Instant::now();
                         let out =
                             self.eval_one(&queries[i], plans[i], memo, &mut cached, pq_workers);
+                        let elapsed = t.elapsed();
+                        self.note_if_slow(&queries[i], plans[i], elapsed);
                         slots[i]
-                            .set((out, t.elapsed()))
+                            .set((out, elapsed))
                             .unwrap_or_else(|_| unreachable!("each index is claimed once"));
                     }
                 });
@@ -697,7 +754,12 @@ impl QueryEngine {
             .zip(&plans)
             .map(|(slot, &plan)| {
                 let (output, time) = slot.into_inner().expect("worker filled every slot");
-                BatchItem { output, plan, time }
+                BatchItem {
+                    output,
+                    plan,
+                    time,
+                    profile: None,
+                }
             })
             .collect();
         let (hits1, misses1) = memo.stats();
@@ -801,6 +863,266 @@ impl QueryEngine {
                 unreachable!("planner assigned a {plan:?} plan to a mismatched query kind")
             }
         }
+    }
+
+    /// Slow-query log hook: with a nonzero
+    /// [`slow_query_us`](EngineConfig::slow_query_us) threshold, a query
+    /// over it is counted on the process [`rpq_trace::tracer`] and — when
+    /// the tracer is enabled — recorded into the trace ring with its
+    /// text, plan, and duration. Costs one integer compare when the
+    /// threshold is 0.
+    #[inline]
+    fn note_if_slow(&self, query: &Query, plan: Plan, dur: std::time::Duration) {
+        let threshold = self.config.slow_query_us;
+        if threshold == 0 || (dur.as_micros() as u64) < threshold {
+            return;
+        }
+        let t = rpq_trace::tracer();
+        t.note_slow_query();
+        if t.enabled() {
+            t.record_span(
+                "slow",
+                plan.name(),
+                dur,
+                &format!(
+                    "threshold_us={threshold} {}",
+                    crate::explain::query_summary(query, &self.graph)
+                ),
+            );
+        }
+    }
+
+    /// The plan for `query` plus the planner's rationale: which signal
+    /// won and the values it saw (index availability, pattern shape,
+    /// crossover) at decision time.
+    pub fn plan_query_explain(&self, query: &Query) -> (Plan, String) {
+        match query {
+            Query::Rq(rq) => planner::plan_rq_explain(
+                &rq.regex,
+                self.matrix_available(),
+                self.hop_usable_for(&rq.regex),
+                self.sharded_usable_for(&rq.regex),
+                false,
+            ),
+            Query::Pq(pq) => planner::plan_pq_explain(
+                pq,
+                self.matrix_available(),
+                self.hop_usable_for_pq(pq),
+                self.sharded_usable_for_pq(pq),
+                self.config.split_crossover,
+            ),
+        }
+    }
+
+    /// Evaluate one query and return its execution profile alongside the
+    /// output: chosen plan + rationale, contiguous stage timings (their
+    /// sum equals the profile's wall time by construction), probe
+    /// counts, memo hit/miss, shard fan-out, and worker utilization.
+    /// This is the `explain` surface; the unprofiled
+    /// [`run_query`](QueryEngine::run_query) path pays nothing for it.
+    pub fn run_query_profiled(&self, query: &Query) -> (QueryOutput, rpq_trace::QueryProfile) {
+        self.run_query_profiled_with_memo(query, &ReachMemo::new())
+    }
+
+    /// [`run_query_profiled`](QueryEngine::run_query_profiled) against a
+    /// caller-provided memo (the snapshot layer passes its
+    /// snapshot-lifetime memo so the profile's hit/miss numbers reflect
+    /// real serving behavior, not a cold per-call memo).
+    pub fn run_query_profiled_with_memo(
+        &self,
+        query: &Query,
+        memo: &ReachMemo,
+    ) -> (QueryOutput, rpq_trace::QueryProfile) {
+        let t0 = Instant::now();
+        if !self.matrix_available() {
+            self.ensure_hop_build();
+            self.ensure_sharded_build();
+        }
+        let (plan, rationale) = self.plan_query_explain(query);
+        self.profiled_run(query, plan, rationale, memo, t0)
+    }
+
+    /// Profiled evaluation under a **caller-chosen** plan, bypassing the
+    /// planner — the test/bench surface that lets parity suites drive
+    /// every servable [`Plan`] variant (like
+    /// [`force_hop_labels`](QueryEngine::force_hop_labels), this is for
+    /// deterministic harnesses, not production traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` does not match the query kind, requires an index
+    /// that is not built (force the build first), or is
+    /// [`Plan::PqStanding`] — standing answers are served by the snapshot
+    /// layer (`Snapshot::run_query_profiled`), not the engine.
+    pub fn run_query_with_plan_profiled(
+        &self,
+        query: &Query,
+        plan: Plan,
+    ) -> (QueryOutput, rpq_trace::QueryProfile) {
+        let memo = ReachMemo::new();
+        let t0 = Instant::now();
+        let rationale = format!("plan {} forced by caller (test/bench surface)", plan.name());
+        self.profiled_run(query, plan, rationale, &memo, t0)
+    }
+
+    /// Shared profiled-evaluation core. Stages are contiguous
+    /// sub-intervals of one clock (`t0 → t1 → t2 → t3`), so their sum
+    /// equals the reported wall time exactly.
+    fn profiled_run(
+        &self,
+        query: &Query,
+        plan: Plan,
+        rationale: String,
+        memo: &ReachMemo,
+        t0: Instant,
+    ) -> (QueryOutput, rpq_trace::QueryProfile) {
+        let mut profile = rpq_trace::QueryProfile::new(
+            crate::explain::query_summary(query, &self.graph),
+            plan.name().to_owned(),
+            rationale,
+        );
+        let t1 = Instant::now();
+        profile.stage(
+            "plan",
+            t1 - t0,
+            format!(
+                "matrix_available={} hop_ready={} sharded_ready={}",
+                self.matrix_available(),
+                self.hop_ready(),
+                self.sharded_ready()
+            ),
+        );
+
+        let matrix_needed = plan_needs_matrix(plan);
+        if matrix_needed {
+            self.matrix();
+        }
+        let t2 = Instant::now();
+        profile.stage(
+            "prepare",
+            t2 - t1,
+            if matrix_needed {
+                "distance matrix ready".to_owned()
+            } else {
+                "no shared index to prepare".to_owned()
+            },
+        );
+
+        let (hits0, misses0) = memo.stats();
+        let workers = self.configured_workers();
+        let mut cached = CachedReach::new(self.config.reach_cache_capacity);
+        let (out, probes) = self.eval_one_profiled(query, plan, memo, &mut cached, workers);
+        let t3 = Instant::now();
+        let (hits1, misses1) = memo.stats();
+        profile.stage("eval", t3 - t2, format!("probes={probes}"));
+        profile.probes = probes;
+        profile.memo_hits = hits1 - hits0;
+        profile.memo_misses = misses1 - misses0;
+        profile.workers = workers;
+        profile.shard_fanout = match plan {
+            Plan::RqSharded | Plan::PqJoinSharded | Plan::PqSplitSharded => self
+                .sharded_labels()
+                .map_or(0, |l| l.sharded_graph().k() as u32),
+            _ => 0,
+        };
+        profile.matches = out.match_count() as u64;
+        profile.wall = t3 - t0;
+        self.note_if_slow(query, plan, t3 - t2);
+
+        let tracer = rpq_trace::tracer();
+        if tracer.enabled() {
+            tracer.record_span(
+                "engine",
+                "explain",
+                profile.wall,
+                &format!(
+                    "plan={} probes={probes} matches={}",
+                    plan.name(),
+                    profile.matches
+                ),
+            );
+        }
+        (out, profile)
+    }
+
+    /// [`eval_one`](QueryEngine::eval_one) with probe counting: index
+    /// backends are wrapped in a counting decorator that still delegates
+    /// to their optimized bulk implementations. Returns the output and
+    /// the number of distance probes issued (0 for plans that do not
+    /// probe an index — pure searches and the cached backend).
+    fn eval_one_profiled(
+        &self,
+        query: &Query,
+        plan: Plan,
+        memo: &ReachMemo,
+        cached: &mut CachedReach,
+        pq_workers: usize,
+    ) -> (QueryOutput, u64) {
+        use crate::explain::CountingProbe;
+        let g = self.graph.as_ref();
+        match (query, plan) {
+            (Query::Rq(rq), Plan::RqDm) => {
+                let m = self.matrix.get().expect("DM plan requires the matrix");
+                let p = CountingProbe::new(m);
+                let out = QueryOutput::Rq(rq.eval_with_dist(g, &p));
+                (out, p.probes())
+            }
+            (Query::Rq(rq), Plan::RqHop) => {
+                let labels = self.hop_labels().expect("hop plan requires built labels");
+                let p = CountingProbe::new(labels.as_ref());
+                let out = QueryOutput::Rq(rq.eval_with_dist(g, &p));
+                (out, p.probes())
+            }
+            (Query::Rq(rq), Plan::RqSharded) => {
+                let labels = self
+                    .sharded_labels()
+                    .expect("sharded plan requires built labels");
+                let p = CountingProbe::new(labels.as_ref());
+                let out = QueryOutput::Rq(rq.eval_with_dist(g, &p));
+                (out, p.probes())
+            }
+            (Query::Pq(pq), Plan::PqJoinMatrix | Plan::PqSplitMatrix) => {
+                let m = self.matrix.get().expect("DM plan requires the matrix");
+                let p = CountingProbe::new(m);
+                let out = Self::eval_pq_probed(pq, g, &p, plan, pq_workers);
+                (out, p.probes())
+            }
+            (Query::Pq(pq), Plan::PqJoinHop | Plan::PqSplitHop) => {
+                let labels = self.hop_labels().expect("hop plan requires built labels");
+                let p = CountingProbe::new(labels.as_ref());
+                let out = Self::eval_pq_probed(pq, g, &p, plan, pq_workers);
+                (out, p.probes())
+            }
+            (Query::Pq(pq), Plan::PqJoinSharded | Plan::PqSplitSharded) => {
+                let labels = self
+                    .sharded_labels()
+                    .expect("sharded plan requires built labels");
+                let p = CountingProbe::new(labels.as_ref());
+                let out = Self::eval_pq_probed(pq, g, &p, plan, pq_workers);
+                (out, p.probes())
+            }
+            // the remaining plans never touch a DistProbe backend: run
+            // them through the unprofiled path and report 0 probes
+            _ => (self.eval_one(query, plan, memo, cached, pq_workers), 0),
+        }
+    }
+
+    /// PQ evaluation over a counting probe, split/join chosen by plan.
+    fn eval_pq_probed<P: rpq_index::DistProbe + Sync + ?Sized>(
+        pq: &Pq,
+        g: &Graph,
+        probe: &P,
+        plan: Plan,
+        pq_workers: usize,
+    ) -> QueryOutput {
+        let mut reach = ProbeReach::with_workers(probe, pq_workers);
+        let result = match plan {
+            Plan::PqSplitMatrix | Plan::PqSplitHop | Plan::PqSplitSharded => {
+                SplitMatch::eval(pq, g, &mut reach)
+            }
+            _ => JoinMatch::eval(pq, g, &mut reach),
+        };
+        QueryOutput::Pq(Arc::new(result))
     }
 }
 

@@ -1,0 +1,100 @@
+//! Profiling support for the explain surface: a probe-counting
+//! [`DistProbe`] wrapper and compact query rendering.
+
+use crate::batch::Query;
+use rpq_graph::{Color, Graph, NodeId};
+use rpq_index::DistProbe;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`DistProbe`] decorator that counts probe calls while delegating
+/// every method to the wrapped backend — so the profiled path exercises
+/// the backend's own optimized implementations (e.g. the hop-label bulk
+/// `sources_reaching_within`), not the trait defaults.
+pub(crate) struct CountingProbe<'a, P: DistProbe + ?Sized> {
+    inner: &'a P,
+    probes: AtomicU64,
+}
+
+impl<'a, P: DistProbe + ?Sized> CountingProbe<'a, P> {
+    pub(crate) fn new(inner: &'a P) -> Self {
+        CountingProbe {
+            inner,
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    /// Probes issued so far.
+    pub(crate) fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+}
+
+impl<P: DistProbe + ?Sized> DistProbe for CountingProbe<'_, P> {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn dist(&self, from: NodeId, to: NodeId, color: Color) -> u16 {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.inner.dist(from, to, color)
+    }
+
+    fn for_each_within(&self, from: NodeId, color: Color, max: u16, f: &mut dyn FnMut(NodeId)) {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.inner.for_each_within(from, color, max, f)
+    }
+
+    fn has_cycle_within(
+        &self,
+        g: &Graph,
+        from: NodeId,
+        color: Color,
+        max_len: Option<u32>,
+    ) -> bool {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.inner.has_cycle_within(g, from, color, max_len)
+    }
+
+    fn reaches_within(
+        &self,
+        g: &Graph,
+        from: NodeId,
+        to: NodeId,
+        color: Color,
+        max_len: Option<u32>,
+    ) -> bool {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.inner.reaches_within(g, from, to, color, max_len)
+    }
+
+    fn sources_reaching_within(
+        &self,
+        g: &Graph,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        color: Color,
+        max_len: Option<u32>,
+    ) -> Vec<bool> {
+        self.probes
+            .fetch_add(sources.len() as u64, Ordering::Relaxed);
+        self.inner
+            .sources_reaching_within(g, sources, targets, color, max_len)
+    }
+}
+
+/// Compact, human-readable one-line rendering of a query for profiles
+/// and the slow-query log.
+pub(crate) fn query_summary(query: &Query, g: &Graph) -> String {
+    match query {
+        Query::Rq(rq) => format!(
+            "rq: {} -[{}]-> {}",
+            rq.from.display(g.schema()),
+            rq.regex.display(g.alphabet()),
+            rq.to.display(g.schema()),
+        ),
+        Query::Pq(pq) => {
+            let text = rpq_core::lang::format_pq(pq, g.schema(), g.alphabet());
+            format!("pq: {}", text.replace('\n', " "))
+        }
+    }
+}

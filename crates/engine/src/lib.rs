@@ -65,6 +65,7 @@
 mod batch;
 mod engine;
 mod error;
+mod explain;
 pub mod memo;
 pub mod planner;
 mod service;
@@ -81,3 +82,6 @@ pub use service::QueryService;
 pub use sharded::ShardedEngine;
 pub use snapshot::{IndexState, Snapshot};
 pub use updatable::{ApplyReport, IndexMaintenance, StandingId, UpdatableEngine};
+// the profile types live in rpq-trace (every layer records into it);
+// re-exported here because the engine's explain surface returns them
+pub use rpq_trace::{QueryProfile, StageTiming};

@@ -115,21 +115,62 @@ pub fn plan_rq(
     sharded_usable: bool,
     shared_in_batch: bool,
 ) -> Plan {
+    plan_rq_explain(
+        regex,
+        matrix_available,
+        hop_usable,
+        sharded_usable,
+        shared_in_batch,
+    )
+    .0
+}
+
+/// [`plan_rq`] plus the decision rationale (the explain/profile surface):
+/// which signal won and the values it saw at decision time.
+pub fn plan_rq_explain(
+    regex: &FRegex,
+    matrix_available: bool,
+    hop_usable: bool,
+    sharded_usable: bool,
+    shared_in_batch: bool,
+) -> (Plan, String) {
     if matrix_available {
-        Plan::RqDm
+        (
+            Plan::RqDm,
+            "distance matrix available: O(1) probes win".to_owned(),
+        )
     } else if hop_usable {
         // near-constant atom probes beat both the shared memo and search
-        Plan::RqHop
+        (
+            Plan::RqHop,
+            "no matrix; hop labels cover every probed color".to_owned(),
+        )
     } else if sharded_usable {
         // stitched label probes still beat every per-query search
-        Plan::RqSharded
+        (
+            Plan::RqSharded,
+            "no matrix or single index; sharded labels cover every probed color".to_owned(),
+        )
     } else if shared_in_batch {
         // the memo computes this reach set once for the whole batch
-        Plan::RqBfsMemo
+        (
+            Plan::RqBfsMemo,
+            "no index; (source, regex) key shared in batch — memoized BFS computes it once"
+                .to_owned(),
+        )
     } else if regex.atoms().len() >= 2 {
-        Plan::RqBiBfs
+        (
+            Plan::RqBiBfs,
+            format!(
+                "no index; {} atoms >= 2 — bidirectional search meets in the middle",
+                regex.atoms().len()
+            ),
+        )
     } else {
-        Plan::RqBfsMemo
+        (
+            Plan::RqBfsMemo,
+            "no index; single-atom regex gains nothing from bidirectionality".to_owned(),
+        )
     }
 }
 
@@ -190,14 +231,59 @@ pub fn plan_pq(
     sharded_usable: bool,
     split_crossover: usize,
 ) -> Plan {
+    plan_pq_explain(
+        pq,
+        matrix_available,
+        hop_usable,
+        sharded_usable,
+        split_crossover,
+    )
+    .0
+}
+
+/// [`plan_pq`] plus the decision rationale (the explain/profile surface),
+/// including the pattern-shape numbers and crossover value seen at
+/// decision time.
+pub fn plan_pq_explain(
+    pq: &Pq,
+    matrix_available: bool,
+    hop_usable: bool,
+    sharded_usable: bool,
+    split_crossover: usize,
+) -> (Plan, String) {
     let (size, cyclic) = pattern_shape(pq);
     let split = cyclic && size >= split_crossover;
     match (matrix_available, hop_usable, sharded_usable) {
-        (true, _, _) if split => Plan::PqSplitMatrix,
-        (true, _, _) => Plan::PqJoinMatrix,
-        (false, true, _) => Plan::PqJoinHop,
-        (false, false, true) => Plan::PqJoinSharded,
-        (false, false, false) => Plan::PqJoinCached,
+        (true, _, _) if split => (
+            Plan::PqSplitMatrix,
+            format!(
+                "matrix backend; cyclic pattern, normalized size {size} >= crossover \
+                 {split_crossover} — SplitMatch bounds per-round bookkeeping by blocks"
+            ),
+        ),
+        (true, _, _) => (
+            Plan::PqJoinMatrix,
+            format!(
+                "matrix backend; {} pattern, normalized size {size} (crossover \
+                 {split_crossover}) — JoinMatch's reverse-topological order wins",
+                if cyclic { "cyclic" } else { "acyclic" }
+            ),
+        ),
+        (false, true, _) => (
+            Plan::PqJoinHop,
+            format!(
+                "no matrix; hop labels cover every probed color — JoinMatch ahead of \
+                 split on label backends at every size (normalized size {size})"
+            ),
+        ),
+        (false, false, true) => (
+            Plan::PqJoinSharded,
+            "no matrix or single index; sharded labels cover every probed color".to_owned(),
+        ),
+        (false, false, false) => (
+            Plan::PqJoinCached,
+            "no usable index; LRU-cached bidirectional probes".to_owned(),
+        ),
     }
 }
 
@@ -215,10 +301,35 @@ pub fn plan_pq_live(
     sharded_usable: bool,
     split_crossover: usize,
 ) -> Plan {
+    plan_pq_live_explain(
+        pq,
+        is_standing,
+        matrix_available,
+        hop_usable,
+        sharded_usable,
+        split_crossover,
+    )
+    .0
+}
+
+/// [`plan_pq_live`] plus the decision rationale.
+pub fn plan_pq_live_explain(
+    pq: &Pq,
+    is_standing: bool,
+    matrix_available: bool,
+    hop_usable: bool,
+    sharded_usable: bool,
+    split_crossover: usize,
+) -> (Plan, String) {
     if is_standing {
-        Plan::PqStanding
+        (
+            Plan::PqStanding,
+            "pattern equals a registered standing query — answered from its \
+             incrementally maintained match sets, no evaluation"
+                .to_owned(),
+        )
     } else {
-        plan_pq(
+        plan_pq_explain(
             pq,
             matrix_available,
             hop_usable,

@@ -70,6 +70,31 @@ pub trait QueryService: Send + Sync {
 
     /// Evaluate a batch; outputs come back in submission order.
     fn run_batch(&self, queries: &[Query]) -> BatchResult;
+
+    /// Evaluate one query and return its execution profile — the
+    /// `explain` surface. The default implementation wraps
+    /// [`plan_query`](QueryService::plan_query) +
+    /// [`run_query`](QueryService::run_query) in a coarse two-stage
+    /// profile, so external implementors get a well-formed (if shallow)
+    /// profile for free; the in-tree engines override it with detailed
+    /// stage timings, rationale, probe counts, and fan-out.
+    fn run_query_profiled(&self, query: &Query) -> (QueryOutput, rpq_trace::QueryProfile) {
+        let t0 = std::time::Instant::now();
+        let plan = self.plan_query(query);
+        let mut profile = rpq_trace::QueryProfile::new(
+            String::new(),
+            plan.name().to_owned(),
+            "profiled through the QueryService default (no engine-level detail)".to_owned(),
+        );
+        let t1 = std::time::Instant::now();
+        profile.stage("plan", t1 - t0, String::new());
+        let out = self.run_query(query);
+        let t2 = std::time::Instant::now();
+        profile.stage("eval", t2 - t1, String::new());
+        profile.matches = out.match_count() as u64;
+        profile.wall = t2 - t0;
+        (out, profile)
+    }
 }
 
 impl QueryService for QueryEngine {
@@ -87,6 +112,10 @@ impl QueryService for QueryEngine {
 
     fn run_batch(&self, queries: &[Query]) -> BatchResult {
         QueryEngine::run_batch(self, queries)
+    }
+
+    fn run_query_profiled(&self, query: &Query) -> (QueryOutput, rpq_trace::QueryProfile) {
+        QueryEngine::run_query_profiled(self, query)
     }
 }
 
@@ -106,6 +135,10 @@ impl QueryService for Snapshot {
     fn run_batch(&self, queries: &[Query]) -> BatchResult {
         Snapshot::run_batch(self, queries)
     }
+
+    fn run_query_profiled(&self, query: &Query) -> (QueryOutput, rpq_trace::QueryProfile) {
+        Snapshot::run_query_profiled(self, query)
+    }
 }
 
 impl QueryService for ShardedEngine {
@@ -123,6 +156,10 @@ impl QueryService for ShardedEngine {
 
     fn run_batch(&self, queries: &[Query]) -> BatchResult {
         self.engine().run_batch(queries)
+    }
+
+    fn run_query_profiled(&self, query: &Query) -> (QueryOutput, rpq_trace::QueryProfile) {
+        self.engine().run_query_profiled(query)
     }
 }
 
@@ -145,6 +182,10 @@ impl QueryService for UpdatableEngine {
 
     fn run_batch(&self, queries: &[Query]) -> BatchResult {
         self.snapshot().run_batch(queries)
+    }
+
+    fn run_query_profiled(&self, query: &Query) -> (QueryOutput, rpq_trace::QueryProfile) {
+        self.snapshot().run_query_profiled(query)
     }
 }
 

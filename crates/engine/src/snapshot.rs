@@ -233,6 +233,56 @@ impl Snapshot {
         self.engine.run_query_with_memo(query, &self.memo)
     }
 
+    /// Evaluate one query with its execution profile (the snapshot's
+    /// explain surface). A PQ equal to a registered standing query is
+    /// served from the maintained match sets and profiled as a
+    /// [`Plan::PqStanding`] answer (one `standing-answer` stage covering
+    /// lazy assembly); everything else delegates to the engine's
+    /// detailed profiled path, planned with this snapshot's live state.
+    pub fn run_query_profiled(&self, query: &Query) -> (QueryOutput, rpq_trace::QueryProfile) {
+        if let Query::Pq(pq) = query {
+            if let Some(i) = self.standing_match(pq) {
+                let t0 = Instant::now();
+                let (plan, rationale) = planner::plan_pq_live_explain(
+                    pq,
+                    true,
+                    self.engine.matrix_available(),
+                    self.engine.hop_usable_for_pq(pq),
+                    self.engine.sharded_usable_for_pq(pq),
+                    self.engine.config().split_crossover,
+                );
+                let g = self.graph();
+                let mut profile = rpq_trace::QueryProfile::new(
+                    format!("standing pq #{i} (version {})", self.version),
+                    plan.name().to_owned(),
+                    rationale,
+                );
+                let t1 = Instant::now();
+                profile.stage(
+                    "plan",
+                    t1 - t0,
+                    "matched registered standing query".to_owned(),
+                );
+                let assembled = self.standing[i].cell.get().is_some();
+                let output = QueryOutput::Pq(self.standing[i].answer(g));
+                let t2 = Instant::now();
+                profile.stage(
+                    "standing-answer",
+                    t2 - t1,
+                    if assembled {
+                        "answer already assembled for this version".to_owned()
+                    } else {
+                        "assembled from maintained match sets (first read)".to_owned()
+                    },
+                );
+                profile.matches = output.match_count() as u64;
+                profile.wall = t2 - t0;
+                return (output, profile);
+            }
+        }
+        self.engine.run_query_profiled_with_memo(query, &self.memo)
+    }
+
     /// Evaluate a batch against this snapshot. Identical to
     /// [`QueryEngine::run_batch`] except that
     ///
@@ -275,6 +325,7 @@ impl Snapshot {
                         output,
                         plan: Plan::PqStanding,
                         time: t.elapsed(),
+                        profile: None,
                     }
                 }
                 None => rest_items

@@ -90,6 +90,17 @@ pub struct IndexMaintenance {
     pub shards_touched: usize,
     /// Wall-clock time of the carry/repair step (zero when nothing ran).
     pub repair_time: Duration,
+    /// Per-phase wall-clock breakdown of the whole `apply` call, in
+    /// execution order: `validate` (whole-batch precondition checks),
+    /// `apply` (dynamic-graph rebuild), `standing` (incremental standing
+    /// matcher maintenance), `carry` (index carry/repair — equals
+    /// [`repair_time`](IndexMaintenance::repair_time)), `publish`
+    /// (snapshot construction and the `Arc` swap) — followed by the carry
+    /// step's inner repair phases when a repair ran (`invalidate` /
+    /// `re-bfs` for the hop index, `scatter` / `overlay` for the sharded
+    /// one). Empty for a no-op batch. The server exports these as
+    /// `rpq_repair_phase_seconds_total{phase=...}`.
+    pub phases: Vec<(&'static str, Duration)>,
 }
 
 impl Default for IndexMaintenance {
@@ -102,6 +113,7 @@ impl Default for IndexMaintenance {
             landmarks_invalidated: 0,
             shards_touched: 0,
             repair_time: Duration::ZERO,
+            phases: Vec::new(),
         }
     }
 }
@@ -271,6 +283,7 @@ impl UpdatableEngine {
     pub fn apply(&self, updates: &[Update]) -> Result<ApplyReport, EngineError> {
         let mut writer = self.writer.lock().expect("writer lock poisoned");
         let state = &mut *writer;
+        let t0 = Instant::now();
         let node_count = state.dynamic.graph_arc().node_count();
         for update in updates {
             let (u, v, color) = match *update {
@@ -288,6 +301,7 @@ impl UpdatableEngine {
                 return Err(EngineError::WildcardEdge);
             }
         }
+        let t_validated = Instant::now();
         let effective = state.dynamic.apply(updates);
         if effective.is_empty() {
             let snapshot = self.snapshot();
@@ -301,6 +315,7 @@ impl UpdatableEngine {
                 snapshot,
             });
         }
+        let t_applied = Instant::now();
         for matcher in &mut state.matchers {
             matcher.on_update(&state.dynamic, &effective);
         }
@@ -311,6 +326,7 @@ impl UpdatableEngine {
             .iter()
             .map(|m| StandingEntry::new(m.pq().clone(), m.match_sets().to_vec()))
             .collect();
+        let t_standing = Instant::now();
         let new_graph = state.dynamic.graph_arc();
         let engine = Arc::new(QueryEngine::with_config(
             Arc::clone(&new_graph),
@@ -325,7 +341,7 @@ impl UpdatableEngine {
             })
             .collect();
         let prev = self.snapshot();
-        let index = carry_index(
+        let mut index = carry_index(
             &prev,
             &engine,
             &new_graph,
@@ -333,6 +349,7 @@ impl UpdatableEngine {
             &self.config,
             &mut state.drift,
         );
+        let t_carried = Instant::now();
         let snapshot = Arc::new(Snapshot::new(
             state.dynamic.version(),
             engine,
@@ -349,6 +366,35 @@ impl UpdatableEngine {
         // keep their (correct) search fallback, new readers get the new
         // version, so abort the stale build instead of finishing it
         superseded.engine().retire_index_builds();
+        let t_published = Instant::now();
+        // the carry step's own inner phases (invalidate/re-bfs, or
+        // scatter/overlay) come after the five top-level ones
+        let inner = std::mem::take(&mut index.phases);
+        index.phases = vec![
+            ("validate", t_validated - t0),
+            ("apply", t_applied - t_validated),
+            ("standing", t_standing - t_applied),
+            ("carry", t_carried - t_standing),
+            ("publish", t_published - t_carried),
+        ];
+        index.phases.extend(inner);
+        let tracer = rpq_trace::tracer();
+        if tracer.enabled() {
+            tracer.record_span(
+                "apply",
+                "publish",
+                t_published - t0,
+                &format!(
+                    "version={} applied={} state={:?} carried={} repaired={} rebuilt={}",
+                    snapshot.version(),
+                    effective.len(),
+                    index.state,
+                    index.labels_carried,
+                    index.labels_repaired,
+                    index.labels_rebuilt,
+                ),
+            );
+        }
         Ok(ApplyReport {
             version: snapshot.version(),
             applied: effective.len(),
@@ -407,15 +453,23 @@ fn carry_index(
     if let Some(hop) = prev.engine().hop_labels() {
         let landmarks = hop.node_count();
         let limit = (landmarks / HOP_REPAIR_LIMIT_DIVISOR).max(1);
-        if let Ok(rep) = hop.repair(new_graph, changes, config.hop_label_budget, limit, None) {
-            m.state = IndexState::Repaired;
-            m.landmarks_invalidated = rep.landmarks_invalidated;
-            m.labels_repaired = rep.landmarks_invalidated;
-            m.labels_carried = landmarks - rep.landmarks_invalidated;
-            next_engine.adopt_hop_labels(Arc::new(rep.labels));
+        match hop.repair(new_graph, changes, config.hop_label_budget, limit, None) {
+            Ok(rep) => {
+                m.state = IndexState::Repaired;
+                m.landmarks_invalidated = rep.landmarks_invalidated;
+                m.labels_repaired = rep.landmarks_invalidated;
+                m.labels_carried = landmarks - rep.landmarks_invalidated;
+                m.phases = rep.phases;
+                next_engine.adopt_hop_labels(Arc::new(rep.labels));
+            }
+            // RepairTooBroad / OverBudget: keep the Rebuilding verdict —
+            // the new engine's background build takes over
+            Err(e) => rpq_trace::tracer().event(
+                "apply",
+                "carry-fallback",
+                &format!("hop repair declined, background rebuild takes over: {e}"),
+            ),
         }
-        // RepairTooBroad / OverBudget: keep the Rebuilding verdict — the
-        // new engine's background build takes over
     } else if let Some(sl) = prev.engine().sharded_labels() {
         let old_sg = sl.sharded_graph();
         let k = old_sg.k();
@@ -460,14 +514,31 @@ fn carry_index(
                 wildcard_layer: true,
                 build_workers: 0,
             };
-            if let Ok(rep) = sl.repair(Arc::new(new_sg), changes, &rebuild_shards, &scfg, None) {
-                m.state = IndexState::Repaired;
-                m.labels_carried = rep.shards_carried;
-                m.labels_repaired = rep.shards_repaired;
-                m.labels_rebuilt = rep.shards_rebuilt;
-                m.landmarks_invalidated = rep.landmarks_invalidated;
-                next_engine.adopt_sharded_labels(Arc::new(rep.labels));
+            match sl.repair(Arc::new(new_sg), changes, &rebuild_shards, &scfg, None) {
+                Ok(rep) => {
+                    m.state = IndexState::Repaired;
+                    m.labels_carried = rep.shards_carried;
+                    m.labels_repaired = rep.shards_repaired;
+                    m.labels_rebuilt = rep.shards_rebuilt;
+                    m.landmarks_invalidated = rep.landmarks_invalidated;
+                    m.phases = rep.phases;
+                    next_engine.adopt_sharded_labels(Arc::new(rep.labels));
+                }
+                Err(e) => rpq_trace::tracer().event(
+                    "apply",
+                    "carry-fallback",
+                    &format!("sharded repair declined, background rebuild takes over: {e}"),
+                ),
             }
+        } else {
+            rpq_trace::tracer().event(
+                "apply",
+                "carry-fallback",
+                &format!(
+                    "{}/{k} shards touched — majority reworked, background rebuild takes over",
+                    m.shards_touched
+                ),
+            );
         }
         // a majority of shards touched, or an over-budget repair: keep
         // the Rebuilding verdict and let the background build take over

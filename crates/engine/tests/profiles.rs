@@ -1,0 +1,202 @@
+//! Plan-coverage suite for the explain surface: every [`Plan`] variant
+//! must yield a well-formed [`QueryProfile`] — named stages with nonzero
+//! spans, stage timings that sum to the profile's wall time (within 10%),
+//! a rationale, and an output identical to the unprofiled path.
+
+use rpq_engine::{EngineConfig, Plan, Query, QueryEngine, QueryProfile, UpdatableEngine};
+use rpq_graph::gen::essembly;
+use rpq_graph::Graph;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rq(g: &Graph) -> Query {
+    Query::parse_rq(
+        "job = \"biologist\" && sp = \"cloning\"",
+        "job = \"doctor\"",
+        "fa^2 fn",
+        g,
+    )
+    .unwrap()
+}
+
+fn pq(g: &Graph) -> Query {
+    Query::parse_pq("node a: job = \"doctor\"; node b; edge a -> b: fn+", g).unwrap()
+}
+
+/// The matrix-regime engine (default config on a small graph).
+fn matrix_engine() -> QueryEngine {
+    QueryEngine::new(Arc::new(essembly()))
+}
+
+/// A label-regime engine: matrix disabled, single hop index forced.
+fn hop_engine() -> QueryEngine {
+    let config = EngineConfig::builder()
+        .matrix_node_limit(0)
+        .build()
+        .unwrap();
+    let engine = QueryEngine::with_config(Arc::new(essembly()), config);
+    engine.force_hop_labels().expect("unbudgeted build fits");
+    engine
+}
+
+/// A sharded-regime engine: matrix and single hop index disabled.
+fn sharded_engine() -> QueryEngine {
+    let config = EngineConfig::builder()
+        .matrix_node_limit(0)
+        .hop_label_budget(0)
+        .shards(2)
+        .build()
+        .unwrap();
+    let engine = QueryEngine::with_config(Arc::new(essembly()), config);
+    engine
+        .force_sharded_labels()
+        .expect("unbudgeted build fits");
+    engine
+}
+
+/// The well-formedness contract every profile must satisfy.
+fn assert_well_formed(profile: &QueryProfile, plan: Plan) {
+    assert_eq!(profile.plan, plan.name(), "profile names the driven plan");
+    assert!(
+        !profile.rationale.is_empty(),
+        "{}: profile carries a rationale",
+        plan.name()
+    );
+    assert!(
+        profile.stages.len() >= 2,
+        "{}: at least plan + eval stages, got {}",
+        plan.name(),
+        profile.stages.len()
+    );
+    for stage in &profile.stages {
+        assert!(!stage.name.is_empty());
+    }
+    let last = profile.stages.last().unwrap();
+    assert!(
+        last.duration > Duration::ZERO,
+        "{}: the evaluation stage span must be nonzero",
+        plan.name()
+    );
+    assert!(profile.wall > Duration::ZERO);
+    // stage timings are contiguous sub-intervals of one clock, so their
+    // sum must land within 10% of the reported wall time
+    let sum = profile.stage_total().as_secs_f64();
+    let wall = profile.wall.as_secs_f64();
+    assert!(
+        (sum - wall).abs() <= 0.1 * wall,
+        "{}: stage sum {sum}s vs wall {wall}s drifts past 10%",
+        plan.name()
+    );
+    let json = profile.to_json();
+    assert!(json.contains(&format!("\"plan\":\"{}\"", plan.name())));
+}
+
+/// Force `plan` on `engine`, check well-formedness and output parity
+/// against the engine's own planner-chosen evaluation.
+fn drive(engine: &QueryEngine, query: &Query, plan: Plan) -> QueryProfile {
+    let (out, profile) = engine.run_query_with_plan_profiled(query, plan);
+    assert_well_formed(&profile, plan);
+    assert_eq!(
+        out,
+        engine.run_query(query),
+        "{}: profiled output must equal the unprofiled path",
+        plan.name()
+    );
+    assert_eq!(profile.matches, out.match_count() as u64);
+    profile
+}
+
+#[test]
+fn matrix_backed_plans_profile_with_probe_counts() {
+    let engine = matrix_engine();
+    let g = engine.graph();
+    {
+        let plan = Plan::RqDm;
+        let p = drive(&engine, &rq(g), plan);
+        assert!(p.probes > 0, "{}: DM evaluation must probe", plan.name());
+    }
+    for plan in [Plan::PqJoinMatrix, Plan::PqSplitMatrix] {
+        let p = drive(&engine, &pq(g), plan);
+        assert!(p.probes > 0, "{}: DM evaluation must probe", plan.name());
+    }
+}
+
+#[test]
+fn search_and_cached_plans_profile_without_probes() {
+    let engine = matrix_engine();
+    let g = engine.graph();
+    for plan in [Plan::RqBiBfs, Plan::RqBfsMemo] {
+        let p = drive(&engine, &rq(g), plan);
+        assert_eq!(p.probes, 0, "{}: searches probe no index", plan.name());
+    }
+    for plan in [Plan::PqJoinCached, Plan::PqSplitCached] {
+        let p = drive(&engine, &pq(g), plan);
+        assert_eq!(
+            p.probes,
+            0,
+            "{}: cached backend probes no index",
+            plan.name()
+        );
+    }
+}
+
+#[test]
+fn hop_backed_plans_profile_with_probe_counts() {
+    let engine = hop_engine();
+    let g = engine.graph();
+    let p = drive(&engine, &rq(g), Plan::RqHop);
+    assert!(p.probes > 0);
+    for plan in [Plan::PqJoinHop, Plan::PqSplitHop] {
+        let p = drive(&engine, &pq(g), plan);
+        assert!(p.probes > 0, "{}: hop evaluation must probe", plan.name());
+    }
+}
+
+#[test]
+fn sharded_plans_profile_with_fanout() {
+    let engine = sharded_engine();
+    let g = engine.graph();
+    for (query, plan) in [
+        (rq(g), Plan::RqSharded),
+        (pq(g), Plan::PqJoinSharded),
+        (pq(g), Plan::PqSplitSharded),
+    ] {
+        let p = drive(&engine, &query, plan);
+        assert!(
+            p.probes > 0,
+            "{}: sharded evaluation must probe",
+            plan.name()
+        );
+        assert_eq!(p.shard_fanout, 2, "{}: fan-out = shard count", plan.name());
+    }
+}
+
+#[test]
+fn standing_plan_profiles_through_the_snapshot() {
+    let engine = UpdatableEngine::new(essembly());
+    let g = engine.snapshot().graph().clone();
+    let Query::Pq(pattern) = pq(&g) else {
+        unreachable!()
+    };
+    engine.register_pq(pattern.clone());
+    let snapshot = engine.snapshot();
+    let (out, profile) = snapshot.run_query_profiled(&Query::Pq(pattern.clone()));
+    assert_well_formed(&profile, Plan::PqStanding);
+    assert_eq!(out, snapshot.run_query(&Query::Pq(pattern)));
+}
+
+#[test]
+fn planner_path_profiles_with_planner_rationale() {
+    let engine = matrix_engine();
+    let g = engine.graph();
+    let query = rq(g);
+    let (out, profile) = engine.run_query_profiled(&query);
+    assert_eq!(out.match_count(), 4, "paper Example 2.2 ground truth");
+    assert_eq!(profile.plan, engine.plan_query(&query).name());
+    assert!(
+        profile.rationale.contains("matrix"),
+        "planner rationale explains the signal: {}",
+        profile.rationale
+    );
+    assert!(profile.query.starts_with("rq: "), "{}", profile.query);
+}

@@ -41,6 +41,7 @@ use rpq_graph::{Color, Graph, NodeId, INFINITY};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// Distances saturate one below [`INFINITY`], mirroring
 /// [`bfs_distances`](rpq_graph::algo::bfs_distances).
@@ -258,6 +259,7 @@ impl HopLabels {
             config.landmarks.min(n)
         };
 
+        let t0 = Instant::now();
         // Landmark order: wildcard SCC size first (nodes inside a giant
         // component lie on the most shortest paths), then total degree.
         let (comp_of, comps) = condensation(n, |v| {
@@ -271,27 +273,59 @@ impl HopLabels {
             (std::cmp::Reverse(scc), std::cmp::Reverse(deg), v)
         });
 
+        let tracer = rpq_trace::tracer();
+        tracer.record_span(
+            "index",
+            "hop-rank",
+            t0.elapsed(),
+            &format!("nodes={n} sccs={}", comps.len()),
+        );
+
         let mut builder = LayerBuilder::new(g, &order, landmarks);
         let mut layers: Vec<Option<Layer>> = Vec::with_capacity(m + 1);
         let mut bytes_so_far = 0usize;
         for c in 0..m {
+            let tl = Instant::now();
             // a concrete layer over budget fails the whole build: typical
             // queries need every concrete color to be coverable
             let layer =
                 builder.build_layer(Color(c as u8), config.budget_bytes, bytes_so_far, cancel)?;
+            tracer.record_span(
+                "index",
+                "hop-layer",
+                tl.elapsed(),
+                &format!("color={c} bytes={}", layer.bytes()),
+            );
             bytes_so_far += layer.bytes();
             layers.push(Some(layer));
         }
         if config.wildcard_layer {
+            let tl = Instant::now();
             match builder.build_layer(
                 rpq_graph::WILDCARD,
                 config.budget_bytes,
                 bytes_so_far,
                 cancel,
             ) {
-                Ok(layer) => layers.push(Some(layer)),
+                Ok(layer) => {
+                    tracer.record_span(
+                        "index",
+                        "hop-layer",
+                        tl.elapsed(),
+                        &format!("color=_ bytes={}", layer.bytes()),
+                    );
+                    layers.push(Some(layer));
+                }
                 // graceful degradation: keep concrete coverage, drop `_`
-                Err(HopBuildError::OverBudget { .. }) => layers.push(None),
+                Err(HopBuildError::OverBudget { .. }) => {
+                    tracer.record_span(
+                        "index",
+                        "hop-layer",
+                        tl.elapsed(),
+                        "color=_ dropped: over budget",
+                    );
+                    layers.push(None);
+                }
                 Err(e) => return Err(e),
             }
         } else {
@@ -362,6 +396,7 @@ impl HopLabels {
 
         // Phase 1: affected landmark set per layer, and the total up front
         // so the cost model can bail before any BFS runs.
+        let t0 = Instant::now();
         let mut affected: Vec<Option<Vec<bool>>> = Vec::with_capacity(self.layers.len());
         let mut invalidated = 0usize;
         for (li, layer) in self.layers.iter().enumerate() {
@@ -392,6 +427,7 @@ impl HopLabels {
 
         // Phase 2: per touched layer, strip the affected ranks and re-run
         // exactly those landmarks on the new graph.
+        let t_invalidated = Instant::now();
         let mut builder = LayerBuilder::new(g, &self.order, self.landmarks);
         let mut layers: Vec<Option<Layer>> = Vec::with_capacity(self.layers.len());
         let mut bytes_so_far = 0usize;
@@ -425,6 +461,20 @@ impl HopLabels {
             }
         }
 
+        let t_rebuilt = Instant::now();
+        let phases = vec![
+            ("invalidate", t_invalidated - t0),
+            ("re-bfs", t_rebuilt - t_invalidated),
+        ];
+        let tracer = rpq_trace::tracer();
+        if tracer.enabled() {
+            tracer.record_span(
+                "index",
+                "hop-repair",
+                t_rebuilt - t0,
+                &format!("invalidated={invalidated}/{} landmarks", self.landmarks),
+            );
+        }
         Ok(HopRepair {
             labels: HopLabels {
                 n: self.n,
@@ -435,6 +485,7 @@ impl HopLabels {
                 order: self.order.clone(),
             },
             landmarks_invalidated: invalidated,
+            phases,
         })
     }
 
@@ -648,6 +699,11 @@ pub struct HopRepair {
     /// means every label was carried verbatim (the changes touched no
     /// landmark tree of any built layer).
     pub landmarks_invalidated: usize,
+    /// Wall-clock phase breakdown: `invalidate` (affected-landmark
+    /// marking across layers, before any BFS) and `re-bfs` (stripping and
+    /// re-running the affected landmarks). The live-update layer bubbles
+    /// these into its `IndexMaintenance::phases` accounting.
+    pub phases: Vec<(&'static str, Duration)>,
 }
 
 /// Per-hub minima over a weighted entry set — see

@@ -54,6 +54,7 @@ use crate::probe::DistProbe;
 use rpq_graph::{Color, Graph, NodeId, ShardedGraph, INFINITY, WILDCARD};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const DIST_CAP: u16 = u16::MAX - 1;
 
@@ -452,6 +453,7 @@ impl ShardedLabels {
         } else {
             config.build_workers.max(1)
         };
+        let t0 = Instant::now();
         let mut results: Vec<Option<Result<ShardResult, HopBuildError>>> =
             (0..k).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -478,6 +480,7 @@ impl ShardedLabels {
                                     rebuilt: false,
                                 }),
                                 Action::Repair => {
+                                    let ts = Instant::now();
                                     let shard_g = new_sharded.shard(s);
                                     let limit = (old[s].node_count() / 2).max(1);
                                     match old[s].repair(
@@ -487,12 +490,23 @@ impl ShardedLabels {
                                         limit,
                                         cancel,
                                     ) {
-                                        Ok(r) => Ok(ShardResult {
-                                            labels: Arc::new(r.labels),
-                                            invalidated: r.landmarks_invalidated,
-                                            repaired: true,
-                                            rebuilt: false,
-                                        }),
+                                        Ok(r) => {
+                                            rpq_trace::tracer().record_span(
+                                                "index",
+                                                "shard-repair",
+                                                ts.elapsed(),
+                                                &format!(
+                                                    "shard={s} invalidated={}",
+                                                    r.landmarks_invalidated
+                                                ),
+                                            );
+                                            Ok(ShardResult {
+                                                labels: Arc::new(r.labels),
+                                                invalidated: r.landmarks_invalidated,
+                                                repaired: true,
+                                                rebuilt: false,
+                                            })
+                                        }
                                         // over half the shard's landmarks are
                                         // dirty, or the repaired labels outgrew
                                         // the budget a freshly pruned build
@@ -511,12 +525,21 @@ impl ShardedLabels {
                                     }
                                 }
                                 Action::Rebuild => {
+                                    let ts = Instant::now();
                                     HopLabels::build_with(new_sharded.shard(s), hop_config, cancel)
-                                        .map(|l| ShardResult {
-                                            labels: Arc::new(l),
-                                            invalidated: 0,
-                                            repaired: false,
-                                            rebuilt: true,
+                                        .map(|l| {
+                                            rpq_trace::tracer().record_span(
+                                                "index",
+                                                "shard-rebuild",
+                                                ts.elapsed(),
+                                                &format!("shard={s} bytes={}", l.bytes()),
+                                            );
+                                            ShardResult {
+                                                labels: Arc::new(l),
+                                                invalidated: 0,
+                                                repaired: false,
+                                                rebuilt: true,
+                                            }
                                         })
                                 }
                             });
@@ -537,6 +560,7 @@ impl ShardedLabels {
         // closure rows are reusable only where nothing underneath moved:
         // same labels *and* the same boundary list (a cross-shard insert
         // can promote a node to boundary in an otherwise untouched shard)
+        let t_scattered = Instant::now();
         let reusable: Vec<bool> = (0..k)
             .map(|s| {
                 action[s] == Action::Carry
@@ -558,6 +582,19 @@ impl ShardedLabels {
             cancel,
         )?;
 
+        let t_overlaid = Instant::now();
+        let tracer = rpq_trace::tracer();
+        if tracer.enabled() {
+            tracer.record_span(
+                "index",
+                "sharded-repair",
+                t_overlaid - t0,
+                &format!(
+                    "carried={} repaired={repaired} rebuilt={rebuilt} invalidated={invalidated}",
+                    k - repaired - rebuilt
+                ),
+            );
+        }
         Ok(ShardedRepair {
             labels: ShardedLabels {
                 n: self.n,
@@ -571,6 +608,10 @@ impl ShardedLabels {
             shards_repaired: repaired,
             shards_rebuilt: rebuilt,
             landmarks_invalidated: invalidated,
+            phases: vec![
+                ("scatter", t_scattered - t0),
+                ("overlay", t_overlaid - t_scattered),
+            ],
         })
     }
 
@@ -679,6 +720,11 @@ pub struct ShardedRepair {
     pub shards_rebuilt: usize,
     /// Landmarks re-run across all repaired shards.
     pub landmarks_invalidated: usize,
+    /// Wall-clock phase breakdown: `scatter` (per-shard carry / repair /
+    /// rebuild across the worker set) and `overlay` (cut-edge + boundary
+    /// closure relabeling). The live-update layer bubbles these into its
+    /// `IndexMaintenance::phases` accounting.
+    pub phases: Vec<(&'static str, Duration)>,
 }
 
 fn cancelled(cancel: Option<&AtomicBool>) -> bool {

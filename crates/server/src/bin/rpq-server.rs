@@ -3,6 +3,7 @@
 //! ```text
 //! rpq-server [ADDR] [--gen N [--seed S]] [--graph FILE]
 //!            [--queue N] [--window-ms MS] [--matrix-limit N]
+//!            [--no-trace] [--slow-query-us US]
 //! ```
 //!
 //! With `--graph`, the file is read in the edge-list format of
@@ -29,6 +30,8 @@ fn main() {
     let mut graph_file: Option<String> = None;
     let mut config = ServerConfig::default();
     let mut matrix_limit: Option<usize> = None;
+    let mut trace = true;
+    let mut slow_query_us = 0u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,10 +70,17 @@ fn main() {
                         .unwrap_or_else(|_| fail("--matrix-limit expects a node count")),
                 )
             }
+            "--no-trace" => trace = false,
+            "--slow-query-us" => {
+                slow_query_us = value("--slow-query-us")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--slow-query-us expects microseconds"))
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: rpq-server [ADDR] [--gen N] [--seed S] [--graph FILE] \
-                     [--queue N] [--window-ms MS] [--matrix-limit N]"
+                     [--queue N] [--window-ms MS] [--matrix-limit N] \
+                     [--no-trace] [--slow-query-us US]"
                 );
                 return;
             }
@@ -96,13 +106,17 @@ fn main() {
         graph.alphabet().len()
     );
 
-    let engine_config = match matrix_limit {
-        Some(limit) => EngineConfig::builder()
-            .matrix_node_limit(limit)
-            .build()
-            .unwrap_or_else(|e| fail(&format!("bad engine config: {e}"))),
-        None => EngineConfig::default(),
-    };
+    // the serving binary runs with the trace ring on by default: the
+    // per-event cost is one relaxed-atomic sequence plus a ring slot, and
+    // /debug/trace is only useful when something was recorded
+    rpq_trace::tracer().set_enabled(trace);
+    let mut builder = EngineConfig::builder().slow_query_us(slow_query_us);
+    if let Some(limit) = matrix_limit {
+        builder = builder.matrix_node_limit(limit);
+    }
+    let engine_config = builder
+        .build()
+        .unwrap_or_else(|e| fail(&format!("bad engine config: {e}")));
     let engine = Arc::new(UpdatableEngine::with_config(graph, engine_config));
 
     let server =

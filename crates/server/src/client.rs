@@ -63,8 +63,21 @@ impl Client {
 
     /// Send one request, read one response.
     pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<WireResponse> {
+        self.request_accept(method, path, body, None)
+    }
+
+    /// Send one request with an explicit `Accept` header (content
+    /// negotiation on `/metrics`), read one response.
+    pub fn request_accept(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        accept: Option<&str>,
+    ) -> io::Result<WireResponse> {
+        let accept = accept.map_or(String::new(), |a| format!("Accept: {a}\r\n"));
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: rpq\r\nContent-Length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: rpq\r\n{accept}Content-Length: {}\r\n\r\n",
             body.len()
         );
         self.writer.write_all(head.as_bytes())?;
@@ -96,11 +109,30 @@ impl Client {
         self.request("POST", "/v1/update", &wire::encode_updates(updates, graph))
     }
 
-    /// Scrape `/metrics` as parsed JSON.
+    /// Scrape `/metrics` as parsed JSON (sends `Accept:
+    /// application/json`; the server's default exposition is Prometheus
+    /// text).
     pub fn metrics(&mut self) -> io::Result<Json> {
-        let resp = self.request("GET", "/metrics", "")?;
+        let resp = self.request_accept("GET", "/metrics", "", Some("application/json"))?;
         Json::parse(&resp.body)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Scrape `/metrics` in its default Prometheus text exposition.
+    pub fn metrics_prometheus(&mut self) -> io::Result<String> {
+        Ok(self.request("GET", "/metrics", "")?.body)
+    }
+
+    /// Profile a query batch through `POST /v1/explain`: one
+    /// `QueryProfile` JSON object per line.
+    pub fn explain(&mut self, queries: &[Query], graph: &Graph) -> io::Result<WireResponse> {
+        self.request("POST", "/v1/explain", &wire::encode_queries(queries, graph))
+    }
+
+    /// Dump the server's trace ring (`GET /debug/trace`), one JSON event
+    /// per line, oldest first.
+    pub fn debug_trace(&mut self) -> io::Result<String> {
+        Ok(self.request("GET", "/debug/trace", "")?.body)
     }
 
     /// Fetch `/v1/schema` as parsed JSON.

@@ -157,6 +157,16 @@ impl Response {
         }
     }
 
+    /// A response with an explicit content type (Prometheus text
+    /// exposition, trace JSON-lines).
+    pub fn text(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), content_type.into())],
+            body: body.into(),
+        }
+    }
+
     /// The standard error shape: `{"error": "<msg>"}`.
     pub fn error(status: u16, msg: &str) -> Self {
         Response::json(

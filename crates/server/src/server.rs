@@ -83,6 +83,9 @@ const RETRY_AFTER_SECS: u32 = 1;
 struct Pending {
     queries: Vec<Query>,
     reply: mpsc::SyncSender<Answer>,
+    /// When the connection thread pushed this submission — the coalescer
+    /// derives the queue-wait trace span from the oldest one in a drain.
+    submitted: Instant,
 }
 
 struct Answer {
@@ -329,19 +332,48 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
 
 fn coalescer_loop(shared: &Shared) {
     let cfg = &shared.config;
+    let tracer = rpq_trace::tracer();
     while let Some(batch) = shared
         .queue
         .pop_coalesced(cfg.coalesce_max.max(1), cfg.coalesce_window)
     {
+        let drained = Instant::now();
         let mut all = Vec::with_capacity(batch.iter().map(|p| p.queries.len()).sum());
         for p in &batch {
             all.extend_from_slice(&p.queries);
         }
         let snapshot = shared.engine.snapshot();
         let result = run_on_service(snapshot.as_ref(), &all);
+        let executed = Instant::now();
+        // per-plan-variant evaluation latency (worker wall time, not
+        // request time — isolates engine cost from queueing)
+        for item in result.items() {
+            shared
+                .metrics
+                .plan_histogram(item.plan.name())
+                .record(item.time.as_micros() as u64);
+        }
         let version = snapshot.version();
+        // queue-wait and execute are recorded *before* the replies go
+        // out, so a client that got its answer is guaranteed to see its
+        // batch's spans in /debug/trace
+        if tracer.enabled() {
+            let oldest = batch.iter().map(|p| p.submitted).min().unwrap_or(drained);
+            tracer.record_span(
+                "server",
+                "queue-wait",
+                drained - oldest,
+                &format!("submissions={} queries={}", batch.len(), all.len()),
+            );
+            tracer.record_span(
+                "server",
+                "execute",
+                executed - drained,
+                &format!("queries={} version={version}", all.len()),
+            );
+        }
         let mut offset = 0;
-        for p in batch {
+        for p in &batch {
             let items = &result.items()[offset..offset + p.queries.len()];
             offset += p.queries.len();
             // a receiver that gave up (timeout, dead connection) is fine
@@ -349,6 +381,14 @@ fn coalescer_loop(shared: &Shared) {
                 body: wire::encode_items(items),
                 version,
             });
+        }
+        if tracer.enabled() {
+            tracer.record_span(
+                "server",
+                "serialize",
+                executed.elapsed(),
+                &format!("responses={}", batch.len()),
+            );
         }
     }
 }
@@ -401,8 +441,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 fn dispatch(req: &Request, shared: &Shared) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/query") => handle_query(req, shared),
+        ("POST", "/v1/explain") => handle_explain(req, shared),
         ("POST", "/v1/update") => handle_update(req, shared),
-        ("GET", "/metrics") => handle_metrics(shared),
+        ("GET", "/metrics") => handle_metrics(req, shared),
+        ("GET", "/debug/trace") => handle_trace(),
         ("GET", "/v1/schema") => handle_schema(shared),
         ("POST", "/v1/shutdown") => {
             signal_shutdown(shared);
@@ -434,7 +476,11 @@ fn handle_query(req: &Request, shared: &Shared) -> Response {
     }
 
     let (tx, rx) = mpsc::sync_channel(1);
-    let pending = Pending { queries, reply: tx };
+    let pending = Pending {
+        queries,
+        reply: tx,
+        submitted: started,
+    };
     if shared.queue.try_push(pending).is_err() {
         shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
         return Response::error(429, "admission queue full")
@@ -518,17 +564,76 @@ fn index_bytes(snapshot: &Snapshot) -> u64 {
     bytes
 }
 
-fn handle_metrics(shared: &Shared) -> Response {
+/// `POST /v1/explain` — same wire body as `/v1/query`, but every query
+/// runs through the profiled path and the response is one
+/// [`QueryProfile`](rpq_trace::QueryProfile) JSON object per line instead
+/// of answers. Explain bypasses the admission queue: it is a diagnostic
+/// read against the current snapshot, not throughput traffic, and its
+/// profiles should not be distorted by coalescing with the hot path.
+fn handle_explain(req: &Request, shared: &Shared) -> Response {
+    let Some(body) = req.body_str() else {
+        return Response::error(400, "body is not valid utf-8");
+    };
+    let started = Instant::now();
     let snapshot = shared.engine.snapshot();
-    Response::json(
+    let queries = match wire::parse_query_body(body, snapshot.graph()) {
+        Ok(q) => q,
+        Err(e) => return engine_error_response(&e),
+    };
+    let mut out = String::new();
+    for query in &queries {
+        let (_, profile) = snapshot.run_query_profiled(query);
+        out.push_str(&profile.to_json());
+        out.push('\n');
+    }
+    shared
+        .metrics
+        .latency
+        .record(started.elapsed().as_micros() as u64);
+    shared
+        .metrics
+        .queries
+        .fetch_add(queries.len() as u64, Ordering::Relaxed);
+    shared
+        .metrics
+        .query_requests
+        .fetch_add(1, Ordering::Relaxed);
+    Response::json(200, out).with_header("X-Rpq-Version", snapshot.version())
+}
+
+/// `GET /debug/trace` — the process tracer's ring buffer as JSON lines,
+/// oldest first. Empty body when tracing is disabled or nothing has been
+/// recorded yet.
+fn handle_trace() -> Response {
+    Response::text(
         200,
-        shared.metrics.render(
-            shared.queue.depth(),
-            snapshot.version(),
-            index_bytes(&snapshot),
-            snapshot.index_state().as_str(),
-        ),
+        "application/x-ndjson",
+        rpq_trace::tracer().to_json_lines(),
     )
+}
+
+/// `GET /metrics`, content-negotiated: Prometheus text exposition by
+/// default, the legacy JSON document under `Accept: application/json`.
+fn handle_metrics(req: &Request, shared: &Shared) -> Response {
+    let snapshot = shared.engine.snapshot();
+    let depth = shared.queue.depth();
+    let version = snapshot.version();
+    let bytes = index_bytes(&snapshot);
+    let state = snapshot.index_state().as_str();
+    let wants_json = req
+        .header("accept")
+        .is_some_and(|a| a.contains("application/json"));
+    if wants_json {
+        Response::json(200, shared.metrics.render(depth, version, bytes, state))
+    } else {
+        Response::text(
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared
+                .metrics
+                .render_prometheus(depth, version, bytes, state),
+        )
+    }
 }
 
 fn handle_schema(shared: &Shared) -> Response {

@@ -303,3 +303,88 @@ fn wire_shutdown_unblocks_wait() {
         .join()
         .expect("wait() must return after wire shutdown");
 }
+
+/// `POST /v1/explain` returns one well-formed profile JSON object per
+/// query line, without disturbing the query path's answers.
+#[test]
+fn explain_endpoint_profiles_every_query() {
+    let (_engine, server, graph) = start(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let queries = mixed_queries(&graph, 5, 17);
+    let resp = client.explain(&queries, &graph).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let lines: Vec<&str> = resp.body.lines().collect();
+    assert_eq!(lines.len(), queries.len(), "one profile per query");
+    for line in &lines {
+        let profile = rpq_server::json::Json::parse(line).expect("profile line is JSON");
+        assert!(profile.get("plan").unwrap().as_str().is_some());
+        assert!(!profile
+            .get("stages")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        assert!(profile.get("wall_us").unwrap().as_u64().is_some());
+    }
+    // explained traffic counts as served queries
+    let m = client.metrics().unwrap();
+    assert_eq!(m.get("queries").unwrap().as_u64(), Some(5));
+    server.shutdown();
+}
+
+/// `/metrics` defaults to Prometheus text exposition (which must
+/// round-trip the crate's own parser) and still serves the legacy JSON
+/// under `Accept: application/json`; `/debug/trace` yields JSON lines
+/// once tracing is on.
+#[test]
+fn prometheus_exposition_and_trace_ring_round_trip() {
+    rpq_trace::tracer().set_enabled(true);
+    let (_engine, server, graph) = start(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    assert_eq!(
+        client
+            .query(&mixed_queries(&graph, 4, 23), &graph)
+            .unwrap()
+            .status,
+        200
+    );
+
+    let text = client.metrics_prometheus().unwrap();
+    let samples =
+        rpq_server::metrics::parse_prometheus_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    let get = |series: &str| {
+        samples
+            .iter()
+            .find(|(s, _)| s == series)
+            .unwrap_or_else(|| panic!("missing {series} in:\n{text}"))
+            .1
+    };
+    assert_eq!(get("rpq_queries_total"), 4.0);
+    assert_eq!(get("rpq_request_latency_seconds_count"), 1.0);
+    assert!(get("rpq_uptime_seconds") > 0.0);
+    // the coalescer recorded per-plan evaluation latency
+    assert!(
+        samples
+            .iter()
+            .any(|(s, _)| s.starts_with("rpq_plan_latency_seconds{plan=")),
+        "no per-plan summary in:\n{text}"
+    );
+
+    // the JSON document is still there under content negotiation
+    let m = client.metrics().unwrap();
+    assert_eq!(m.get("queries").unwrap().as_u64(), Some(4));
+
+    // the trace ring captured server spans; every line is valid JSON
+    let trace = client.debug_trace().unwrap();
+    assert!(!trace.is_empty(), "tracing enabled but ring is empty");
+    for line in trace.lines() {
+        rpq_server::json::Json::parse(line).expect("trace line is JSON");
+    }
+    assert!(
+        trace.lines().any(|l| l.contains("\"scope\":\"server\"")),
+        "no server-scope span in:\n{trace}"
+    );
+    server.shutdown();
+}

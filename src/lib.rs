@@ -17,6 +17,11 @@
 //!   their evaluation algorithms (`JoinMatch`, `SplitMatch`, matrix and
 //!   bi-directional-BFS backends), static analyses (containment,
 //!   equivalence, minimization) and the paper's baselines,
+//! * [`trace`] — dependency-free structured tracing and per-query
+//!   profiling: a process-wide [`Tracer`](prelude::Tracer) (ring-buffered
+//!   span/event log, one relaxed atomic load when disabled) and the
+//!   [`QueryProfile`](prelude::QueryProfile) EXPLAIN surface every
+//!   engine layer can emit,
 //! * [`engine`] — the serving layer: a
 //!   [`QueryEngine`](prelude::QueryEngine) that owns a shared graph,
 //!   plans a strategy per query, and evaluates
@@ -128,6 +133,7 @@ pub use rpq_engine as engine;
 pub use rpq_graph as graph;
 pub use rpq_index as index;
 pub use rpq_regex as regex;
+pub use rpq_trace as trace;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -155,4 +161,5 @@ pub mod prelude {
         DistProbe, HopConfig, HopLabels, HopStats, ShardedConfig, ShardedLabels, ShardedStats,
     };
     pub use rpq_regex::{FRegex, GRegex};
+    pub use rpq_trace::{tracer, QueryProfile, StageTiming, TraceEvent, Tracer};
 }
