@@ -1,0 +1,258 @@
+//! Benchmark: the semantic subsumption cache under skewed many-user
+//! traffic — a Zipfian query mix where popular queries arrive respelled
+//! (syntactic variants of one language) and narrowed (stricter source
+//! predicates), the redundancy pattern ROADMAP item 2 targets.
+//!
+//! The uncached baseline runs every batch on a throwaway memo (in-batch
+//! exact sharing only, the pre-semantic-cache behavior); the cached run
+//! reuses one engine-lifetime [`SemanticMemo`] across batches, so
+//! repeats exact-hit, respellings unify on canonical keys, and narrowed
+//! queries are answered by filtering cached reach sets. Answers are
+//! asserted bit-identical before anything is timed, the warm cached
+//! pass is asserted faster than the uncached baseline, and the semantic
+//! hit rate of non-cold traffic is asserted past 50%. With
+//! `BENCH_JSON_DIR` set, medians land in `BENCH_semcache.json` together
+//! with the hit-rate context.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpq_core::predicate::Predicate;
+use rpq_core::rq::Rq;
+use rpq_engine::{EngineConfig, Query, QueryEngine, SemanticMemo};
+use rpq_graph::gen::clustered;
+use rpq_graph::Graph;
+use rpq_regex::canon::runs;
+use rpq_regex::{Atom, FRegex, Quant};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NODES: usize = 8_000;
+const EDGES: usize = 28_000;
+const POOL: usize = 12;
+const BATCH: usize = 96;
+const ZIPF_S: f64 = 1.1;
+
+/// Respell a regex into a syntactic variant of the same language: each
+/// maximal same-color run keeps its (min, max) interval but moves the
+/// quantifier slack to a picked position.
+fn respell(re: &FRegex, rng: &mut StdRng) -> FRegex {
+    let mut atoms = Vec::new();
+    for run in runs(re) {
+        let n = run.min as usize;
+        let pos = rng.gen_range(0..n);
+        let tail = match run.max {
+            None => Quant::Plus,
+            Some(m) => {
+                let slack = (m - run.min as u64) as u32;
+                if slack == 0 {
+                    Quant::One
+                } else {
+                    Quant::AtMost(slack + 1)
+                }
+            }
+        };
+        for j in 0..n {
+            atoms.push(Atom::new(
+                run.color,
+                if j == pos { tail } else { Quant::One },
+            ));
+        }
+    }
+    FRegex::new(atoms)
+}
+
+/// The base query pool — the "popular queries" the Zipfian mix repeats.
+/// Each entry keeps its source-predicate text so the workload can
+/// derive narrowed (conjunct-appended) forms.
+fn base_pool(g: &Graph) -> Vec<(Rq, String)> {
+    let regexes = [
+        "c0^3", "c1^2 c0", "c0 c1^3", "c2^2 c1", "c0+", "c1^4", "c2 c0^2", "c1 c2^2", "c0^2 c2",
+        "c2+", "c0 c1 c0", "c1^3 c2",
+    ];
+    (0..POOL)
+        .map(|i| {
+            let from = format!("a0 <= {}", 4 + i % 4);
+            let to = format!("a1 >= {}", i % 3);
+            let rq = Rq::new(
+                Predicate::parse(&from, g.schema()).unwrap(),
+                Predicate::parse(&to, g.schema()).unwrap(),
+                FRegex::parse(regexes[i % regexes.len()], g.alphabet()).unwrap(),
+            );
+            (rq, from)
+        })
+        .collect()
+}
+
+/// A Zipf(s)-distributed batch over the pool. With probability
+/// `variant_rate` a sampled query arrives *respelled*; a third of the
+/// variants additionally arrive with a *narrowed* source predicate (a
+/// conjunct appended), exercising the containment path.
+fn zipf_workload(g: &Graph, pool: &[(Rq, String)], variant_rate: f64, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (1..=pool.len())
+        .map(|r| 1.0 / (r as f64).powf(ZIPF_S))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(BATCH);
+    for _ in 0..BATCH {
+        let mut u = rng.gen::<f64>() * total;
+        let mut idx = 0;
+        for (i, w) in weights.iter().enumerate() {
+            if u < *w {
+                idx = i;
+                break;
+            }
+            u -= w;
+        }
+        let (base, from_text) = &pool[idx];
+        let mut rq = base.clone();
+        if variant_rate > 0.0 && rng.gen_bool(variant_rate) {
+            rq.regex = respell(&rq.regex, &mut rng);
+            if rng.gen_range(0..3) == 0 {
+                let narrowed = format!("{from_text} && a1 <= 7");
+                rq.from = Predicate::parse(&narrowed, g.schema()).unwrap();
+            }
+        }
+        out.push(Query::Rq(rq));
+    }
+    out
+}
+
+fn median_of(mut xs: Vec<Duration>) -> Duration {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn bench_semcache(c: &mut Criterion) {
+    let g = Arc::new(clustered(NODES, EDGES, 8, 2, 3, 3, 7));
+    let engine = QueryEngine::with_config(
+        Arc::clone(&g),
+        EngineConfig::builder()
+            .workers(1)
+            .matrix_node_limit(0)
+            .hop_label_budget(64 << 20)
+            .build()
+            .unwrap(),
+    );
+    engine.force_hop_labels().expect("fits the budget");
+    criterion::report_context("graph_nodes", g.node_count());
+    criterion::report_context("graph_edges", g.edge_count());
+    criterion::report_context("pool", POOL);
+    criterion::report_context("batch", BATCH);
+    criterion::report_context("zipf_s", format!("{ZIPF_S}"));
+
+    let pool = base_pool(&g);
+    let queries = zipf_workload(&g, &pool, 0.6, 3);
+
+    // parity gate: the cached run must be bit-identical to the uncached
+    // baseline before anything is timed
+    let memo = SemanticMemo::persistent();
+    let uncached_out = engine.run_batch(&queries);
+    let cached_out = engine.run_batch_with_memo(&queries, &memo);
+    for (i, (u, s)) in uncached_out
+        .items()
+        .iter()
+        .zip(cached_out.items())
+        .enumerate()
+    {
+        assert_eq!(u.output, s.output, "query {i} diverged cached vs uncached");
+    }
+    let warm_out = engine.run_batch_with_memo(&queries, &memo);
+    for (i, (u, s)) in uncached_out
+        .items()
+        .iter()
+        .zip(warm_out.items())
+        .enumerate()
+    {
+        assert_eq!(u.output, s.output, "query {i} diverged on the warm pass");
+    }
+
+    // hit-rate acceptance: every miss is cold (compulsory) traffic, so
+    // hits/total over the replayed workload bounds the non-cold hit rate
+    // from below — it must clear the 50% floor
+    let stats = memo.semantic_stats();
+    let total = stats.hits() + stats.misses;
+    let hit_rate = stats.hits() as f64 / total.max(1) as f64;
+    println!(
+        "semcache: {} lookups, {} exact + {} subsumption hits, {} cold misses ({} cached keys) — {:.1}% served semantically",
+        total,
+        stats.exact_hits,
+        stats.subsumption_hits,
+        stats.misses,
+        memo.len(),
+        100.0 * hit_rate
+    );
+    assert!(
+        hit_rate > 0.5,
+        "semantic hit rate {:.2} below the 50% acceptance floor",
+        hit_rate
+    );
+    criterion::report_context("exact_hits", stats.exact_hits);
+    criterion::report_context("subsumption_hits", stats.subsumption_hits);
+    criterion::report_context("misses", stats.misses);
+    criterion::report_context("cached_keys", memo.len());
+    criterion::report_context("hit_rate", format!("{hit_rate:.4}"));
+
+    // latency acceptance: median warm cached batch beats the uncached
+    // baseline
+    let runs_each = 5;
+    let uncached_med = median_of(
+        (0..runs_each)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(engine.run_batch(&queries));
+                t.elapsed()
+            })
+            .collect(),
+    );
+    let cached_med = median_of(
+        (0..runs_each)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(engine.run_batch_with_memo(&queries, &memo));
+                t.elapsed()
+            })
+            .collect(),
+    );
+    println!(
+        "semcache: batch median {:.2?} uncached vs {:.2?} warm cached ({:.1}x)",
+        uncached_med,
+        cached_med,
+        uncached_med.as_secs_f64() / cached_med.as_secs_f64().max(1e-9),
+    );
+    assert!(
+        cached_med < uncached_med,
+        "warm cached batch ({cached_med:?}) must beat the uncached baseline ({uncached_med:?})"
+    );
+    criterion::report_context("uncached_median_us", uncached_med.as_micros() as u64);
+    criterion::report_context("cached_median_us", cached_med.as_micros() as u64);
+
+    // variant-rate sweep: how the hit mix shifts as more of the traffic
+    // arrives respelled/narrowed
+    let mut group = c.benchmark_group("semcache");
+    group.sample_size(10);
+    for rate in [0u32, 30, 60] {
+        let sweep = zipf_workload(&g, &pool, rate as f64 / 100.0, 17 + rate as u64);
+        let sweep_memo = SemanticMemo::persistent();
+        engine.run_batch_with_memo(&sweep, &sweep_memo); // warm it
+        group.bench_with_input(
+            BenchmarkId::new(format!("batch96_cached_v{rate}"), NODES),
+            &sweep,
+            |b, qs| b.iter(|| black_box(engine.run_batch_with_memo(qs, &sweep_memo))),
+        );
+        let s = sweep_memo.semantic_stats();
+        criterion::report_context(&format!("v{rate}_exact_hits"), s.exact_hits);
+        criterion::report_context(&format!("v{rate}_subsumption_hits"), s.subsumption_hits);
+    }
+    group.bench_with_input(
+        BenchmarkId::new("batch96_uncached", NODES),
+        &queries,
+        |b, qs| b.iter(|| black_box(engine.run_batch(qs))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_semcache);
+criterion_main!(benches);

@@ -21,6 +21,17 @@ pub fn rq_equivalent(a: &Rq, b: &Rq) -> bool {
     rq_contained_in(a, b) && rq_contained_in(b, a)
 }
 
+/// RQ containment with the run-level regex fast path of
+/// [`rpq_regex::canon`]: strictly more complete than [`rq_contained_in`]
+/// (it additionally accepts containments the atom-aligned scan is blind
+/// to, such as `a a ⊑ a^2`), still sound and linear-time. This is the
+/// decider the engine's subsumption cache probes with.
+pub fn rq_contained_in_fast(a: &Rq, b: &Rq) -> bool {
+    a.from.implies(&b.from)
+        && a.to.implies(&b.to)
+        && rpq_regex::canon::contains_fast(&a.regex, &b.regex)
+}
+
 /// PQ containment `a ⊑ b` (Lemma 3.1: `a ⊑ b` iff `b ⊴ a`).
 pub fn pq_contained_in(a: &Pq, b: &Pq) -> bool {
     revised_similar(b, a)

@@ -15,12 +15,15 @@
 //! * [`split_match`] — the split-based PQ algorithm, Fig. 8 (§5.2)
 //! * [`simulation`] — revised query-to-query similarity (§3.1)
 //! * [`contain`] — containment and equivalence of RQs/PQs (§3.1)
+//! * [`canonical`] — run-normal canonical forms and pattern isomorphism,
+//!   the keys of the engine's semantic cache and standing-query dedup
 //! * [`mod@minimize`] — the cubic-time `minPQs` minimization, Fig. 6 (§3.2)
 //! * [`baseline`] — `SubIso` and bounded-simulation `Match` baselines (§6)
 //! * [`incremental`] — standing-query maintenance under graph updates
 //!   (the §7 future-work direction)
 
 pub mod baseline;
+pub mod canonical;
 pub mod contain;
 pub mod grq;
 pub mod incremental;
@@ -34,7 +37,10 @@ pub mod rq;
 pub mod simulation;
 pub mod split_match;
 
-pub use contain::{pq_contained_in, pq_equivalent, rq_contained_in, rq_equivalent};
+pub use canonical::{canonical_pq, canonical_rq, pq_isomorphism, pq_same_shape, standing_form};
+pub use contain::{
+    pq_contained_in, pq_equivalent, rq_contained_in, rq_contained_in_fast, rq_equivalent,
+};
 pub use grq::GRq;
 pub use incremental::{DynamicGraph, IncrementalMatcher, Update};
 pub use join_match::JoinMatch;

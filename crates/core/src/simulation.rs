@@ -19,14 +19,18 @@
 //! By Lemma 3.1, `Q1 ⊑ Q2` (containment) iff `Q2 ⊴ Q1`.
 
 use crate::pq::Pq;
-use rpq_regex::contain::contains_scan;
+use rpq_regex::canon::contains_fast;
 use rpq_regex::FRegex;
 
 /// `e' ⊨ e` — the edge-constraint containment `L(f_{e'}) ⊆ L(f_e)`, decided
-/// by the paper's linear scan.
+/// by the paper's linear scan extended with the run-level interval check
+/// of [`rpq_regex::canon`] (still sound and linear; additionally sees
+/// containments across respelled same-color runs such as `a a ⊨ a^2`, so
+/// similarity — and everything built on it: containment, equivalence,
+/// minimization — identifies syntactic variants of one language).
 #[inline]
 pub fn edge_entails(e_prime: &FRegex, e: &FRegex) -> bool {
-    contains_scan(e_prime, e)
+    contains_fast(e_prime, e)
 }
 
 /// The maximum relation `Sr ⊆ V1 × V2` satisfying condition (1) of the

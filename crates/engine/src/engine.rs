@@ -5,12 +5,14 @@ use crate::batch::{BatchItem, BatchResult, Query, QueryOutput};
 use crate::error::ConfigError;
 use crate::memo::ReachMemo;
 use crate::planner::{self, Plan};
+use rpq_core::canonical::{canonical_pq, canonical_rq};
 use rpq_core::join_match::JoinMatch;
 use rpq_core::pq::Pq;
+use rpq_core::predicate::Predicate;
 use rpq_core::reach::{CachedReach, ProbeReach};
-use rpq_core::rq::RqResult;
+use rpq_core::rq::{Rq, RqResult};
 use rpq_core::split_match::SplitMatch;
-use rpq_graph::{DistanceMatrix, Graph};
+use rpq_graph::{DistanceMatrix, Graph, NodeId};
 use rpq_index::{HopConfig, HopLabels, ShardedConfig, ShardedLabels};
 use rpq_regex::FRegex;
 use std::collections::HashMap;
@@ -634,6 +636,8 @@ impl QueryEngine {
     /// snapshot layer passes a snapshot-lifetime memo so repeated keys are
     /// shared across batches, not just within one).
     pub fn run_query_with_memo(&self, query: &Query, memo: &ReachMemo) -> QueryOutput {
+        let canon = canonical_query(query);
+        let query = &canon;
         if !self.matrix_available() {
             self.ensure_hop_build();
             // no-op unless the single-index path is disabled or has
@@ -671,6 +675,13 @@ impl QueryEngine {
         if queries.is_empty() {
             return BatchResult::new(Vec::new(), t0.elapsed(), 0, (0, 0));
         }
+
+        // minimize-before-plan: every query is rewritten into its
+        // run-normal canonical form (shape- and answer-preserving), so
+        // syntactic variants of one language share a memo key, a plan,
+        // and — below — one reach-set computation
+        let queries: Vec<Query> = queries.iter().map(canonical_query).collect();
+        let queries = queries.as_slice();
 
         // batch-shape analysis: RQ keys that repeat share one reach set
         let mut key_count: HashMap<_, u32> = HashMap::new();
@@ -796,20 +807,34 @@ impl QueryEngine {
         let g = self.graph.as_ref();
         match (query, plan) {
             (Query::Rq(rq), Plan::RqDm) => {
+                if let Some(hits) = self.memo_served(g, rq, memo) {
+                    return QueryOutput::Rq(RqResult::from_pairs(hits));
+                }
                 let m = self.matrix.get().expect("DM plan requires the matrix");
-                QueryOutput::Rq(rq.eval_with_matrix(g, m))
+                QueryOutput::Rq(Self::rq_indexed(g, rq, m, memo))
             }
             (Query::Rq(rq), Plan::RqHop) => {
+                if let Some(hits) = self.memo_served(g, rq, memo) {
+                    return QueryOutput::Rq(RqResult::from_pairs(hits));
+                }
                 let labels = self.hop_labels().expect("hop plan requires built labels");
-                QueryOutput::Rq(rq.eval_with_dist(g, labels.as_ref()))
+                QueryOutput::Rq(Self::rq_indexed(g, rq, labels.as_ref(), memo))
             }
             (Query::Rq(rq), Plan::RqSharded) => {
+                if let Some(hits) = self.memo_served(g, rq, memo) {
+                    return QueryOutput::Rq(RqResult::from_pairs(hits));
+                }
                 let labels = self
                     .sharded_labels()
                     .expect("sharded plan requires built labels");
-                QueryOutput::Rq(rq.eval_with_dist(g, labels.as_ref()))
+                QueryOutput::Rq(Self::rq_indexed(g, rq, labels.as_ref(), memo))
             }
-            (Query::Rq(rq), Plan::RqBiBfs) => QueryOutput::Rq(rq.eval_bibfs(g)),
+            (Query::Rq(rq), Plan::RqBiBfs) => {
+                if let Some(hits) = self.memo_served(g, rq, memo) {
+                    return QueryOutput::Rq(RqResult::from_pairs(hits));
+                }
+                QueryOutput::Rq(rq.eval_bibfs(g))
+            }
             (Query::Rq(rq), Plan::RqBfsMemo) => {
                 let pairs = memo.reach_pairs(g, &rq.from, &rq.regex);
                 let hits = pairs
@@ -863,6 +888,52 @@ impl QueryEngine {
                 unreachable!("planner assigned a {plan:?} plan to a mismatched query kind")
             }
         }
+    }
+
+    /// Semantic-cache probe for index-backed and search RQ plans: a
+    /// completed exact cell or a containing cached entry answers —
+    /// filtered down by the query's target predicate — without touching
+    /// the index; a cold cache costs one lookup and falls through to the
+    /// plan's own backend ([`SemanticMemo::try_answer`](crate::memo::SemanticMemo::try_answer)
+    /// never blocks on in-flight computations).
+    fn memo_served(&self, g: &Graph, rq: &Rq, memo: &ReachMemo) -> Option<Vec<(NodeId, NodeId)>> {
+        let (pairs, _kind) = memo.try_answer(g, &rq.from, &rq.regex)?;
+        Some(
+            pairs
+                .iter()
+                .filter(|&&(_, y)| rq.to.matches(g.attrs(y)))
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// Index-backed RQ evaluation after a declined cache probe. Against
+    /// a [`persistent`](crate::memo::SemanticMemo::persistent) memo (the
+    /// sharded engine's, a snapshot's) the key's *full* reach set is
+    /// computed through the index — target predicate widened to `true`,
+    /// trading the backward-pruning pass for a reusable cache entry —
+    /// installed via [`insert`](crate::memo::SemanticMemo::insert), and
+    /// filtered down to the query's targets; the next exact or contained
+    /// query on the key is a cache hit. Throwaway per-call memos skip
+    /// the wider evaluation and run the query directly.
+    fn rq_indexed<D: rpq_index::DistProbe + ?Sized>(
+        g: &Graph,
+        rq: &Rq,
+        probe: &D,
+        memo: &ReachMemo,
+    ) -> RqResult {
+        if !memo.populates_on_miss() {
+            return rq.eval_with_dist(g, probe);
+        }
+        let wide = Rq::new(rq.from.clone(), Predicate::always_true(), rq.regex.clone());
+        let pairs = memo.insert(&rq.from, &rq.regex, wide.eval_with_dist(g, probe).pairs());
+        RqResult::from_pairs(
+            pairs
+                .iter()
+                .filter(|&&(_, y)| rq.to.matches(g.attrs(y)))
+                .copied()
+                .collect(),
+        )
     }
 
     /// Slow-query log hook: with a nonzero
@@ -981,6 +1052,13 @@ impl QueryEngine {
             plan.name().to_owned(),
             rationale,
         );
+        // minimize-before-plan, reported: evaluate the canonical form and
+        // surface it in the profile when it differs from the submission
+        let canon = canonical_query(query);
+        if canon != *query {
+            profile.canonical = crate::explain::query_summary(&canon, &self.graph);
+        }
+        let query = &canon;
         let t1 = Instant::now();
         profile.stage(
             "plan",
@@ -1008,16 +1086,32 @@ impl QueryEngine {
             },
         );
 
+        let s0 = memo.semantic_stats();
         let (hits0, misses0) = memo.stats();
         let workers = self.configured_workers();
         let mut cached = CachedReach::new(self.config.reach_cache_capacity);
         let (out, probes) = self.eval_one_profiled(query, plan, memo, &mut cached, workers);
         let t3 = Instant::now();
         let (hits1, misses1) = memo.stats();
+        let s1 = memo.semantic_stats();
         profile.stage("eval", t3 - t2, format!("probes={probes}"));
         profile.probes = probes;
         profile.memo_hits = hits1 - hits0;
         profile.memo_misses = misses1 - misses0;
+        // one query ran: at most one semantic-cache event moved (under
+        // concurrent batches sharing the memo this is approximate, like
+        // the hit/miss deltas above)
+        profile.semcache = if s1.exact_hits > s0.exact_hits {
+            "exact_hit"
+        } else if s1.subsumption_hits > s0.subsumption_hits {
+            "subsumption_hit"
+        } else if s1.misses > s0.misses {
+            "miss"
+        } else {
+            // the plan never consulted the cache (PQ backends)
+            ""
+        }
+        .to_owned();
         profile.workers = workers;
         profile.shard_fanout = match plan {
             Plan::RqSharded | Plan::PqJoinSharded | Plan::PqSplitSharded => self
@@ -1060,17 +1154,24 @@ impl QueryEngine {
     ) -> (QueryOutput, u64) {
         use crate::explain::CountingProbe;
         let g = self.graph.as_ref();
+        // index-backed RQ plans consult the semantic cache first, exactly
+        // like the unprofiled path — a served answer reports 0 probes
+        if let (Query::Rq(rq), Plan::RqDm | Plan::RqHop | Plan::RqSharded) = (query, plan) {
+            if let Some(hits) = self.memo_served(g, rq, memo) {
+                return (QueryOutput::Rq(RqResult::from_pairs(hits)), 0);
+            }
+        }
         match (query, plan) {
             (Query::Rq(rq), Plan::RqDm) => {
                 let m = self.matrix.get().expect("DM plan requires the matrix");
                 let p = CountingProbe::new(m);
-                let out = QueryOutput::Rq(rq.eval_with_dist(g, &p));
+                let out = QueryOutput::Rq(Self::rq_indexed(g, rq, &p, memo));
                 (out, p.probes())
             }
             (Query::Rq(rq), Plan::RqHop) => {
                 let labels = self.hop_labels().expect("hop plan requires built labels");
                 let p = CountingProbe::new(labels.as_ref());
-                let out = QueryOutput::Rq(rq.eval_with_dist(g, &p));
+                let out = QueryOutput::Rq(Self::rq_indexed(g, rq, &p, memo));
                 (out, p.probes())
             }
             (Query::Rq(rq), Plan::RqSharded) => {
@@ -1078,7 +1179,7 @@ impl QueryEngine {
                     .sharded_labels()
                     .expect("sharded plan requires built labels");
                 let p = CountingProbe::new(labels.as_ref());
-                let out = QueryOutput::Rq(rq.eval_with_dist(g, &p));
+                let out = QueryOutput::Rq(Self::rq_indexed(g, rq, &p, memo));
                 (out, p.probes())
             }
             (Query::Pq(pq), Plan::PqJoinMatrix | Plan::PqSplitMatrix) => {
@@ -1139,6 +1240,17 @@ impl Drop for QueryEngine {
 
 fn plan_needs_matrix(plan: Plan) -> bool {
     matches!(plan, Plan::RqDm | Plan::PqJoinMatrix | Plan::PqSplitMatrix)
+}
+
+/// The query with every regex in run-normal canonical form
+/// ([`rpq_core::canonical`]) — shape- and answer-preserving, so outputs
+/// are bit-identical to evaluating the submitted spelling, but every
+/// syntactic variant of one language keys the same memo cell and plan.
+fn canonical_query(query: &Query) -> Query {
+    match query {
+        Query::Rq(rq) => Query::Rq(canonical_rq(rq)),
+        Query::Pq(pq) => Query::Pq(canonical_pq(pq)),
+    }
 }
 
 #[cfg(test)]

@@ -14,9 +14,14 @@
 //!   cached backend for PQs (backend by index availability, algorithm
 //!   by pattern shape) — replacing the hard-picked strategy calls in
 //!   `rpq_core::rq`;
-//! * a concurrent [`memo`] table keyed on `(source predicate, regex)`
-//!   shares product-automaton reach sets, so a reach set probed by many
-//!   queries in a batch is computed exactly once;
+//! * a concurrent semantic [`memo`] table keyed on `(source predicate,
+//!   canonical regex)` shares product-automaton reach sets: queries are
+//!   rewritten into run-normal canonical form before planning so
+//!   syntactic variants share one cell, and on an exact miss the
+//!   [`SemanticMemo`] looks for a cached *containing* entry
+//!   (wider predicate or containing regex) and derives the answer by
+//!   filtering/re-verifying the cached reach set instead of
+//!   re-traversing the graph;
 //! * [`BatchResult`] carries per-query outputs, chosen plans and timings
 //!   for the bench harness;
 //! * [`ShardedEngine`] serves graphs past any single-index budget: the
@@ -76,7 +81,7 @@ mod updatable;
 pub use batch::{BatchItem, BatchResult, Query, QueryOutput};
 pub use engine::{EngineConfig, EngineConfigBuilder, QueryEngine};
 pub use error::{ConfigError, EngineError};
-pub use memo::ReachMemo;
+pub use memo::{CacheKind, ReachMemo, SemanticMemo, SemanticStats};
 pub use planner::Plan;
 pub use service::QueryService;
 pub use sharded::ShardedEngine;

@@ -1,93 +1,487 @@
-//! Concurrent batch-scoped memo table for product-automaton reach sets.
+//! Concurrent semantic memo for product-automaton reach sets: exact
+//! sharing plus containment-driven reuse.
 //!
 //! RQ evaluation by forward product search does one
 //! [`product_reach_set`] per candidate
 //! source — work that depends only on the query's *source predicate* and
 //! *regex*, not on its target predicate. Batches of real traffic repeat
-//! those keys constantly (many queries differ only in the target side), so
-//! the engine shares one table per batch: the first worker to need a key
-//! computes the full `(source, reachable)` pair set, every later worker —
-//! on any thread — gets the `Arc` for free.
+//! those keys constantly, and — at many-users scale — repeat them in
+//! *syntactic variants* and in *subsumed* forms (ROADMAP item 2). The
+//! [`SemanticMemo`] turns all three kinds of redundancy into cache hits:
+//!
+//! 1. **Canonical keys.** Every regex is keyed by its run-normal form
+//!    ([`rpq_regex::canon::canonicalize`]), so `a^2 a` and `a a^2` share
+//!    one cell, one computation, one `Arc`.
+//! 2. **Exact sharing** (the original `ReachMemo` contract): the first
+//!    worker to need a key computes the full `(source, reachable)` pair
+//!    set; every later worker gets the `Arc` for free.
+//! 3. **Containment answering.** On an exact miss the memo consults a
+//!    candidate index — completed cells bucketed by regex *skeleton*
+//!    (run-color sequence) — for a cached entry whose predicate/regex
+//!    *contains* the probe (`Predicate::implies` +
+//!    [`rpq_regex::canon::contains_fast`]). A hit is answered by
+//!    filtering the cached pair set instead of re-traversing the graph:
+//!    an equal-language donor needs only a source-predicate filter; a
+//!    strictly-containing donor additionally re-verifies each surviving
+//!    source with the probe's (tighter) automaton — still skipping the
+//!    full `matches_of` scan and every source the donor already proved
+//!    unreachable. The derived set is inserted as a first-class cell, so
+//!    repeats of the narrow query exact-hit from then on.
+//!
+//! Completed cells are bounded by an LRU byte budget; eviction removes a
+//! cell from the table and the candidate index while outstanding `Arc`s
+//! keep served answers alive. Invalidation is by construction: the
+//! updatable engine publishes a fresh memo with every snapshot version
+//! (the PR 7 repair path), so no stale pair set survives a write.
 //!
 //! Concurrency scheme: a mutex-guarded map from key to a per-key
-//! `OnceLock` cell. The map lock is held only to clone the cell's `Arc`;
-//! the (expensive) reach-set computation runs outside it, so workers
-//! computing *different* keys never serialize, while workers racing on the
-//! *same* key block in `OnceLock::get_or_init` and share the one result.
+//! `OnceLock` cell. The map lock is held only to clone the cell's `Arc`
+//! (and, on a miss, to consult the candidate index); the expensive
+//! reach-set computation or donor filtering runs outside it, so workers
+//! computing *different* keys never serialize, while workers racing on
+//! the *same* key block in `OnceLock::get_or_init` and share the one
+//! result.
 
 use rpq_core::predicate::Predicate;
 use rpq_core::reach::product_reach_set;
 use rpq_core::rq::matches_of;
-use rpq_graph::{Graph, NodeId};
+use rpq_graph::{Color, Graph, NodeId};
+use rpq_regex::canon::{canonicalize, contains_fast, skeleton, wildcard_skeleton};
 use rpq_regex::{FRegex, Nfa};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 type PairSet = Arc<Vec<(NodeId, NodeId)>>;
 type Cell = Arc<OnceLock<PairSet>>;
-type Cells = HashMap<Predicate, HashMap<FRegex, Cell>>;
 
-/// Shared `(source predicate, regex) → reach pairs` table.
-///
-/// The key is split across two map levels (`predicate → regex → cell`) so
-/// that lookups hash the caller's *borrowed* predicate and regex directly:
-/// the hit path does no cloning or allocation; only the first claim of a
-/// key clones it for ownership.
-#[derive(Debug, Default)]
-pub struct ReachMemo {
-    cells: Mutex<Cells>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+/// Default byte budget for completed cells (pairs only, 16 bytes each).
+const DEFAULT_BYTE_BUDGET: usize = 32 << 20;
+
+/// How a semantic-memo lookup was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKind {
+    /// The canonical key was already cached.
+    Exact,
+    /// Answered by filtering a containing entry's pair set.
+    Subsumption,
 }
 
-impl ReachMemo {
-    /// Empty table.
+impl CacheKind {
+    /// Label for metrics/profiles (`"exact"` / `"subsumption"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheKind::Exact => "exact",
+            CacheKind::Subsumption => "subsumption",
+        }
+    }
+}
+
+/// Counters of the semantic layer, split by hit kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SemanticStats {
+    /// Lookups answered by the exact canonical key.
+    pub exact_hits: u64,
+    /// Lookups answered by filtering a containing cached entry.
+    pub subsumption_hits: u64,
+    /// Lookups no cached entry could answer.
+    pub misses: u64,
+    /// Time spent filtering/re-verifying cached pair sets for
+    /// subsumption answers.
+    pub filter_time: Duration,
+}
+
+impl SemanticStats {
+    /// All hits, of either kind.
+    pub fn hits(&self) -> u64 {
+        self.exact_hits + self.subsumption_hits
+    }
+}
+
+/// Bookkeeping for a completed (computed) cell.
+struct Completed {
+    bytes: usize,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Table {
+    map: HashMap<Predicate, HashMap<FRegex, Cell>>,
+    /// Candidate index over *completed* cells: regex skeleton → keys.
+    index: HashMap<Vec<Color>, Vec<(Predicate, FRegex)>>,
+    /// LRU state per completed cell.
+    completed: HashMap<(Predicate, FRegex), Completed>,
+    tick: u64,
+    bytes: usize,
+}
+
+impl Table {
+    fn touch(&mut self, from: &Predicate, regex: &FRegex) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(c) = self.completed.get_mut(&(from.clone(), regex.clone())) {
+            c.tick = tick;
+        }
+    }
+
+    /// Find a completed cached entry containing `(from, regex)`:
+    /// same-skeleton bucket first, then the all-wildcard bucket. Prefers
+    /// an equal-language (regex-identical, predicate-narrowing) donor —
+    /// served by a pure filter — over a strictly-containing one.
+    fn find_donor(&self, from: &Predicate, regex: &FRegex) -> Option<(PairSet, bool)> {
+        let probe_skel = skeleton(regex);
+        let wild = wildcard_skeleton();
+        let buckets = if probe_skel == wild {
+            vec![&probe_skel]
+        } else {
+            vec![&probe_skel, &wild]
+        };
+        let mut fallback: Option<PairSet> = None;
+        for skel in buckets {
+            for (dpred, dregex) in self.index.get(skel).into_iter().flatten() {
+                if !from.implies(dpred) {
+                    continue;
+                }
+                let equal = dregex == regex;
+                if !equal && !contains_fast(regex, dregex) {
+                    continue;
+                }
+                let pairs = self
+                    .map
+                    .get(dpred)
+                    .and_then(|inner| inner.get(dregex))
+                    .and_then(|cell| cell.get())
+                    .cloned();
+                let Some(pairs) = pairs else { continue };
+                if equal {
+                    return Some((pairs, true));
+                }
+                fallback.get_or_insert(pairs);
+            }
+        }
+        fallback.map(|p| (p, false))
+    }
+}
+
+/// What a lookup resolved to, decided under the table lock.
+enum Resolved {
+    /// Cell existed (computed or in flight elsewhere).
+    Claimed(Cell),
+    /// Fresh cell to fill by filtering a donor's pair set.
+    Derive(Cell, PairSet, bool),
+    /// Fresh cell to fill by full evaluation.
+    Compute(Cell),
+}
+
+/// Shared `(source predicate, canonical regex) → reach pairs` table with
+/// containment-driven reuse. See the module docs for the full contract.
+///
+/// The key is split across two map levels (`predicate → regex → cell`) so
+/// that lookups hash the caller's *borrowed* predicate directly; regexes
+/// are canonicalized on entry so every syntactic variant of a language
+/// lands on one cell.
+#[derive(Default)]
+pub struct SemanticMemo {
+    cells: Mutex<Table>,
+    exact_hits: AtomicU64,
+    subsumption_hits: AtomicU64,
+    misses: AtomicU64,
+    probe_misses: AtomicU64,
+    filter_nanos: AtomicU64,
+    byte_budget: usize,
+    populate_on_miss: bool,
+}
+
+/// The historical name: the exact-sharing contract of the original batch
+/// memo is a strict subset of [`SemanticMemo`]'s, so every existing call
+/// site keeps working unchanged.
+pub type ReachMemo = SemanticMemo;
+
+impl std::fmt::Debug for SemanticMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.semantic_stats();
+        f.debug_struct("SemanticMemo")
+            .field("len", &self.len())
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl SemanticMemo {
+    /// Empty table with the default byte budget.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_byte_budget(DEFAULT_BYTE_BUDGET)
+    }
+
+    /// Empty table bounding completed pair sets to roughly
+    /// `byte_budget` bytes (16 bytes per cached pair); least-recently
+    /// used cells are evicted past the budget. A budget of 0 keeps at
+    /// most one completed cell.
+    pub fn with_byte_budget(byte_budget: usize) -> Self {
+        SemanticMemo {
+            byte_budget,
+            ..SemanticMemo::default()
+        }
+    }
+
+    /// An engine-lifetime memo: index-backed RQ plans *populate* it on a
+    /// miss — computing the key's full unfiltered reach set through
+    /// their index and installing it via [`SemanticMemo::insert`] —
+    /// instead of only probing it. The wider cold evaluation (no
+    /// target-side pruning) pays off only when the memo outlives a
+    /// single call, so the sharded engine and published snapshots use
+    /// this constructor while the throwaway per-call memos of
+    /// `run_query` keep [`SemanticMemo::new`].
+    pub fn persistent() -> Self {
+        SemanticMemo {
+            populate_on_miss: true,
+            ..Self::new()
+        }
+    }
+
+    /// True when index-backed plans should install the reach sets they
+    /// compute (see [`SemanticMemo::persistent`]).
+    pub fn populates_on_miss(&self) -> bool {
+        self.populate_on_miss
     }
 
     /// All `(x, y)` with `x ⊨ from` and a nonempty path `x ⇝ y` spelling a
-    /// word of `L(regex)` — computed at most once per key per table, sorted
-    /// by `(x, y)`.
+    /// word of `L(regex)` — computed at most once per canonical key per
+    /// table, sorted by `(x, y)`. Served from a containing cached entry
+    /// when one exists (see module docs).
     pub fn reach_pairs(&self, g: &Graph, from: &Predicate, regex: &FRegex) -> PairSet {
-        let cell = {
-            let mut map = self.cells.lock().expect("memo poisoned");
-            match map.get(from).and_then(|inner| inner.get(regex)) {
+        let canon = canonicalize(regex);
+        let resolved = {
+            let mut table = self.cells.lock().expect("memo poisoned");
+            match table.map.get(from).and_then(|inner| inner.get(&canon)) {
                 Some(c) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    Arc::clone(c)
+                    self.exact_hits.fetch_add(1, Ordering::Relaxed);
+                    let c = Arc::clone(c);
+                    table.touch(from, &canon);
+                    Resolved::Claimed(c)
                 }
                 None => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    let c = Arc::new(OnceLock::new());
-                    map.entry(from.clone())
+                    let donor = table.find_donor(from, &canon);
+                    let c: Cell = Arc::new(OnceLock::new());
+                    table
+                        .map
+                        .entry(from.clone())
                         .or_default()
-                        .insert(regex.clone(), Arc::clone(&c));
-                    c
+                        .insert(canon.clone(), Arc::clone(&c));
+                    match donor {
+                        Some((pairs, equal)) => {
+                            self.subsumption_hits.fetch_add(1, Ordering::Relaxed);
+                            Resolved::Derive(c, pairs, equal)
+                        }
+                        None => {
+                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            Resolved::Compute(c)
+                        }
+                    }
                 }
             }
         };
-        Arc::clone(cell.get_or_init(|| {
-            let nfa = Nfa::from_regex(regex);
-            let mut pairs = Vec::new();
-            for x in matches_of(g, from) {
-                for y in product_reach_set(g, &nfa, x) {
-                    pairs.push((x, y));
-                }
+        match resolved {
+            Resolved::Claimed(cell) => Arc::clone(cell.get_or_init(|| {
+                // raced claim: the key was handed out before its value
+                // existed; compute here like the original claimant would
+                Arc::new(full_eval(g, from, &canon))
+            })),
+            Resolved::Derive(cell, donor, equal) => {
+                self.fill(g, from, &canon, cell, Some((donor, equal)))
             }
-            pairs.sort_unstable();
-            Arc::new(pairs)
-        }))
+            Resolved::Compute(cell) => self.fill(g, from, &canon, cell, None),
+        }
     }
 
-    /// `(hits, misses)` — a *hit* is a lookup that found the key already
-    /// claimed (even if still being computed by another worker).
+    /// Lookup-only probe for index-backed plans (matrix/hop/sharded): a
+    /// completed exact cell or a containing donor answers — and a
+    /// derived answer is installed as a new cell — but a full miss
+    /// returns `None` without claiming anything, leaving the backend to
+    /// evaluate with its own index.
+    pub fn try_answer(
+        &self,
+        g: &Graph,
+        from: &Predicate,
+        regex: &FRegex,
+    ) -> Option<(PairSet, CacheKind)> {
+        let canon = canonicalize(regex);
+        let resolved = {
+            let mut table = self.cells.lock().expect("memo poisoned");
+            match table.map.get(from).and_then(|inner| inner.get(&canon)) {
+                Some(c) => match c.get() {
+                    Some(pairs) => {
+                        self.exact_hits.fetch_add(1, Ordering::Relaxed);
+                        let pairs = Arc::clone(pairs);
+                        table.touch(from, &canon);
+                        return Some((pairs, CacheKind::Exact));
+                    }
+                    // in flight on another worker: don't wait on it, the
+                    // index answers faster than an unfinished traversal
+                    None => return None,
+                },
+                None => match table.find_donor(from, &canon) {
+                    Some((pairs, equal)) => {
+                        self.subsumption_hits.fetch_add(1, Ordering::Relaxed);
+                        let c: Cell = Arc::new(OnceLock::new());
+                        table
+                            .map
+                            .entry(from.clone())
+                            .or_default()
+                            .insert(canon.clone(), Arc::clone(&c));
+                        Resolved::Derive(c, pairs, equal)
+                    }
+                    None => {
+                        self.probe_misses.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                },
+            }
+        };
+        let Resolved::Derive(cell, donor, equal) = resolved else {
+            unreachable!("try_answer only escapes the lock to derive");
+        };
+        let pairs = self.fill(g, from, &canon, cell, Some((donor, equal)));
+        Some((pairs, CacheKind::Subsumption))
+    }
+
+    /// Install an externally computed reach set for `(from, regex)`.
+    ///
+    /// Index-backed plans call this after a declined
+    /// [`try_answer`](SemanticMemo::try_answer) against a
+    /// [`persistent`](SemanticMemo::persistent) memo, so the reach sets
+    /// they compute through their index become donors for later exact
+    /// and containment lookups. `pairs` must be the key's *complete*
+    /// reach set — every `(x, y)` with `x ⊨ from`, unfiltered by any
+    /// target predicate (sorting is established here). Counters are
+    /// untouched: the probe that preceded the computation already
+    /// recorded the miss. Returns the cached set — the caller's, or the
+    /// racing winner's if another worker installed the key first.
+    pub fn insert(
+        &self,
+        from: &Predicate,
+        regex: &FRegex,
+        mut pairs: Vec<(NodeId, NodeId)>,
+    ) -> PairSet {
+        let canon = canonicalize(regex);
+        pairs.sort_unstable();
+        let cell = {
+            let mut table = self.cells.lock().expect("memo poisoned");
+            Arc::clone(
+                table
+                    .map
+                    .entry(from.clone())
+                    .or_default()
+                    .entry(canon.clone())
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        let mut computed = false;
+        let out = Arc::clone(cell.get_or_init(|| {
+            computed = true;
+            Arc::new(pairs)
+        }));
+        if computed {
+            self.register_completed(from, &canon, out.len());
+        }
+        out
+    }
+
+    /// Fill `cell` (computing or deriving), then register the completed
+    /// result with the candidate index and the LRU budget.
+    fn fill(
+        &self,
+        g: &Graph,
+        from: &Predicate,
+        canon: &FRegex,
+        cell: Cell,
+        donor: Option<(PairSet, bool)>,
+    ) -> PairSet {
+        let mut computed = false;
+        let pairs = Arc::clone(cell.get_or_init(|| {
+            computed = true;
+            match donor {
+                Some((donor_pairs, equal)) => {
+                    let started = Instant::now();
+                    let derived = derive_from_donor(g, from, canon, &donor_pairs, equal);
+                    self.filter_nanos
+                        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    Arc::new(derived)
+                }
+                None => Arc::new(full_eval(g, from, canon)),
+            }
+        }));
+        if computed {
+            self.register_completed(from, canon, pairs.len());
+        }
+        pairs
+    }
+
+    /// Make a freshly computed cell visible to containment lookups and
+    /// charge it to the byte budget, evicting LRU cells past it.
+    fn register_completed(&self, from: &Predicate, canon: &FRegex, len: usize) {
+        let bytes = len * std::mem::size_of::<(NodeId, NodeId)>();
+        let mut table = self.cells.lock().expect("memo poisoned");
+        table.tick += 1;
+        let tick = table.tick;
+        let key = (from.clone(), canon.clone());
+        if table.completed.contains_key(&key) {
+            return; // eviction + recompute race: already registered
+        }
+        table
+            .index
+            .entry(skeleton(canon))
+            .or_default()
+            .push(key.clone());
+        table
+            .completed
+            .insert(key.clone(), Completed { bytes, tick });
+        table.bytes += bytes;
+        while table.bytes > self.byte_budget && table.completed.len() > 1 {
+            let Some(victim) = table
+                .completed
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, c)| c.tick)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let freed = table.completed.remove(&victim).map_or(0, |c| c.bytes);
+            table.bytes -= freed;
+            if let Some(bucket) = table.index.get_mut(&skeleton(&victim.1)) {
+                bucket.retain(|k| *k != victim);
+            }
+            if let Some(inner) = table.map.get_mut(&victim.0) {
+                inner.remove(&victim.1);
+                if inner.is_empty() {
+                    table.map.remove(&victim.0);
+                }
+            }
+        }
+    }
+
+    /// `(hits, misses)` — a *hit* is a lookup answered from cached state
+    /// (exact key already claimed, even if still being computed by
+    /// another worker, or a containment donor); a *miss* claimed a fresh
+    /// key for full evaluation.
     pub fn stats(&self) -> (u64, u64) {
         (
-            self.hits.load(Ordering::Relaxed),
+            self.exact_hits.load(Ordering::Relaxed) + self.subsumption_hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Per-kind counters of the semantic layer, including lookup-only
+    /// probes declined by [`SemanticMemo::try_answer`].
+    pub fn semantic_stats(&self) -> SemanticStats {
+        SemanticStats {
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            subsumption_hits: self.subsumption_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed) + self.probe_misses.load(Ordering::Relaxed),
+            filter_time: Duration::from_nanos(self.filter_nanos.load(Ordering::Relaxed)),
+        }
     }
 
     /// Number of distinct keys claimed so far.
@@ -95,6 +489,7 @@ impl ReachMemo {
         self.cells
             .lock()
             .expect("memo poisoned")
+            .map
             .values()
             .map(|inner| inner.len())
             .sum()
@@ -104,6 +499,64 @@ impl ReachMemo {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Bytes currently charged against the completed-cell budget.
+    pub fn cached_bytes(&self) -> usize {
+        self.cells.lock().expect("memo poisoned").bytes
+    }
+}
+
+/// The uncached evaluation: full source scan + one product search per
+/// source.
+fn full_eval(g: &Graph, from: &Predicate, regex: &FRegex) -> Vec<(NodeId, NodeId)> {
+    let nfa = Nfa::from_regex(regex);
+    let mut pairs = Vec::new();
+    for x in matches_of(g, from) {
+        for y in product_reach_set(g, &nfa, x) {
+            pairs.push((x, y));
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Answer `(from, regex)` from a containing donor's pair set. With an
+/// equal-language donor the answer is the donor filtered to sources
+/// satisfying the (narrower) probe predicate. With a strictly-containing
+/// regex, each surviving donor source is re-verified with the probe's
+/// automaton — sources the donor proved unreachable are skipped, as is
+/// the full `matches_of` scan.
+fn derive_from_donor(
+    g: &Graph,
+    from: &Predicate,
+    regex: &FRegex,
+    donor: &[(NodeId, NodeId)],
+    equal_language: bool,
+) -> Vec<(NodeId, NodeId)> {
+    if equal_language {
+        return donor
+            .iter()
+            .filter(|&&(x, _)| from.matches(g.attrs(x)))
+            .copied()
+            .collect();
+    }
+    let nfa = Nfa::from_regex(regex);
+    let mut pairs = Vec::new();
+    let mut last: Option<NodeId> = None;
+    for &(x, _) in donor {
+        if last == Some(x) {
+            continue; // donor is sorted: distinct sources come in blocks
+        }
+        last = Some(x);
+        if !from.matches(g.attrs(x)) {
+            continue;
+        }
+        for y in product_reach_set(g, &nfa, x) {
+            pairs.push((x, y));
+        }
+    }
+    pairs.sort_unstable();
+    pairs
 }
 
 #[cfg(test)]
@@ -173,5 +626,95 @@ mod tests {
         let (hits, misses) = memo.stats();
         assert_eq!(hits + misses, 8);
         assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn syntactic_variants_share_one_cell() {
+        let g = essembly();
+        let memo = SemanticMemo::new();
+        let from = Predicate::parse("job = \"biologist\"", g.schema()).unwrap();
+        let a = memo.reach_pairs(&g, &from, &FRegex::parse("fa^2 fa", g.alphabet()).unwrap());
+        let b = memo.reach_pairs(&g, &from, &FRegex::parse("fa fa^2", g.alphabet()).unwrap());
+        assert!(Arc::ptr_eq(&a, &b), "canonical keys unify variants");
+        assert_eq!(memo.len(), 1);
+        let s = memo.semantic_stats();
+        assert_eq!((s.exact_hits, s.subsumption_hits, s.misses), (1, 0, 1));
+    }
+
+    #[test]
+    fn narrower_predicate_is_served_by_subsumption() {
+        let g = essembly();
+        let memo = SemanticMemo::new();
+        let re = FRegex::parse("fa^2 fn", g.alphabet()).unwrap();
+        let broad = Predicate::parse("job = \"biologist\"", g.schema()).unwrap();
+        let narrow =
+            Predicate::parse("job = \"biologist\" && sp = \"cloning\"", g.schema()).unwrap();
+        let _ = memo.reach_pairs(&g, &broad, &re);
+        let served = memo.reach_pairs(&g, &narrow, &re);
+        let s = memo.semantic_stats();
+        assert_eq!(s.subsumption_hits, 1, "filtered from the broad entry");
+        assert_eq!(s.misses, 1);
+        assert!(s.filter_time > Duration::ZERO);
+        // bit-identical to direct evaluation
+        let direct = SemanticMemo::new().reach_pairs(&g, &narrow, &re);
+        assert_eq!(*served, *direct);
+        // and now cached exactly
+        let again = memo.reach_pairs(&g, &narrow, &re);
+        assert!(Arc::ptr_eq(&served, &again));
+    }
+
+    #[test]
+    fn narrower_regex_is_reverified_not_trusted() {
+        let g = essembly();
+        let memo = SemanticMemo::new();
+        let from = Predicate::parse("job = \"biologist\"", g.schema()).unwrap();
+        let broad = FRegex::parse("fa^3 fn", g.alphabet()).unwrap();
+        let narrow = FRegex::parse("fa^2 fn", g.alphabet()).unwrap();
+        let _ = memo.reach_pairs(&g, &from, &broad);
+        let served = memo.reach_pairs(&g, &from, &narrow);
+        assert_eq!(memo.semantic_stats().subsumption_hits, 1);
+        let direct = SemanticMemo::new().reach_pairs(&g, &from, &narrow);
+        assert_eq!(*served, *direct, "tighter regex re-verified per source");
+    }
+
+    #[test]
+    fn try_answer_serves_only_cached_state() {
+        let g = essembly();
+        let memo = SemanticMemo::new();
+        let from = Predicate::parse("job = \"biologist\"", g.schema()).unwrap();
+        let re = FRegex::parse("fa^2 fn", g.alphabet()).unwrap();
+        assert!(memo.try_answer(&g, &from, &re).is_none(), "cold cache");
+        assert_eq!(memo.semantic_stats().misses, 1);
+        let computed = memo.reach_pairs(&g, &from, &re);
+        let (pairs, kind) = memo.try_answer(&g, &from, &re).expect("now cached");
+        assert_eq!(kind, CacheKind::Exact);
+        assert!(Arc::ptr_eq(&computed, &pairs));
+        // a narrower probe is derived and installed
+        let narrow =
+            Predicate::parse("job = \"biologist\" && sp = \"cloning\"", g.schema()).unwrap();
+        let (subsumed, kind) = memo.try_answer(&g, &narrow, &re).expect("donor answers");
+        assert_eq!(kind, CacheKind::Subsumption);
+        let direct = SemanticMemo::new().reach_pairs(&g, &narrow, &re);
+        assert_eq!(*subsumed, *direct);
+        let (_, kind) = memo.try_answer(&g, &narrow, &re).expect("installed");
+        assert_eq!(kind, CacheKind::Exact);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_completed_cells() {
+        let g = essembly();
+        // budget of one pair: every new completed cell evicts the last
+        let memo = SemanticMemo::with_byte_budget(std::mem::size_of::<(NodeId, NodeId)>());
+        let from = Predicate::always_true();
+        let res = ["fa", "fn", "sa"];
+        for r in res {
+            let _ = memo.reach_pairs(&g, &from, &FRegex::parse(r, g.alphabet()).unwrap());
+        }
+        assert!(memo.len() < res.len(), "older cells evicted");
+        assert!(memo.cached_bytes() > 0);
+        // evicted keys recompute as fresh misses, not hits
+        let before = memo.semantic_stats().misses;
+        let _ = memo.reach_pairs(&g, &from, &FRegex::parse("fa", g.alphabet()).unwrap());
+        assert_eq!(memo.semantic_stats().misses, before + 1);
     }
 }

@@ -141,6 +141,10 @@ impl QueryService for Snapshot {
     }
 }
 
+/// Serving goes through the engine-lifetime memo
+/// ([`ShardedEngine::memo`]): repeated and semantically-contained RQ
+/// traffic is answered from cache across calls, and profiles report the
+/// persistent cache's hit/miss behavior rather than a cold per-call one.
 impl QueryService for ShardedEngine {
     fn graph(&self) -> Arc<Graph> {
         Arc::clone(ShardedEngine::graph(self))
@@ -151,15 +155,16 @@ impl QueryService for ShardedEngine {
     }
 
     fn run_query(&self, query: &Query) -> QueryOutput {
-        self.engine().run_query(query)
+        self.engine().run_query_with_memo(query, self.memo())
     }
 
     fn run_batch(&self, queries: &[Query]) -> BatchResult {
-        self.engine().run_batch(queries)
+        self.engine().run_batch_with_memo(queries, self.memo())
     }
 
     fn run_query_profiled(&self, query: &Query) -> (QueryOutput, rpq_trace::QueryProfile) {
-        self.engine().run_query_profiled(query)
+        self.engine()
+            .run_query_profiled_with_memo(query, self.memo())
     }
 }
 

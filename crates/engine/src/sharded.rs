@@ -28,6 +28,7 @@
 
 use crate::engine::{EngineConfig, QueryEngine};
 use crate::error::EngineError;
+use crate::memo::{ReachMemo, SemanticStats};
 use rpq_graph::{Graph, ShardedGraph};
 use rpq_index::{ShardedConfig, ShardedLabels, ShardedStats};
 use std::sync::Arc;
@@ -36,10 +37,18 @@ use std::time::{Duration, Instant};
 /// A batch engine whose one index is the sharded backend: `k` per-shard
 /// hop-label indices plus boundary-overlay labels, built eagerly at
 /// construction. See the module docs.
+///
+/// Unlike the bare [`QueryEngine`] (whose `run_*` entry points spin up a
+/// throwaway memo per call), the sharded engine owns an engine-lifetime
+/// [`ReachMemo`], so repeated and semantically-contained RQ traffic is
+/// served from cache across calls and the cache's hit/miss counters are
+/// visible in profiles ([`ShardedEngine::semantic_stats`]). The graph is
+/// immutable for the life of the engine, so no invalidation is needed.
 #[derive(Debug)]
 pub struct ShardedEngine {
     inner: QueryEngine,
     labels: Arc<ShardedLabels>,
+    memo: Arc<ReachMemo>,
     build_time: Duration,
 }
 
@@ -101,6 +110,7 @@ impl ShardedEngine {
         ShardedEngine {
             inner,
             labels,
+            memo: Arc::new(ReachMemo::persistent()),
             build_time,
         }
     }
@@ -129,6 +139,20 @@ impl ShardedEngine {
     /// Wall-clock time of the partition + parallel index build.
     pub fn build_time(&self) -> Duration {
         self.build_time
+    }
+
+    /// The engine-lifetime reach-set memo every
+    /// [`QueryService`](crate::QueryService) call on this engine runs
+    /// against (the bare inner engine uses a throwaway memo per call).
+    pub fn memo(&self) -> &Arc<ReachMemo> {
+        &self.memo
+    }
+
+    /// Cumulative semantic-cache counters — exact hits, subsumption
+    /// hits, misses, and time spent filtering cached reach sets — for
+    /// all queries served through this engine since construction.
+    pub fn semantic_stats(&self) -> SemanticStats {
+        self.memo.semantic_stats()
     }
 
     /// The inner batch engine, pinned to the sharded regime. Querying goes
@@ -195,6 +219,48 @@ mod tests {
         // bit-identical to the search references
         assert_eq!(batch.items()[0].output.as_rq().unwrap(), &q.eval_bfs(&g));
         assert_eq!(batch.items()[1].output.as_pq().unwrap(), &pq.eval_naive(&g));
+    }
+
+    #[test]
+    fn sharded_profiles_report_persistent_memo_hits() {
+        let g = Arc::new(rpq_graph::gen::clustered(400, 1600, 4, 2, 3, 60, 23));
+        let engine = ShardedEngine::build(
+            Arc::clone(&g),
+            EngineConfig {
+                shards: 3,
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("unbudgeted build");
+
+        let q = Query::Rq(rq(&g, "a0 <= 4", "a1 >= 6", "c0^2 c1"));
+        let (out0, p0) = engine.run_query_profiled(&q);
+        assert_eq!(p0.semcache, "miss", "cold query populates the memo");
+
+        // the second identical query is served from the engine-lifetime
+        // memo — visible both in the profile and in the engine counters
+        let (out1, p1) = engine.run_query_profiled(&q);
+        assert_eq!(out0, out1);
+        assert_eq!(p1.semcache, "exact_hit");
+        let stats = engine.semantic_stats();
+        assert_eq!(stats.exact_hits, 1);
+        assert_eq!(stats.misses, 1);
+
+        // a narrower-predicate variant is answered by subsumption from
+        // the same cached cell
+        let narrow = Query::Rq(rq(&g, "a0 <= 2", "a1 >= 6", "c0^2 c1"));
+        let (out2, p2) = engine.run_query_profiled(&narrow);
+        assert_eq!(p2.semcache, "subsumption_hit");
+        assert_eq!(
+            out2.as_rq().unwrap(),
+            &match &narrow {
+                Query::Rq(r) => r.eval_bfs(&g),
+                Query::Pq(_) => unreachable!(),
+            },
+            "subsumption answer is bit-identical to direct evaluation"
+        );
+        assert_eq!(engine.semantic_stats().subsumption_hits, 1);
     }
 
     #[test]

@@ -178,6 +178,15 @@ impl Snapshot {
         Arc::clone(&self.memo)
     }
 
+    /// Cumulative counters of this snapshot's semantic reach-cache —
+    /// exact hits, subsumption hits, misses, and filter time — since the
+    /// snapshot was published (the memo is versioned with the snapshot,
+    /// so a fresh version starts from zero). The server's `/metrics`
+    /// exposition accumulates deltas of these across batches.
+    pub fn semantic_stats(&self) -> crate::memo::SemanticStats {
+        self.memo.semantic_stats()
+    }
+
     pub(crate) fn standing_entries(&self) -> &[StandingEntry] {
         &self.standing
     }
@@ -197,8 +206,18 @@ impl Snapshot {
             .map(|s| s.answer(self.graph()))
     }
 
+    /// Find a standing entry that can serve `pq` *bit-identically*:
+    /// structural equality, or [`rpq_core::pq_same_shape`] — the same node
+    /// and edge structure with language-equal (canonical-form) regex
+    /// spellings — so syntactic variants of a registered query are served
+    /// from the maintained match sets too. Variants that additionally
+    /// permute node order are deduplicated at registration time instead
+    /// ([`UpdatableEngine::register_pq`](crate::UpdatableEngine::register_pq)),
+    /// where the isomorphism is known and the match sets can be remapped.
     fn standing_match(&self, pq: &Pq) -> Option<usize> {
-        self.standing.iter().position(|s| &s.pq == pq)
+        self.standing
+            .iter()
+            .position(|s| rpq_core::pq_same_shape(&s.pq, pq))
     }
 
     /// The plan this snapshot would pick for `query`: a PQ equal to a

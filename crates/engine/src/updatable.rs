@@ -118,14 +118,43 @@ impl Default for IndexMaintenance {
     }
 }
 
+/// One registered standing query: which dedup family it belongs to,
+/// which incremental matcher maintains its match sets, and how to read
+/// them. With `kappa: Some(κ)`, the registrant shares a matcher whose
+/// pattern is the registrant's under the node renumbering κ — its match
+/// sets are `matcher_mats[κ[u]]`, bit-identical in the registrant's own
+/// node order. `None` means the matcher maintains this exact pattern.
+struct StandingReg {
+    pq: Pq,
+    family: usize,
+    matcher: usize,
+    kappa: Option<Vec<usize>>,
+}
+
 /// Mutable state owned by the writer lock: the dynamic graph, the
 /// maintenance state of every standing query, and the drift monitor
 /// watching the sharded partition (created when the first sharded index
 /// is carried).
 struct WriterState {
     dynamic: DynamicGraph,
+    /// One matcher per *distinct pattern shape* being maintained —
+    /// deduplicated registrations share an entry (≤ one per registration).
     matchers: Vec<IncrementalMatcher>,
+    /// All registrations, in [`StandingId`] order.
+    registrations: Vec<StandingReg>,
+    /// Dedup family representatives: the [`rpq_core::standing_form`]
+    /// (canonicalized + minimized) of each family's first registrant.
+    families: Vec<Pq>,
     drift: Option<DriftMonitor>,
+}
+
+/// Read a matcher's maintained match sets in a registration's own node
+/// order (identity when it owns the matcher, through κ when shared).
+fn remap_mats(mats: &[Vec<NodeId>], kappa: Option<&[usize]>) -> Vec<Vec<NodeId>> {
+    match kappa {
+        Some(k) => k.iter().map(|&w| mats[w].clone()).collect(),
+        None => mats.to_vec(),
+    }
 }
 
 /// A query engine over a *mutating* graph: writers apply update batches,
@@ -189,7 +218,7 @@ impl UpdatableEngine {
                 dynamic.graph_arc(),
                 config.clone(),
             )),
-            Arc::new(ReachMemo::new()),
+            Arc::new(ReachMemo::persistent()),
             Vec::new(),
             state,
         ));
@@ -198,6 +227,8 @@ impl UpdatableEngine {
             writer: Mutex::new(WriterState {
                 dynamic,
                 matchers: Vec::new(),
+                registrations: Vec::new(),
+                families: Vec::new(),
                 drift: None,
             }),
             current: RwLock::new(snapshot),
@@ -224,17 +255,62 @@ impl UpdatableEngine {
     /// Register a standing PQ: evaluated once now, incrementally maintained
     /// by every subsequent [`apply`](UpdatableEngine::apply), and served
     /// from the maintained answer whenever it appears in a batch.
+    ///
+    /// Registrations are **semantically deduplicated**: the query's
+    /// [`rpq_core::standing_form`] (edge regexes canonicalized, pattern
+    /// minimized by the paper's `minPQs`) is matched against existing
+    /// families up to isomorphism, so two users registering syntactic
+    /// variants of one query land in the same family — see
+    /// [`standing_family`](UpdatableEngine::standing_family). When the new
+    /// registrant's own shape maps onto an already-maintained pattern
+    /// (identity for re-registrations, a node renumbering for permuted
+    /// variants), **no new matcher is created and no evaluation runs**:
+    /// the registration reads the shared matcher's match sets through the
+    /// renumbering, bit-identical in its own node order. Only an
+    /// equivalent query with a genuinely different shape (e.g. carrying a
+    /// redundant edge the minimizer would fold) gets a private matcher,
+    /// since its per-node answer shape cannot be served from the family's.
     pub fn register_pq(&self, pq: Pq) -> StandingId {
         let mut writer = self.writer.lock().expect("writer lock poisoned");
         let state = &mut *writer;
-        let matcher = IncrementalMatcher::with_cache_capacity(
-            pq.clone(),
-            &state.dynamic,
-            self.config.reach_cache_capacity,
-        );
-        let entry = StandingEntry::new(pq, matcher.match_sets().to_vec());
-        state.matchers.push(matcher);
-        let id = StandingId(state.matchers.len() - 1);
+        let form = rpq_core::standing_form(&pq);
+        let family = state
+            .families
+            .iter()
+            .position(|f| rpq_core::pq_isomorphism(&form, f).is_some());
+        let (family, matcher, kappa) = match family {
+            Some(fi) => {
+                let shared = state
+                    .registrations
+                    .iter()
+                    .filter(|r| r.family == fi)
+                    .find_map(|r| {
+                        rpq_core::pq_isomorphism(&pq, state.matchers[r.matcher].pq())
+                            .map(|k| (r.matcher, k))
+                    });
+                match shared {
+                    Some((mi, k)) => (fi, mi, Some(k)),
+                    None => (fi, push_matcher(state, &pq, &self.config), None),
+                }
+            }
+            None => {
+                state.families.push(form);
+                (
+                    state.families.len() - 1,
+                    push_matcher(state, &pq, &self.config),
+                    None,
+                )
+            }
+        };
+        let mats = remap_mats(state.matchers[matcher].match_sets(), kappa.as_deref());
+        let entry = StandingEntry::new(pq.clone(), mats);
+        state.registrations.push(StandingReg {
+            pq,
+            family,
+            matcher,
+            kappa,
+        });
+        let id = StandingId(state.registrations.len() - 1);
 
         // republish: same graph version, same (possibly warmed) indices,
         // one more standing answer
@@ -320,11 +396,18 @@ impl UpdatableEngine {
             matcher.on_update(&state.dynamic, &effective);
         }
         // copy out the maintained match sets only; the full per-edge result
-        // is assembled lazily by the snapshot when (and if) it is read
+        // is assembled lazily by the snapshot when (and if) it is read.
+        // One entry per *registration* — deduplicated registrations read
+        // the shared matcher's sets through their node renumbering
         let standing: Vec<StandingEntry> = state
-            .matchers
+            .registrations
             .iter()
-            .map(|m| StandingEntry::new(m.pq().clone(), m.match_sets().to_vec()))
+            .map(|r| {
+                StandingEntry::new(
+                    r.pq.clone(),
+                    remap_mats(state.matchers[r.matcher].match_sets(), r.kappa.as_deref()),
+                )
+            })
             .collect();
         let t_standing = Instant::now();
         let new_graph = state.dynamic.graph_arc();
@@ -353,7 +436,7 @@ impl UpdatableEngine {
         let snapshot = Arc::new(Snapshot::new(
             state.dynamic.version(),
             engine,
-            Arc::new(ReachMemo::new()),
+            Arc::new(ReachMemo::persistent()),
             standing,
             index.state,
         ));
@@ -408,6 +491,38 @@ impl UpdatableEngine {
     pub fn standing_result(&self, id: StandingId) -> Option<Arc<PqResult>> {
         self.snapshot().standing_result(id)
     }
+
+    /// The dedup family of registration `id`: registrations whose
+    /// minimized canonical forms ([`rpq_core::standing_form`]) are
+    /// isomorphic share one family — and, whenever their shapes permit,
+    /// one incremental matcher. `None` for an unknown id.
+    pub fn standing_family(&self, id: StandingId) -> Option<usize> {
+        let writer = self.writer.lock().expect("writer lock poisoned");
+        writer.registrations.get(id.index()).map(|r| r.family)
+    }
+
+    /// Number of incremental matchers actually maintained — at most one
+    /// per registration, strictly fewer when dedup shares them (the
+    /// observable cost of [`register_pq`](UpdatableEngine::register_pq)'s
+    /// dedup: `apply` maintains each shared pattern once).
+    pub fn standing_matcher_count(&self) -> usize {
+        self.writer
+            .lock()
+            .expect("writer lock poisoned")
+            .matchers
+            .len()
+    }
+}
+
+/// Create and seed an incremental matcher for `pq` (the one initial full
+/// evaluation a non-deduplicated registration pays).
+fn push_matcher(state: &mut WriterState, pq: &Pq, config: &EngineConfig) -> usize {
+    state.matchers.push(IncrementalMatcher::with_cache_capacity(
+        pq.clone(),
+        &state.dynamic,
+        config.reach_cache_capacity,
+    ));
+    state.matchers.len() - 1
 }
 
 /// The index state a snapshot starts in before any carry has happened:
@@ -923,6 +1038,87 @@ mod tests {
         let noop = engine.apply(&[Update::Insert(c1, b1, fnc)]).unwrap();
         assert_eq!(noop.applied, 0);
         assert_eq!(noop.index.state, crate::IndexState::Stale);
+    }
+
+    #[test]
+    fn standing_variants_share_one_matcher() {
+        let engine = UpdatableEngine::new(essembly());
+        let g = engine.snapshot().graph().clone();
+        let doctor = Predicate::parse("job = \"doctor\"", g.schema()).unwrap();
+
+        // user 1's registration
+        let mut a = Pq::new();
+        let a0 = a.add_node("a", doctor.clone());
+        let a1 = a.add_node("b", Predicate::always_true());
+        a.add_edge(a0, a1, FRegex::parse("fn fn^2", g.alphabet()).unwrap());
+        // user 2's: the same query with nodes permuted, labels renamed,
+        // and the regex respelled
+        let mut b = Pq::new();
+        let b0 = b.add_node("x", Predicate::always_true());
+        let b1 = b.add_node("y", doctor);
+        b.add_edge(b1, b0, FRegex::parse("fn^2 fn", g.alphabet()).unwrap());
+
+        let id_a = engine.register_pq(a.clone());
+        let id_b = engine.register_pq(b.clone());
+        assert_eq!(engine.standing_family(id_a), engine.standing_family(id_b));
+        assert_eq!(
+            engine.standing_matcher_count(),
+            1,
+            "the variant must share the existing matcher, not spawn one"
+        );
+
+        // each registration is served standing, in its own node order
+        let snap = engine.snapshot();
+        assert_eq!(snap.plan_query(&Query::Pq(a.clone())), Plan::PqStanding);
+        assert_eq!(snap.plan_query(&Query::Pq(b.clone())), Plan::PqStanding);
+        assert_eq!(&*snap.standing_result(id_a).unwrap(), &a.eval_naive(&g));
+        assert_eq!(&*snap.standing_result(id_b).unwrap(), &b.eval_naive(&g));
+
+        // an unregistered respelling of user 1's query (same node order)
+        // is also served from the maintained answer
+        let mut a_variant = Pq::new();
+        let v0 = a_variant.add_node("p", a.node(0).pred.clone());
+        let v1 = a_variant.add_node("q", a.node(1).pred.clone());
+        a_variant.add_edge(v0, v1, FRegex::parse("fn^2 fn", g.alphabet()).unwrap());
+        assert_eq!(
+            snap.plan_query(&Query::Pq(a_variant.clone())),
+            Plan::PqStanding
+        );
+        assert_eq!(
+            snap.run_query(&Query::Pq(a_variant.clone()))
+                .as_pq()
+                .unwrap(),
+            &a_variant.eval_naive(&g)
+        );
+
+        // maintenance flows through the one matcher into both answers
+        let hub = g.node_by_label("B1").unwrap();
+        let fnc = g.alphabet().get("fn").unwrap();
+        let cuts: Vec<Update> = g
+            .out_edges(hub)
+            .iter()
+            .filter(|e| e.color == fnc)
+            .map(|e| Update::Delete(hub, e.node, fnc))
+            .collect();
+        assert!(!cuts.is_empty());
+        let report = engine.apply(&cuts).unwrap();
+        let g1 = report.snapshot.graph().clone();
+        assert_eq!(
+            &*report.snapshot.standing_result(id_a).unwrap(),
+            &a.eval_naive(&g1)
+        );
+        assert_eq!(
+            &*report.snapshot.standing_result(id_b).unwrap(),
+            &b.eval_naive(&g1)
+        );
+
+        // a semantically different pattern still gets its own family
+        let id_other = engine.register_pq(fn_pq(&g));
+        assert_ne!(
+            engine.standing_family(id_other),
+            engine.standing_family(id_a)
+        );
+        assert_eq!(engine.standing_matcher_count(), 2);
     }
 
     #[test]

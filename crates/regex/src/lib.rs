@@ -18,9 +18,12 @@
 //!
 //! This crate provides the AST ([`FRegex`], [`Atom`], [`Quant`]), a parser,
 //! word matching, an NFA view used by the runtime path search
-//! ([`nfa::Nfa`]), and two containment deciders ([`contain`]).
+//! ([`nfa::Nfa`]), two containment deciders ([`contain`]), and the
+//! run-normal canonical form with its run-level containment fast path
+//! ([`canon`]) that the engine's semantic cache keys on.
 
 pub mod ast;
+pub mod canon;
 pub mod contain;
 pub mod general;
 pub mod nfa;

@@ -189,6 +189,16 @@ pub struct Metrics {
     /// Micros since `started` at the last moment the label index was
     /// known fresh (a `Repaired` publication). Zero = never.
     index_fresh_at_us: AtomicU64,
+    /// Semantic reach-cache lookups answered by the exact canonical key.
+    pub semcache_exact: AtomicU64,
+    /// Semantic reach-cache lookups answered by filtering a containing
+    /// cached entry (subsumption).
+    pub semcache_subsumption: AtomicU64,
+    /// Semantic reach-cache lookups no cached entry could answer.
+    pub semcache_misses: AtomicU64,
+    /// Cumulative µs spent filtering/re-verifying cached reach sets for
+    /// subsumption answers.
+    semcache_filter_us: AtomicU64,
     /// Request latency (admission to response ready), µs.
     pub latency: LatencyHistogram,
     /// Per-plan-variant engine evaluation latency, keyed by
@@ -216,6 +226,10 @@ impl Metrics {
             index_rebuilds: AtomicU64::new(0),
             landmarks_invalidated: AtomicU64::new(0),
             index_fresh_at_us: AtomicU64::new(0),
+            semcache_exact: AtomicU64::new(0),
+            semcache_subsumption: AtomicU64::new(0),
+            semcache_misses: AtomicU64::new(0),
+            semcache_filter_us: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             plan_latency: Mutex::new(Vec::new()),
             repair_phase_us: Mutex::new(Vec::new()),
@@ -233,6 +247,34 @@ impl Metrics {
         let h = Arc::new(LatencyHistogram::default());
         reg.push((plan, Arc::clone(&h)));
         h
+    }
+
+    /// Fold one serving window's semantic-cache activity into the
+    /// counters. `before`/`after` are samples of one snapshot memo's
+    /// cumulative [`SemanticStats`](rpq_engine::SemanticStats) taken
+    /// around a batch (the memo is versioned with the snapshot, so the
+    /// caller diffs samples of the *same* snapshot and this accumulator
+    /// survives version rotation).
+    pub fn record_semcache(
+        &self,
+        before: &rpq_engine::SemanticStats,
+        after: &rpq_engine::SemanticStats,
+    ) {
+        let add = |a: &AtomicU64, x: u64, y: u64| {
+            a.fetch_add(y.saturating_sub(x), Ordering::Relaxed);
+        };
+        add(&self.semcache_exact, before.exact_hits, after.exact_hits);
+        add(
+            &self.semcache_subsumption,
+            before.subsumption_hits,
+            after.subsumption_hits,
+        );
+        add(&self.semcache_misses, before.misses, after.misses);
+        add(
+            &self.semcache_filter_us,
+            before.filter_time.as_micros() as u64,
+            after.filter_time.as_micros() as u64,
+        );
     }
 
     /// Fold one update's index-maintenance outcome into the counters:
@@ -310,6 +352,8 @@ impl Metrics {
                 "\"index_bytes\": {}, \"index_state\": \"{}\", ",
                 "\"index_repairs\": {}, \"index_rebuilds\": {}, ",
                 "\"landmarks_invalidated\": {}, \"index_fresh_s\": {:.3}, ",
+                "\"semcache_exact\": {}, \"semcache_subsumption\": {}, ",
+                "\"semcache_misses\": {}, \"semcache_filter_s\": {:.6}, ",
                 "\"slow_queries\": {}, \"uptime_s\": {:.3}}}\n"
             ),
             self.qps(),
@@ -330,6 +374,10 @@ impl Metrics {
             g(&self.index_rebuilds),
             g(&self.landmarks_invalidated),
             self.index_fresh_secs(),
+            g(&self.semcache_exact),
+            g(&self.semcache_subsumption),
+            g(&self.semcache_misses),
+            g(&self.semcache_filter_us) as f64 / 1e6,
             rpq_trace::tracer().slow_queries(),
             self.uptime_secs(),
         )
@@ -414,6 +462,31 @@ impl Metrics {
             "Queries over the configured slow-query threshold.",
             rpq_trace::tracer().slow_queries(),
         );
+        counter(
+            "rpq_semcache_misses_total",
+            "Semantic reach-cache lookups no cached entry could answer.",
+            g(&self.semcache_misses),
+        );
+
+        out.push_str(concat!(
+            "# HELP rpq_semcache_hits_total Semantic reach-cache hits by kind.\n",
+            "# TYPE rpq_semcache_hits_total counter\n"
+        ));
+        for (kind, v) in [
+            ("exact", g(&self.semcache_exact)),
+            ("subsumption", g(&self.semcache_subsumption)),
+        ] {
+            out.push_str(&format!("rpq_semcache_hits_total{{kind=\"{kind}\"}} {v}\n"));
+        }
+        out.push_str(&format!(
+            concat!(
+                "# HELP rpq_semcache_filter_seconds_total Time spent filtering cached ",
+                "reach sets for subsumption answers.\n",
+                "# TYPE rpq_semcache_filter_seconds_total counter\n",
+                "rpq_semcache_filter_seconds_total {}\n"
+            ),
+            g(&self.semcache_filter_us) as f64 / 1e6
+        ));
 
         let mut gauge = |name: &str, help: &str, value: String| {
             out.push_str(&format!(
@@ -691,6 +764,15 @@ mod tests {
             ],
             ..Default::default()
         });
+        m.record_semcache(
+            &rpq_engine::SemanticStats::default(),
+            &rpq_engine::SemanticStats {
+                exact_hits: 5,
+                subsumption_hits: 2,
+                misses: 3,
+                filter_time: std::time::Duration::from_micros(1500),
+            },
+        );
         let text = m.render_prometheus(3, 9, 4096, "repaired");
         let samples = parse_prometheus_text(&text).expect("exposition must parse");
         let get = |series: &str| {
@@ -718,6 +800,10 @@ mod tests {
         );
         assert!(get("rpq_repair_phase_seconds_total{phase=\"carry\"}") > 0.0);
         assert_eq!(get("rpq_index_repairs_total"), 1.0);
+        assert_eq!(get("rpq_semcache_hits_total{kind=\"exact\"}"), 5.0);
+        assert_eq!(get("rpq_semcache_hits_total{kind=\"subsumption\"}"), 2.0);
+        assert_eq!(get("rpq_semcache_misses_total"), 3.0);
+        assert!((get("rpq_semcache_filter_seconds_total") - 0.0015).abs() < 1e-9);
     }
 
     #[test]

@@ -343,7 +343,14 @@ fn coalescer_loop(shared: &Shared) {
             all.extend_from_slice(&p.queries);
         }
         let snapshot = shared.engine.snapshot();
+        // diff the snapshot memo's cumulative counters around the batch:
+        // the memo is pinned with the snapshot Arc, so the delta is exact
+        // even if a writer publishes a newer version mid-batch
+        let sem0 = snapshot.semantic_stats();
         let result = run_on_service(snapshot.as_ref(), &all);
+        shared
+            .metrics
+            .record_semcache(&sem0, &snapshot.semantic_stats());
         let executed = Instant::now();
         // per-plan-variant evaluation latency (worker wall time, not
         // request time — isolates engine cost from queueing)
@@ -581,11 +588,15 @@ fn handle_explain(req: &Request, shared: &Shared) -> Response {
         Err(e) => return engine_error_response(&e),
     };
     let mut out = String::new();
+    let sem0 = snapshot.semantic_stats();
     for query in &queries {
         let (_, profile) = snapshot.run_query_profiled(query);
         out.push_str(&profile.to_json());
         out.push('\n');
     }
+    shared
+        .metrics
+        .record_semcache(&sem0, &snapshot.semantic_stats());
     shared
         .metrics
         .latency

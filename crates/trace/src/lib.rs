@@ -329,6 +329,13 @@ pub struct QueryProfile {
     pub workers: usize,
     /// Result size (pairs for an RQ, matched nodes for a PQ).
     pub matches: u64,
+    /// Semantic-cache outcome for the evaluation: `"exact_hit"`,
+    /// `"subsumption_hit"`, `"miss"`, or empty when the plan never
+    /// consulted the cache.
+    pub semcache: String,
+    /// The canonical (minimized, run-normal) form the query was planned
+    /// and cached under; empty when identical to the submitted form.
+    pub canonical: String,
     /// End-to-end wall time of the profiled run.
     pub wall: Duration,
 }
@@ -348,6 +355,8 @@ impl QueryProfile {
             shard_fanout: 0,
             workers: 1,
             matches: 0,
+            semcache: String::new(),
+            canonical: String::new(),
             wall: Duration::ZERO,
         }
     }
@@ -383,7 +392,8 @@ impl QueryProfile {
         format!(
             "{{\"query\":\"{}\",\"plan\":\"{}\",\"rationale\":\"{}\",\"stages\":[{}],\
              \"probes\":{},\"memo_hits\":{},\"memo_misses\":{},\"shard_fanout\":{},\
-             \"workers\":{},\"matches\":{},\"wall_us\":{}}}",
+             \"workers\":{},\"matches\":{},\"semcache\":\"{}\",\"canonical\":\"{}\",\
+             \"wall_us\":{}}}",
             escape_json(&self.query),
             escape_json(&self.plan),
             escape_json(&self.rationale),
@@ -394,6 +404,8 @@ impl QueryProfile {
             self.shard_fanout,
             self.workers,
             self.matches,
+            escape_json(&self.semcache),
+            escape_json(&self.canonical),
             self.wall.as_micros(),
         )
     }

@@ -34,7 +34,10 @@
 //!   partitioned [`ShardedGraph`](prelude::ShardedGraph) — per-shard
 //!   label indices stitched through boundary-overlay labels
 //!   ([`ShardedLabels`](prelude::ShardedLabels)), answers bit-identical
-//!   to every other backend.
+//!   to every other backend. Every entry point minimizes queries to
+//!   canonical form before planning and serves repeats, respellings and
+//!   *contained* queries from a semantic subsumption cache
+//!   ([`SemanticMemo`](prelude::SemanticMemo)).
 //!
 //! ## Quickstart
 //!
@@ -149,9 +152,10 @@ pub mod prelude {
     pub use rpq_core::rq::{Rq, RqResult};
     pub use rpq_core::split_match::SplitMatch;
     pub use rpq_engine::{
-        ApplyReport, BatchItem, BatchResult, ConfigError, EngineConfig, EngineConfigBuilder,
-        EngineError, IndexMaintenance, IndexState, Plan, Query, QueryEngine, QueryOutput,
-        QueryService, ReachMemo, ShardedEngine, Snapshot, StandingId, UpdatableEngine,
+        ApplyReport, BatchItem, BatchResult, CacheKind, ConfigError, EngineConfig,
+        EngineConfigBuilder, EngineError, IndexMaintenance, IndexState, Plan, Query, QueryEngine,
+        QueryOutput, QueryService, ReachMemo, SemanticMemo, SemanticStats, ShardedEngine, Snapshot,
+        StandingId, UpdatableEngine,
     };
     pub use rpq_graph::{
         Alphabet, AttrId, AttrValue, Attrs, Color, DistanceMatrix, Graph, GraphBuilder, NodeId,
